@@ -1,0 +1,26 @@
+//! Regenerates Fig. 2: normalized mismatch count of the best candidate
+//! under Low-T vs High-T sampling (the violin-plot data, as text).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mage_bench::{BENCH_RUNS_HIGH, BENCH_SEED};
+use mage_core::experiments::fig2;
+use mage_core::tables::render_fig2;
+
+fn run(c: &mut Criterion) {
+    let f = fig2(BENCH_RUNS_HIGH, BENCH_SEED);
+    println!("\n{}", render_fig2(&f));
+    println!(
+        "Paper claim: the High-T best candidate has lower mismatch for most problems.\n"
+    );
+
+    c.bench_function("fig2_distribution_summaries", |b| {
+        b.iter(|| std::hint::black_box(f.summaries()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = run
+}
+criterion_main!(benches);

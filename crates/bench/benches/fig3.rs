@@ -1,0 +1,23 @@
+//! Regenerates Fig. 3: the state-checkpoint debugging case study on
+//! Prob093-ece241-2014-q3, measuring one-shot fix rates under both
+//! feedback formats.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mage_core::casestudy::{fig3, render_fig3, FIG3_BUGGY};
+use mage_core::compile;
+
+fn run(c: &mut Criterion) {
+    let f = fig3(120, 0xF163);
+    println!("\n{}", render_fig3(&f));
+
+    c.bench_function("fig3_compile_case_candidate", |b| {
+        b.iter(|| std::hint::black_box(compile(FIG3_BUGGY).expect("compiles")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = run
+}
+criterion_main!(benches);

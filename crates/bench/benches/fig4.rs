@@ -1,0 +1,25 @@
+//! Regenerates Fig. 4: score improvement from sampling (a) and from
+//! iterative debugging (b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mage_bench::{BENCH_RUNS_HIGH, BENCH_SEED};
+use mage_core::experiments::fig4;
+use mage_core::metrics::mean;
+use mage_core::tables::render_fig4;
+
+fn run(c: &mut Criterion) {
+    let f = fig4(BENCH_RUNS_HIGH, BENCH_SEED);
+    println!("\n{}", render_fig4(&f));
+    println!("Paper: debug-round means rise from 0.669 to 0.890.\n");
+
+    c.bench_function("fig4_mean_of_scores", |b| {
+        b.iter(|| std::hint::black_box(mean(&f.with_sampling)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = run
+}
+criterion_main!(benches);

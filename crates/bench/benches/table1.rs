@@ -1,0 +1,28 @@
+//! Regenerates Table I: MAGE pass rates under the Low/High temperature
+//! configurations on both suites, then benches one engine solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mage_bench::{solve_one_kernel, BENCH_RUNS_HIGH, BENCH_SEED};
+use mage_core::experiments::table1;
+use mage_core::tables::render_table1;
+
+fn run(c: &mut Criterion) {
+    let t = table1(BENCH_RUNS_HIGH, BENCH_SEED);
+    println!("\n{}", render_table1(&t));
+    println!("Paper:  High 94.8 / 95.7   Low 89.1 / 93.6\n");
+
+    let mut seed = 0u64;
+    c.bench_function("mage_solve_one_problem", |b| {
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(solve_one_kernel(seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = run
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Table II: the cross-system comparison under the identical
+//! synthetic channel, then benches a one-run suite evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mage_bench::{mini_suite_kernel, BENCH_SEED};
+use mage_core::experiments::table2;
+use mage_core::tables::render_table2;
+
+fn run(c: &mut Criterion) {
+    // Table II evaluates every system at both temperatures; keep runs
+    // modest so the bench completes quickly.
+    let t = table2(3, BENCH_SEED);
+    println!("\n{}", render_table2(&t));
+
+    let mut seed = 0u64;
+    c.bench_function("suite_eval_low_one_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(mini_suite_kernel(seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = run
+}
+criterion_main!(benches);

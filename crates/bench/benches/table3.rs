@@ -1,0 +1,28 @@
+//! Regenerates Table III: the agent-distribution ablation (vanilla /
+//! single-agent / multi-agent) at the Low-Temperature setting on V2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mage_bench::{solve_one_kernel, BENCH_RUNS_LOW, BENCH_SEED};
+use mage_core::experiments::table3;
+use mage_core::tables::render_table3;
+
+fn run(c: &mut Criterion) {
+    let t = table3(BENCH_RUNS_LOW, BENCH_SEED);
+    println!("\n{}", render_table3(&t));
+    println!("Paper:  Vanilla 72.4 | Single-Agent 83.9 (+11.5) | Multi-Agent 93.6 (+21.2)\n");
+
+    let mut seed = 1000u64;
+    c.bench_function("mage_solve_one_problem_t3", |b| {
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(solve_one_kernel(seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = run
+}
+criterion_main!(benches);

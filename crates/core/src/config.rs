@@ -1,0 +1,121 @@
+//! Engine configuration.
+
+use mage_llm::SamplingParams;
+
+/// Which system protocol to run — the paper's ablation axis (Table III)
+/// plus the AIVRIL-style two-agent baseline of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// One-pass generation, no testbench, no debugging (Table III (a)).
+    Vanilla,
+    /// The full MAGE workflow but every task shares ONE conversation
+    /// history (Table III (b)).
+    SingleAgent,
+    /// AIVRIL-style split: a generation context (RTL + testbench) and a
+    /// review context (judge + debug), with pass-rate-only feedback.
+    TwoAgent,
+    /// The full MAGE system: four isolated agents, checkpoint feedback
+    /// (Table III (c)).
+    Mage,
+}
+
+impl SystemKind {
+    /// Display name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Vanilla => "Vanilla LLM",
+            SystemKind::SingleAgent => "Single-Agent",
+            SystemKind::TwoAgent => "Two-Agent (AIVRIL-style)",
+            SystemKind::Mage => "MAGE (Multi-Agent)",
+        }
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Engine parameters, defaulting to the paper's configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MageConfig {
+    /// Which protocol to run.
+    pub system: SystemKind,
+    /// Sampling parameters for every model call.
+    pub sampling: SamplingParams,
+    /// Candidates sampled in Step 4 (`c` in Eq. 1; the paper's Fig. 1
+    /// illustrates c = 4).
+    pub candidates: usize,
+    /// Top-K candidates kept for debugging (Eq. 3).
+    pub top_k: usize,
+    /// Debug rounds in Step 5 (iteration limit of Eq. 4).
+    pub max_debug_rounds: usize,
+    /// Syntax-repair iterations per generation (`s = 5` in §III-A).
+    pub syntax_retries: usize,
+    /// Checkpoint window length `L_W` (Eq. 6).
+    pub window_lw: usize,
+    /// Maximum testbench regenerations after judge rejections (Step 3).
+    pub tb_regen_limit: usize,
+}
+
+impl MageConfig {
+    /// The paper's High-Temperature configuration.
+    pub fn high_temperature() -> Self {
+        MageConfig {
+            sampling: SamplingParams::high(),
+            ..Self::default()
+        }
+    }
+
+    /// The paper's Low-Temperature configuration.
+    pub fn low_temperature() -> Self {
+        MageConfig {
+            sampling: SamplingParams::low(),
+            ..Self::default()
+        }
+    }
+
+    /// Same config with a different system protocol.
+    pub fn with_system(mut self, system: SystemKind) -> Self {
+        self.system = system;
+        self
+    }
+}
+
+impl Default for MageConfig {
+    fn default() -> Self {
+        MageConfig {
+            system: SystemKind::Mage,
+            sampling: SamplingParams::high(),
+            candidates: 4,
+            top_k: 3,
+            max_debug_rounds: 5,
+            syntax_retries: 5,
+            window_lw: 5,
+            tb_regen_limit: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MageConfig::default();
+        assert_eq!(c.syntax_retries, 5, "s = 5 per §III-A");
+        assert_eq!(c.window_lw, 5);
+        assert_eq!(c.candidates, 4, "c = 4 per Fig. 1");
+        assert_eq!(c.system, SystemKind::Mage);
+        assert_eq!(MageConfig::high_temperature().sampling.temperature, 0.85);
+        assert_eq!(MageConfig::low_temperature().sampling.temperature, 0.0);
+    }
+
+    #[test]
+    fn with_system_rebinds() {
+        let c = MageConfig::default().with_system(SystemKind::Vanilla);
+        assert_eq!(c.system, SystemKind::Vanilla);
+    }
+}

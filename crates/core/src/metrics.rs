@@ -1,0 +1,150 @@
+//! Evaluation metrics: the unbiased pass@k estimator (Eq. 7) and small
+//! distribution helpers used by the figure harnesses.
+
+/// The unbiased pass@k estimator of Eq. 7:
+/// `pass@k = 1 − C(n−c, k) / C(n, k)` for one problem with `c` passing
+/// runs out of `n`; the suite metric is the mean over problems.
+///
+/// # Panics
+///
+/// Panics when `k > n` or `c > n` — an evaluation-harness bug.
+pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+    assert!(k <= n, "pass@k needs k <= n");
+    assert!(c <= n, "c <= n");
+    if n == 0 {
+        return 0.0;
+    }
+    if c == 0 {
+        return 0.0;
+    }
+    if n - c < k {
+        return 1.0;
+    }
+    // 1 - prod_{i=0}^{k-1} (n-c-i)/(n-i), the numerically stable form.
+    let mut prod = 1.0f64;
+    for i in 0..k {
+        prod *= (n - c - i) as f64 / (n - i) as f64;
+    }
+    1.0 - prod
+}
+
+/// Mean of a slice (0.0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0.0 for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Quantile by linear interpolation on a sorted copy (`q` in `[0, 1]`).
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s: Vec<f64> = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metrics"));
+    let pos = q.clamp(0.0, 1.0) * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        s[lo] + (pos - lo as f64) * (s[hi] - s[lo])
+    }
+}
+
+/// A five-number summary used when printing figure data as text.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    pub fn of(xs: &[f64]) -> Summary {
+        Summary {
+            min: quantile(xs, 0.0),
+            q1: quantile(xs, 0.25),
+            median: quantile(xs, 0.5),
+            q3: quantile(xs, 0.75),
+            max: quantile(xs, 1.0),
+            mean: mean(xs),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:.3} | q1 {:.3} | med {:.3} | q3 {:.3} | max {:.3} | mean {:.3}",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_at_1_is_fraction_of_passing_runs() {
+        assert!((pass_at_k(20, 10, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(pass_at_k(20, 0, 1), 0.0);
+        assert_eq!(pass_at_k(20, 20, 1), 1.0);
+        assert_eq!(pass_at_k(1, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn pass_at_k_matches_combinatorics() {
+        // n=5, c=2, k=3: 1 - C(3,3)/C(5,3) = 1 - 1/10.
+        assert!((pass_at_k(5, 2, 3) - 0.9).abs() < 1e-12);
+        // If fewer than k failures exist, guaranteed pass.
+        assert_eq!(pass_at_k(5, 3, 3), 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let xs = [0.2, 0.4, 0.9, 1.0, 0.7];
+        let s = Summary::of(&xs);
+        assert_eq!(s.min, 0.2);
+        assert_eq!(s.max, 1.0);
+        assert!((s.mean - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+}

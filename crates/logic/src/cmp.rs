@@ -1,0 +1,192 @@
+//! Relational and equality operators on [`LogicVec`].
+
+use crate::{LogicBit, LogicVec};
+use std::cmp::Ordering;
+
+impl LogicVec {
+    /// Verilog logical equality `==`.
+    ///
+    /// Returns `0` if any pair of *defined* bits differs, `X` if the defined
+    /// bits agree but either side has unknowns, `1` when fully defined and
+    /// equal. Operands are zero-extended to equal widths first.
+    pub fn logic_eq(&self, rhs: &LogicVec) -> LogicBit {
+        let w = self.width().max(rhs.width());
+        let (a, b) = (self.resized(w), rhs.resized(w));
+        let mut unknown = false;
+        for i in 0..a.aval().len() {
+            let defined = !a.bval()[i] & !b.bval()[i];
+            if (a.aval()[i] ^ b.aval()[i]) & defined != 0 {
+                return LogicBit::Zero;
+            }
+            if (a.bval()[i] | b.bval()[i]) != 0 {
+                unknown = true;
+            }
+        }
+        if unknown {
+            LogicBit::X
+        } else {
+            LogicBit::One
+        }
+    }
+
+    /// Verilog logical inequality `!=`.
+    pub fn logic_neq(&self, rhs: &LogicVec) -> LogicBit {
+        self.logic_eq(rhs).not()
+    }
+
+    /// Verilog case equality `===`: exact four-state match (a plain `bool`).
+    ///
+    /// Operands are zero-extended to equal widths first, so
+    /// `2'b01 === 4'b0001`.
+    pub fn case_eq(&self, rhs: &LogicVec) -> bool {
+        let w = self.width().max(rhs.width());
+        self.resized(w) == rhs.resized(w)
+    }
+
+    /// Unsigned comparison used by `<`, `<=`, `>`, `>=`.
+    ///
+    /// `None` when either operand has unknown bits (the operator result is
+    /// then `X`).
+    pub fn compare_unsigned(&self, rhs: &LogicVec) -> Option<Ordering> {
+        if self.has_unknown() || rhs.has_unknown() {
+            return None;
+        }
+        let w = self.width().max(rhs.width());
+        let (a, b) = (self.resized(w), rhs.resized(w));
+        for i in (0..a.aval().len()).rev() {
+            match a.aval()[i].cmp(&b.aval()[i]) {
+                Ordering::Equal => continue,
+                other => return Some(other),
+            }
+        }
+        Some(Ordering::Equal)
+    }
+
+    /// Verilog `<`.
+    pub fn lt(&self, rhs: &LogicVec) -> LogicBit {
+        match self.compare_unsigned(rhs) {
+            Some(o) => LogicBit::from(o == Ordering::Less),
+            None => LogicBit::X,
+        }
+    }
+
+    /// Verilog `<=` (relational, not assignment).
+    pub fn le(&self, rhs: &LogicVec) -> LogicBit {
+        match self.compare_unsigned(rhs) {
+            Some(o) => LogicBit::from(o != Ordering::Greater),
+            None => LogicBit::X,
+        }
+    }
+
+    /// Verilog `>`.
+    pub fn gt(&self, rhs: &LogicVec) -> LogicBit {
+        match self.compare_unsigned(rhs) {
+            Some(o) => LogicBit::from(o == Ordering::Greater),
+            None => LogicBit::X,
+        }
+    }
+
+    /// Verilog `>=`.
+    pub fn ge(&self, rhs: &LogicVec) -> LogicBit {
+        match self.compare_unsigned(rhs) {
+            Some(o) => LogicBit::from(o != Ordering::Less),
+            None => LogicBit::X,
+        }
+    }
+
+    /// `casez` pattern match: `Z`/`?` bits in `pattern` are wildcards.
+    ///
+    /// `X` bits in the selector that meet non-wildcard pattern bits make the
+    /// match fail (conservative, like simulation of a fully-driven selector).
+    pub fn matches_casez(&self, pattern: &LogicVec) -> bool {
+        let w = self.width().max(pattern.width());
+        let (a, p) = (self.resized(w), pattern.resized(w));
+        for i in 0..w {
+            let pb = p.bit(i);
+            if pb == LogicBit::Z {
+                continue; // wildcard
+            }
+            if a.bit(i) != pb {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(width: usize, val: u64) -> LogicVec {
+        LogicVec::from_u64(width, val)
+    }
+
+    #[test]
+    fn logic_eq_defined() {
+        assert_eq!(v(4, 5).logic_eq(&v(4, 5)), LogicBit::One);
+        assert_eq!(v(4, 5).logic_eq(&v(4, 6)), LogicBit::Zero);
+        assert_eq!(v(4, 5).logic_neq(&v(4, 6)), LogicBit::One);
+    }
+
+    #[test]
+    fn logic_eq_width_extension() {
+        assert_eq!(v(2, 1).logic_eq(&v(8, 1)), LogicBit::One);
+        assert_eq!(v(2, 1).logic_eq(&v(8, 5)), LogicBit::Zero);
+    }
+
+    #[test]
+    fn logic_eq_unknowns() {
+        let mut a = v(4, 0b0101);
+        a.set_bit(3, LogicBit::X);
+        // Defined bits equal -> X.
+        let b = v(4, 0b0101);
+        assert_eq!(a.logic_eq(&b), LogicBit::X);
+        // Defined bits differ -> definite 0 even with X present.
+        let c = v(4, 0b0110);
+        assert_eq!(a.logic_eq(&c), LogicBit::Zero);
+    }
+
+    #[test]
+    fn case_eq_exact() {
+        let mut a = v(4, 0b0101);
+        a.set_bit(3, LogicBit::X);
+        let mut b = v(4, 0b0101);
+        assert!(!a.case_eq(&b));
+        b.set_bit(3, LogicBit::X);
+        assert!(a.case_eq(&b));
+        assert!(v(2, 1).case_eq(&v(4, 1)));
+    }
+
+    #[test]
+    fn relational_defined() {
+        assert_eq!(v(8, 3).lt(&v(8, 5)), LogicBit::One);
+        assert_eq!(v(8, 5).lt(&v(8, 3)), LogicBit::Zero);
+        assert_eq!(v(8, 5).le(&v(8, 5)), LogicBit::One);
+        assert_eq!(v(8, 5).gt(&v(8, 3)), LogicBit::One);
+        assert_eq!(v(8, 5).ge(&v(8, 6)), LogicBit::Zero);
+    }
+
+    #[test]
+    fn relational_wide() {
+        let big = LogicVec::from_u128(100, 1u128 << 70);
+        let small = LogicVec::from_u64(100, u64::MAX);
+        assert_eq!(big.gt(&small), LogicBit::One);
+        assert_eq!(small.lt(&big), LogicBit::One);
+    }
+
+    #[test]
+    fn relational_unknown_is_x() {
+        assert_eq!(v(4, 3).lt(&LogicVec::all_x(4)), LogicBit::X);
+        assert_eq!(LogicVec::all_x(4).ge(&v(4, 3)), LogicBit::X);
+    }
+
+    #[test]
+    fn casez_wildcards() {
+        let sel = v(4, 0b0100);
+        let pat = LogicVec::from_binary_str("01??").unwrap();
+        assert!(sel.matches_casez(&pat));
+        assert!(v(4, 0b0111).matches_casez(&pat));
+        assert!(!v(4, 0b1100).matches_casez(&pat));
+    }
+}

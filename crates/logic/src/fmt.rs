@@ -1,0 +1,108 @@
+//! Formatting impls for [`LogicVec`].
+
+use crate::LogicVec;
+use std::fmt;
+
+impl fmt::Display for LogicVec {
+    /// Verilog-style sized binary literal, e.g. `4'b10x1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b{}", self.width(), self.to_binary_string())
+    }
+}
+
+impl fmt::Binary for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&self.to_binary_string())
+    }
+}
+
+impl fmt::LowerHex for LogicVec {
+    /// Hex rendering; nibbles containing any unknown bit render as `x`
+    /// (fully-`z` nibbles render as `z`), the way `$display("%h", …)` does.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&hex_string(self, false))
+    }
+}
+
+impl fmt::UpperHex for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&hex_string(self, true))
+    }
+}
+
+fn hex_string(v: &LogicVec, upper: bool) -> String {
+    use crate::LogicBit;
+    let nibbles = v.width().div_ceil(4);
+    let mut out = String::with_capacity(nibbles);
+    for n in (0..nibbles).rev() {
+        let mut val = 0u8;
+        let mut any_unknown = false;
+        let mut all_z = true;
+        for k in 0..4 {
+            let i = n * 4 + k;
+            let bit = v.get(i).unwrap_or(LogicBit::Zero);
+            match bit {
+                LogicBit::One => {
+                    val |= 1 << k;
+                    all_z = false;
+                }
+                LogicBit::Zero => all_z = false,
+                LogicBit::X => {
+                    any_unknown = true;
+                    all_z = false;
+                }
+                LogicBit::Z => any_unknown = true,
+            }
+        }
+        let c = if any_unknown {
+            if all_z {
+                'z'
+            } else {
+                'x'
+            }
+        } else {
+            std::char::from_digit(val as u32, 16).expect("nibble in range")
+        };
+        out.push(if upper { c.to_ascii_uppercase() } else { c });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LogicBit, LogicVec};
+
+    #[test]
+    fn display_is_verilog_literal() {
+        let v = LogicVec::from_u64(4, 0b1010);
+        assert_eq!(format!("{v}"), "4'b1010");
+    }
+
+    #[test]
+    fn hex_formatting() {
+        let v = LogicVec::from_u64(12, 0xABC);
+        assert_eq!(format!("{v:x}"), "abc");
+        assert_eq!(format!("{v:X}"), "ABC");
+    }
+
+    #[test]
+    fn hex_with_unknown_nibbles() {
+        let mut v = LogicVec::from_u64(8, 0xF0);
+        v.set_bit(1, LogicBit::X);
+        assert_eq!(format!("{v:x}"), "fx");
+        let z = LogicVec::all_z(8);
+        assert_eq!(format!("{z:x}"), "zz");
+    }
+
+    #[test]
+    fn hex_partial_top_nibble() {
+        let v = LogicVec::from_u64(6, 0x2A);
+        assert_eq!(format!("{v:x}"), "2a");
+    }
+
+    #[test]
+    fn binary_formatting() {
+        let v = LogicVec::from_binary_str("1x0z").unwrap();
+        assert_eq!(format!("{v:b}"), "1x0z");
+    }
+}

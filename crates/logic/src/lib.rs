@@ -1,0 +1,70 @@
+//! Four-state logic values for Verilog simulation.
+//!
+//! This crate implements the value substrate of the MAGE reproduction: the
+//! IEEE-1364 four-state logic domain (`0`, `1`, `X`, `Z`) over
+//! arbitrary-width bit vectors, together with every operator the
+//! synthesizable subset in [`mage-verilog`] can produce.
+//!
+//! The central type is [`LogicVec`], an arbitrary-width vector stored in the
+//! classic *aval/bval* two-plane encoding (the same encoding the VPI uses):
+//! for each bit, `(aval, bval)` decodes as `(0,0) = 0`, `(1,0) = 1`,
+//! `(0,1) = Z`, `(1,1) = X`. This makes bitwise operators word-parallel and
+//! keeps X-propagation cheap.
+//!
+//! # Semantics
+//!
+//! * Bitwise operators follow the Verilog truth tables (`0 & X = 0`,
+//!   `1 | X = 1`, `X ^ v = X`, …); `Z` inputs behave as `X`.
+//! * Arithmetic (`+ - * / %`), shifts by an unknown amount, and relational
+//!   operators produce all-`X` results when any operand bit is unknown,
+//!   matching event-driven simulators such as Icarus Verilog.
+//! * Logical equality `==` returns `0` when any *defined* bits differ, `X`
+//!   when the defined bits agree but unknowns remain, `1` otherwise.
+//! * All arithmetic is **unsigned**; the MAGE benchmark subset does not use
+//!   signed declarations (documented deviation, see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use mage_logic::{LogicVec, LogicBit};
+//!
+//! let a = LogicVec::from_u64(8, 0x0F);
+//! let b = LogicVec::from_u64(8, 0x01);
+//! let sum = a.add(&b);
+//! assert_eq!(sum.to_u64(), Some(0x10));
+//!
+//! let x = LogicVec::all_x(8);
+//! assert!(a.add(&x).is_all_x());
+//! assert_eq!(a.bit_and(&x).bit(4), LogicBit::Zero); // 0 & X = 0
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bit;
+mod cmp;
+mod fmt;
+mod literal;
+mod ops;
+mod truth;
+mod vec;
+
+pub use bit::LogicBit;
+pub use literal::{parse_literal, LiteralError, ParsedLiteral};
+pub use truth::Truth;
+pub use vec::LogicVec;
+
+/// Number of 64-bit words needed to store `width` bits.
+pub(crate) fn words_for(width: usize) -> usize {
+    width.div_ceil(64)
+}
+
+/// Mask selecting the valid bits of the top storage word for `width`.
+pub(crate) fn top_word_mask(width: usize) -> u64 {
+    let rem = width % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}

@@ -1,0 +1,254 @@
+//! Parsing of Verilog number literals into [`LogicVec`] values.
+
+use crate::{LogicBit, LogicVec};
+use std::error::Error;
+use std::fmt;
+
+/// Default width Verilog gives an unsized literal such as `42`.
+pub const UNSIZED_LITERAL_WIDTH: usize = 32;
+
+/// A parsed Verilog number literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedLiteral {
+    /// The literal's value at its declared (or default 32-bit) width.
+    pub value: LogicVec,
+    /// Whether the source spelled an explicit width (`8'hFF` vs `42`).
+    pub sized: bool,
+}
+
+/// Error produced by [`parse_literal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiteralError {
+    message: String,
+}
+
+impl LiteralError {
+    fn new(message: impl Into<String>) -> Self {
+        LiteralError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LiteralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid verilog literal: {}", self.message)
+    }
+}
+
+impl Error for LiteralError {}
+
+/// Parse a Verilog number literal.
+///
+/// Supported forms (underscores allowed everywhere digits are):
+///
+/// * unsized decimal: `42` (32 bits)
+/// * sized binary/octal/decimal/hex: `4'b10x0`, `6'o77`, `12'd95`, `8'hFF`
+/// * unsized based: `'b101`, `'hFF` (32 bits)
+/// * `x`/`z` digits in binary, octal and hex bases (`8'hxz` etc.)
+///
+/// # Errors
+///
+/// Returns [`LiteralError`] on malformed input, zero width, or digits
+/// invalid for the base.
+///
+/// # Example
+///
+/// ```
+/// use mage_logic::parse_literal;
+///
+/// let lit = parse_literal("8'hA5")?;
+/// assert_eq!(lit.value.width(), 8);
+/// assert_eq!(lit.value.to_u64(), Some(0xA5));
+/// assert!(lit.sized);
+/// # Ok::<(), mage_logic::LiteralError>(())
+/// ```
+pub fn parse_literal(text: &str) -> Result<ParsedLiteral, LiteralError> {
+    let s: String = text.chars().filter(|&c| !c.is_whitespace()).collect();
+    if s.is_empty() {
+        return Err(LiteralError::new("empty literal"));
+    }
+    match s.find('\'') {
+        None => {
+            // Plain decimal, 32 bits.
+            let digits: String = s.chars().filter(|&c| c != '_').collect();
+            if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+                return Err(LiteralError::new(format!("bad decimal `{text}`")));
+            }
+            let v: u128 = digits
+                .parse()
+                .map_err(|_| LiteralError::new(format!("decimal overflow `{text}`")))?;
+            Ok(ParsedLiteral {
+                value: LogicVec::from_u128(UNSIZED_LITERAL_WIDTH, v),
+                sized: false,
+            })
+        }
+        Some(tick) => {
+            let (width_part, rest) = s.split_at(tick);
+            let rest = &rest[1..]; // drop the tick
+            let (sized, width) = if width_part.is_empty() {
+                (false, UNSIZED_LITERAL_WIDTH)
+            } else {
+                let w: usize = width_part
+                    .parse()
+                    .map_err(|_| LiteralError::new(format!("bad width in `{text}`")))?;
+                if w == 0 {
+                    return Err(LiteralError::new("zero-width literal"));
+                }
+                (true, w)
+            };
+            let mut chars = rest.chars();
+            let base = chars
+                .next()
+                .ok_or_else(|| LiteralError::new(format!("missing base in `{text}`")))?
+                .to_ascii_lowercase();
+            let digits: String = chars.filter(|&c| c != '_').collect();
+            if digits.is_empty() {
+                return Err(LiteralError::new(format!("missing digits in `{text}`")));
+            }
+            let bits_per = match base {
+                'b' => 1,
+                'o' => 3,
+                'h' => 4,
+                'd' => {
+                    let value = if digits.eq_ignore_ascii_case("x") {
+                        LogicVec::all_x(width)
+                    } else if digits.eq_ignore_ascii_case("z") {
+                        LogicVec::all_z(width)
+                    } else {
+                        if !digits.chars().all(|c| c.is_ascii_digit()) {
+                            return Err(LiteralError::new(format!("bad decimal `{text}`")));
+                        }
+                        let v: u128 = digits.parse().map_err(|_| {
+                            LiteralError::new(format!("decimal overflow `{text}`"))
+                        })?;
+                        LogicVec::from_u128(width, v)
+                    };
+                    return Ok(ParsedLiteral { value, sized });
+                }
+                _ => return Err(LiteralError::new(format!("bad base `{base}` in `{text}`"))),
+            };
+            // Build LSB-first bit list from the MSB-first digit string.
+            let mut bits: Vec<LogicBit> = Vec::with_capacity(digits.len() * bits_per);
+            for c in digits.chars().rev() {
+                let lc = c.to_ascii_lowercase();
+                if lc == 'x' || lc == 'z' || lc == '?' {
+                    let b = if lc == 'x' { LogicBit::X } else { LogicBit::Z };
+                    for _ in 0..bits_per {
+                        bits.push(b);
+                    }
+                } else {
+                    let d = c
+                        .to_digit(1 << bits_per)
+                        .ok_or_else(|| LiteralError::new(format!("bad digit `{c}` in `{text}`")))?;
+                    for k in 0..bits_per {
+                        bits.push(LogicBit::from((d >> k) & 1 == 1));
+                    }
+                }
+            }
+            // Resize to declared width: truncate or extend. Verilog extends
+            // with the top bit when it is X/Z, else with zeros.
+            let top = *bits.last().expect("non-empty digits");
+            let ext = if top.is_unknown() { top } else { LogicBit::Zero };
+            bits.resize(width.max(bits.len()), ext);
+            bits.truncate(width);
+            if bits.is_empty() {
+                return Err(LiteralError::new("zero-width literal"));
+            }
+            Ok(ParsedLiteral {
+                value: LogicVec::from_bits_lsb_first(bits),
+                sized,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_decimal_is_32_bits() {
+        let l = parse_literal("42").unwrap();
+        assert_eq!(l.value.width(), 32);
+        assert_eq!(l.value.to_u64(), Some(42));
+        assert!(!l.sized);
+    }
+
+    #[test]
+    fn sized_hex() {
+        let l = parse_literal("8'hA5").unwrap();
+        assert_eq!(l.value.width(), 8);
+        assert_eq!(l.value.to_u64(), Some(0xA5));
+        assert!(l.sized);
+    }
+
+    #[test]
+    fn sized_binary_with_x() {
+        let l = parse_literal("4'b1x0z").unwrap();
+        assert_eq!(l.value.bit(3), LogicBit::One);
+        assert_eq!(l.value.bit(2), LogicBit::X);
+        assert_eq!(l.value.bit(1), LogicBit::Zero);
+        assert_eq!(l.value.bit(0), LogicBit::Z);
+    }
+
+    #[test]
+    fn sized_decimal() {
+        let l = parse_literal("12'd95").unwrap();
+        assert_eq!(l.value.width(), 12);
+        assert_eq!(l.value.to_u64(), Some(95));
+    }
+
+    #[test]
+    fn octal() {
+        let l = parse_literal("6'o77").unwrap();
+        assert_eq!(l.value.to_u64(), Some(0o77));
+    }
+
+    #[test]
+    fn unsized_based() {
+        let l = parse_literal("'b101").unwrap();
+        assert_eq!(l.value.width(), 32);
+        assert_eq!(l.value.to_u64(), Some(5));
+        assert!(!l.sized);
+    }
+
+    #[test]
+    fn underscores_ignored() {
+        let l = parse_literal("16'b1010_1010_1010_1010").unwrap();
+        assert_eq!(l.value.to_u64(), Some(0xAAAA));
+    }
+
+    #[test]
+    fn width_truncates() {
+        let l = parse_literal("4'hFF").unwrap();
+        assert_eq!(l.value.to_u64(), Some(0xF));
+    }
+
+    #[test]
+    fn x_extension_to_declared_width() {
+        let l = parse_literal("8'bx").unwrap();
+        assert!(l.value.is_all_x());
+        let l = parse_literal("8'dx").unwrap();
+        assert!(l.value.is_all_x());
+        let l = parse_literal("8'hz").unwrap();
+        assert!(l.value.iter().all(|b| b == LogicBit::Z));
+    }
+
+    #[test]
+    fn zero_extension_to_declared_width() {
+        let l = parse_literal("8'b1").unwrap();
+        assert_eq!(l.value.to_u64(), Some(1));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_literal("").is_err());
+        assert!(parse_literal("8'q12").is_err());
+        assert!(parse_literal("8'b2").is_err());
+        assert!(parse_literal("0'b1").is_err());
+        assert!(parse_literal("abc").is_err());
+        assert!(parse_literal("8'").is_err());
+        assert!(parse_literal("8'h").is_err());
+    }
+}

@@ -1,0 +1,463 @@
+//! Bitwise, reduction, shift and arithmetic operators on [`LogicVec`].
+//!
+//! All binary operators first extend both operands to the larger of the two
+//! widths (zero-extension, unsigned semantics) and produce a result of that
+//! width, mirroring the context-determined width rule the MAGE subset uses.
+
+use crate::{LogicBit, LogicVec, Truth};
+
+impl LogicVec {
+    fn binary_widths(&self, rhs: &LogicVec) -> (LogicVec, LogicVec, usize) {
+        let w = self.width().max(rhs.width());
+        (self.resized(w), rhs.resized(w), w)
+    }
+
+    // ------------------------------------------------------------------
+    // Bitwise
+    // ------------------------------------------------------------------
+
+    /// Verilog bitwise `&` with per-bit X-propagation.
+    pub fn bit_and(&self, rhs: &LogicVec) -> LogicVec {
+        let (a, b, w) = self.binary_widths(rhs);
+        let (a, b) = (a.normalized(), b.normalized());
+        let mut out = LogicVec::new(w);
+        {
+            let n = out.aval().len();
+            let (oa, ob) = out.planes_mut();
+            for i in 0..n {
+                // Result is X where either side is X, unless the other side
+                // is a definite 0.
+                let zero_a = !a.aval()[i] & !a.bval()[i];
+                let zero_b = !b.aval()[i] & !b.bval()[i];
+                let any_x = a.bval()[i] | b.bval()[i];
+                let x = any_x & !zero_a & !zero_b;
+                let ones = (a.aval()[i] & !a.bval()[i]) & (b.aval()[i] & !b.bval()[i]);
+                oa[i] = ones | x;
+                ob[i] = x;
+            }
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Verilog bitwise `|` with per-bit X-propagation.
+    pub fn bit_or(&self, rhs: &LogicVec) -> LogicVec {
+        let (a, b, w) = self.binary_widths(rhs);
+        let (a, b) = (a.normalized(), b.normalized());
+        let mut out = LogicVec::new(w);
+        {
+            let n = out.aval().len();
+            let (oa, ob) = out.planes_mut();
+            for i in 0..n {
+                let one_a = a.aval()[i] & !a.bval()[i];
+                let one_b = b.aval()[i] & !b.bval()[i];
+                let any_x = a.bval()[i] | b.bval()[i];
+                let x = any_x & !one_a & !one_b;
+                oa[i] = one_a | one_b | x;
+                ob[i] = x;
+            }
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Verilog bitwise `^` with per-bit X-propagation.
+    pub fn bit_xor(&self, rhs: &LogicVec) -> LogicVec {
+        let (a, b, w) = self.binary_widths(rhs);
+        let (a, b) = (a.normalized(), b.normalized());
+        let mut out = LogicVec::new(w);
+        {
+            let n = out.aval().len();
+            let (oa, ob) = out.planes_mut();
+            for i in 0..n {
+                let x = a.bval()[i] | b.bval()[i];
+                oa[i] = (a.aval()[i] ^ b.aval()[i]) | x;
+                ob[i] = x;
+            }
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Verilog bitwise `~^`/`^~` (xnor).
+    pub fn bit_xnor(&self, rhs: &LogicVec) -> LogicVec {
+        self.bit_xor(rhs).bit_not()
+    }
+
+    /// Verilog bitwise `~` with per-bit X-propagation.
+    pub fn bit_not(&self) -> LogicVec {
+        let a = self.normalized();
+        let mut out = LogicVec::new(self.width());
+        {
+            let n = out.aval().len();
+            let (oa, ob) = out.planes_mut();
+            for i in 0..n {
+                let x = a.bval()[i];
+                oa[i] = (!a.aval()[i]) | x;
+                ob[i] = x;
+            }
+        }
+        out.mask_top();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Reduction `&`: `0` if any bit is `0`, `X` if otherwise unknown.
+    pub fn reduce_and(&self) -> LogicBit {
+        let mut acc = LogicBit::One;
+        for b in self.iter() {
+            acc = acc.and(b);
+        }
+        acc
+    }
+
+    /// Reduction `|`: `1` if any bit is `1`, `X` if otherwise unknown.
+    pub fn reduce_or(&self) -> LogicBit {
+        let mut acc = LogicBit::Zero;
+        for b in self.iter() {
+            acc = acc.or(b);
+        }
+        acc
+    }
+
+    /// Reduction `^`: parity, `X` if any bit unknown.
+    pub fn reduce_xor(&self) -> LogicBit {
+        let mut acc = LogicBit::Zero;
+        for b in self.iter() {
+            acc = acc.xor(b);
+        }
+        acc
+    }
+
+    /// Reduction `~&`.
+    pub fn reduce_nand(&self) -> LogicBit {
+        self.reduce_and().not()
+    }
+
+    /// Reduction `~|`.
+    pub fn reduce_nor(&self) -> LogicBit {
+        self.reduce_or().not()
+    }
+
+    /// Reduction `~^`.
+    pub fn reduce_xnor(&self) -> LogicBit {
+        self.reduce_xor().not()
+    }
+
+    // ------------------------------------------------------------------
+    // Shifts
+    // ------------------------------------------------------------------
+
+    /// Logical shift left by a constant amount; result keeps `self`'s width.
+    pub fn shl_const(&self, amount: usize) -> LogicVec {
+        let w = self.width();
+        let mut out = LogicVec::new(w);
+        if amount < w {
+            for i in 0..w - amount {
+                out.set_bit(i + amount, self.bit(i));
+            }
+        }
+        out
+    }
+
+    /// Logical shift right by a constant amount; result keeps `self`'s width.
+    pub fn shr_const(&self, amount: usize) -> LogicVec {
+        let w = self.width();
+        let mut out = LogicVec::new(w);
+        if amount < w {
+            for i in amount..w {
+                out.set_bit(i - amount, self.bit(i));
+            }
+        }
+        out
+    }
+
+    /// Verilog `<<` with a vector amount: all-`X` when the amount is unknown.
+    pub fn shl(&self, amount: &LogicVec) -> LogicVec {
+        match amount.to_u128() {
+            Some(n) => self.shl_const(n.min(self.width() as u128) as usize),
+            None => LogicVec::all_x(self.width()),
+        }
+    }
+
+    /// Verilog `>>` with a vector amount: all-`X` when the amount is unknown.
+    pub fn shr(&self, amount: &LogicVec) -> LogicVec {
+        match amount.to_u128() {
+            Some(n) => self.shr_const(n.min(self.width() as u128) as usize),
+            None => LogicVec::all_x(self.width()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic (unsigned, wrapping at the result width)
+    // ------------------------------------------------------------------
+
+    fn arith_binary(
+        &self,
+        rhs: &LogicVec,
+        f: impl Fn(&[u64], &[u64], &mut [u64]),
+    ) -> LogicVec {
+        let (a, b, w) = self.binary_widths(rhs);
+        if a.has_unknown() || b.has_unknown() {
+            return LogicVec::all_x(w);
+        }
+        let mut out = LogicVec::new(w);
+        {
+            let (oa, _) = out.planes_mut();
+            f(a.aval(), b.aval(), oa);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Verilog `+` (wrapping at the result width; all-`X` on unknown input).
+    pub fn add(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith_binary(rhs, |a, b, o| {
+            let mut carry = 0u64;
+            for i in 0..o.len() {
+                let (s1, c1) = a[i].overflowing_add(b[i]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                o[i] = s2;
+                carry = (c1 as u64) + (c2 as u64);
+            }
+        })
+    }
+
+    /// Verilog binary `-` (wrapping; all-`X` on unknown input).
+    pub fn sub(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith_binary(rhs, |a, b, o| {
+            let mut borrow = 0u64;
+            for i in 0..o.len() {
+                let (d1, b1) = a[i].overflowing_sub(b[i]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                o[i] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+        })
+    }
+
+    /// Verilog unary `-` (two's complement at `self`'s width).
+    pub fn neg(&self) -> LogicVec {
+        LogicVec::new(self.width()).sub(self)
+    }
+
+    /// Verilog `*` (wrapping at the result width; all-`X` on unknown input).
+    pub fn mul(&self, rhs: &LogicVec) -> LogicVec {
+        self.arith_binary(rhs, |a, b, o| {
+            // Schoolbook multiply, truncated to the result words.
+            for i in 0..a.len() {
+                let mut carry = 0u128;
+                for j in 0..b.len() {
+                    let k = i + j;
+                    if k >= o.len() {
+                        break;
+                    }
+                    let prod = (a[i] as u128) * (b[j] as u128) + (o[k] as u128) + carry;
+                    o[k] = prod as u64;
+                    carry = prod >> 64;
+                }
+            }
+        })
+    }
+
+    /// Verilog `/`: all-`X` on unknown input or division by zero.
+    pub fn div(&self, rhs: &LogicVec) -> LogicVec {
+        self.divmod(rhs).map(|(q, _)| q).unwrap_or_else(|| {
+            LogicVec::all_x(self.width().max(rhs.width()))
+        })
+    }
+
+    /// Verilog `%`: all-`X` on unknown input or division by zero.
+    pub fn rem(&self, rhs: &LogicVec) -> LogicVec {
+        self.divmod(rhs).map(|(_, r)| r).unwrap_or_else(|| {
+            LogicVec::all_x(self.width().max(rhs.width()))
+        })
+    }
+
+    /// Quotient and remainder when both operands are fully defined and the
+    /// divisor is non-zero. Values wider than 128 bits are not supported by
+    /// the benchmark subset and return `None` (the caller produces `X`).
+    fn divmod(&self, rhs: &LogicVec) -> Option<(LogicVec, LogicVec)> {
+        let w = self.width().max(rhs.width());
+        let a = self.to_u128()?;
+        let b = rhs.to_u128()?;
+        if b == 0 {
+            return None;
+        }
+        Some((
+            LogicVec::from_u128(w, a / b),
+            LogicVec::from_u128(w, a % b),
+        ))
+    }
+
+    /// Verilog `?:` with four-state select semantics.
+    ///
+    /// A definite select picks a branch; an unknown select merges the
+    /// branches bitwise — positions where both branches agree keep that
+    /// value, all other positions become `X` (IEEE-1364 §5.1.13).
+    pub fn mux(select: Truth, then_v: &LogicVec, else_v: &LogicVec) -> LogicVec {
+        let w = then_v.width().max(else_v.width());
+        match select {
+            Truth::True => then_v.resized(w),
+            Truth::False => else_v.resized(w),
+            Truth::Unknown => {
+                let t = then_v.resized(w);
+                let e = else_v.resized(w);
+                let mut out = LogicVec::new(w);
+                for i in 0..w {
+                    let (tb, eb) = (t.bit(i).normalized(), e.bit(i).normalized());
+                    out.set_bit(i, if tb == eb { tb } else { LogicBit::X });
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(width: usize, val: u64) -> LogicVec {
+        LogicVec::from_u64(width, val)
+    }
+
+    #[test]
+    fn bitwise_defined() {
+        assert_eq!(v(8, 0b1100).bit_and(&v(8, 0b1010)).to_u64(), Some(0b1000));
+        assert_eq!(v(8, 0b1100).bit_or(&v(8, 0b1010)).to_u64(), Some(0b1110));
+        assert_eq!(v(8, 0b1100).bit_xor(&v(8, 0b1010)).to_u64(), Some(0b0110));
+        assert_eq!(v(4, 0b1100).bit_not().to_u64(), Some(0b0011));
+        assert_eq!(
+            v(4, 0b1100).bit_xnor(&v(4, 0b1010)).to_u64(),
+            Some(0b1001)
+        );
+    }
+
+    #[test]
+    fn bitwise_x_masking() {
+        // 0 & X = 0 ; 1 & X = X
+        let mut x = LogicVec::new(2);
+        x.set_bit(0, LogicBit::X);
+        x.set_bit(1, LogicBit::X);
+        let a = v(2, 0b01);
+        let and = a.bit_and(&x);
+        assert_eq!(and.bit(0), LogicBit::X);
+        assert_eq!(and.bit(1), LogicBit::Zero);
+        // 1 | X = 1 ; 0 | X = X
+        let or = a.bit_or(&x);
+        assert_eq!(or.bit(0), LogicBit::One);
+        assert_eq!(or.bit(1), LogicBit::X);
+        // ^ always X
+        let xor = a.bit_xor(&x);
+        assert_eq!(xor.bit(0), LogicBit::X);
+        assert_eq!(xor.bit(1), LogicBit::X);
+    }
+
+    #[test]
+    fn z_behaves_as_x_in_ops() {
+        let z = LogicVec::all_z(2);
+        let a = v(2, 0b01);
+        assert_eq!(a.bit_and(&z).bit(1), LogicBit::Zero);
+        assert_eq!(a.bit_and(&z).bit(0), LogicBit::X);
+        assert_eq!(a.bit_not().bit(0), LogicBit::Zero);
+        assert_eq!(z.bit_not().bit(0), LogicBit::X);
+    }
+
+    #[test]
+    fn width_extension_on_binary_ops() {
+        let a = v(4, 0xF);
+        let b = v(8, 0xF0);
+        let or = a.bit_or(&b);
+        assert_eq!(or.width(), 8);
+        assert_eq!(or.to_u64(), Some(0xFF));
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(v(4, 0b1111).reduce_and(), LogicBit::One);
+        assert_eq!(v(4, 0b1110).reduce_and(), LogicBit::Zero);
+        assert_eq!(v(4, 0b0000).reduce_or(), LogicBit::Zero);
+        assert_eq!(v(4, 0b0100).reduce_or(), LogicBit::One);
+        assert_eq!(v(4, 0b0110).reduce_xor(), LogicBit::Zero);
+        assert_eq!(v(4, 0b0111).reduce_xor(), LogicBit::One);
+        assert_eq!(v(4, 0b1111).reduce_nand(), LogicBit::Zero);
+        assert_eq!(v(4, 0b0000).reduce_nor(), LogicBit::One);
+        assert_eq!(v(4, 0b0111).reduce_xnor(), LogicBit::Zero);
+    }
+
+    #[test]
+    fn reductions_with_x() {
+        let mut a = v(4, 0b0111);
+        a.set_bit(3, LogicBit::X);
+        // One 0? no zero bits are 0b0111 with X at [3]: bits are 1,1,1,X.
+        assert_eq!(a.reduce_and(), LogicBit::X);
+        assert_eq!(a.reduce_or(), LogicBit::One);
+        assert_eq!(a.reduce_xor(), LogicBit::X);
+        let mut b = v(4, 0b0110);
+        b.set_bit(3, LogicBit::X);
+        // A definite 0 dominates reduce_and.
+        assert_eq!(b.reduce_and(), LogicBit::Zero);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(v(8, 0b0101).shl_const(2).to_u64(), Some(0b010100));
+        assert_eq!(v(8, 0b0101).shr_const(1).to_u64(), Some(0b10));
+        assert_eq!(v(4, 0b1111).shl_const(4).to_u64(), Some(0));
+        assert_eq!(v(4, 0b1111).shl_const(64).to_u64(), Some(0));
+        let amt = v(3, 2);
+        assert_eq!(v(8, 1).shl(&amt).to_u64(), Some(4));
+        assert!(v(8, 1).shl(&LogicVec::all_x(2)).is_all_x());
+    }
+
+    #[test]
+    fn add_sub_basic() {
+        assert_eq!(v(8, 200).add(&v(8, 100)).to_u64(), Some(44)); // wraps
+        assert_eq!(v(8, 5).sub(&v(8, 10)).to_u64(), Some(251)); // wraps
+        assert_eq!(v(8, 5).neg().to_u64(), Some(251));
+    }
+
+    #[test]
+    fn add_carry_across_words() {
+        let a = LogicVec::from_u128(80, (1u128 << 64) - 1);
+        let one = LogicVec::from_u64(80, 1);
+        assert_eq!(a.add(&one).to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn mul_div_rem() {
+        assert_eq!(v(8, 12).mul(&v(8, 12)).to_u64(), Some(144));
+        assert_eq!(v(8, 255).mul(&v(8, 2)).to_u64(), Some(254)); // wraps
+        assert_eq!(v(8, 47).div(&v(8, 5)).to_u64(), Some(9));
+        assert_eq!(v(8, 47).rem(&v(8, 5)).to_u64(), Some(2));
+        assert!(v(8, 47).div(&v(8, 0)).is_all_x());
+        assert!(v(8, 47).rem(&v(8, 0)).is_all_x());
+    }
+
+    #[test]
+    fn arithmetic_x_poisons() {
+        let x = LogicVec::all_x(8);
+        assert!(v(8, 1).add(&x).is_all_x());
+        assert!(x.sub(&v(8, 1)).is_all_x());
+        assert!(v(8, 3).mul(&x).is_all_x());
+    }
+
+    #[test]
+    fn mux_select() {
+        let a = v(4, 0b1010);
+        let b = v(4, 0b0110);
+        assert_eq!(LogicVec::mux(Truth::True, &a, &b).to_u64(), Some(0b1010));
+        assert_eq!(LogicVec::mux(Truth::False, &a, &b).to_u64(), Some(0b0110));
+        let m = LogicVec::mux(Truth::Unknown, &a, &b);
+        // agree on bit1 (1) and bit3/bit0? a=1010, b=0110: bit0 0==0 -> 0,
+        // bit1 1==1 -> 1, bit2 0!=1 -> X, bit3 1!=0 -> X.
+        assert_eq!(m.bit(0), LogicBit::Zero);
+        assert_eq!(m.bit(1), LogicBit::One);
+        assert_eq!(m.bit(2), LogicBit::X);
+        assert_eq!(m.bit(3), LogicBit::X);
+    }
+}

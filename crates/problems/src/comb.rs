@@ -1,0 +1,605 @@
+//! Combinational benchmark problems: gates, muxes, code converters,
+//! arithmetic, and Karnaugh-map specifications.
+
+use crate::problem::{Category, Problem, StimSpec};
+
+/// All combinational problems.
+pub(crate) static PROBLEMS: &[Problem] = &[
+    // ------------------------------------------------------------------
+    // Gates & boolean expressions
+    // ------------------------------------------------------------------
+    Problem {
+        id: "prob001_and2",
+        category: Category::CombGate,
+        difficulty: 0.25,
+        top: "top_module",
+        spec: "Implement a 2-input AND gate. Module `top_module` has inputs `a` and `b` and output `y`, where `y = a AND b`.",
+        golden: "module top_module(input a, input b, output y);
+  assign y = a & b;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob002_nor2",
+        category: Category::CombGate,
+        difficulty: 0.3,
+        top: "top_module",
+        spec: "Implement a 2-input NOR gate: output `y` is the inverted OR of inputs `a` and `b`.",
+        golden: "module top_module(input a, input b, output y);
+  assign y = ~(a | b);
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob003_xnor2",
+        category: Category::CombGate,
+        difficulty: 0.3,
+        top: "top_module",
+        spec: "Implement a 2-input XNOR gate: output `y` is 1 exactly when inputs `a` and `b` are equal.",
+        golden: "module top_module(input a, input b, output y);
+  assign y = ~(a ^ b);
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob004_vector_not",
+        category: Category::CombGate,
+        difficulty: 0.35,
+        top: "top_module",
+        spec: "Given a 4-bit input vector `in`, produce its bitwise complement on the 4-bit output `out_n`.",
+        golden: "module top_module(input [3:0] in, output [3:0] out_n);
+  assign out_n = ~in;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob005_gates3",
+        category: Category::CombGate,
+        difficulty: 0.45,
+        top: "top_module",
+        spec: "Given inputs `a` and `b`, drive three outputs: `out_and = a AND b`, `out_or = a OR b`, and `out_xor = a XOR b`.",
+        golden: "module top_module(input a, input b, output out_and, output out_or, output out_xor);
+  assign out_and = a & b;
+  assign out_or = a | b;
+  assign out_xor = a ^ b;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob006_wire_chain",
+        category: Category::CombGate,
+        difficulty: 0.6,
+        top: "top_module",
+        spec: "Implement the two-level network: internal wire `w = a AND b`, wire `x = w OR c`, and output `y = x XOR d`.",
+        golden: "module top_module(input a, input b, input c, input d, output y);
+  wire w, x;
+  assign w = a & b;
+  assign x = w | c;
+  assign y = x ^ d;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob007_aoi22",
+        category: Category::CombGate,
+        difficulty: 0.55,
+        top: "top_module",
+        spec: "Implement an AND-OR network: output `y = (a AND b) OR (c AND d).`",
+        golden: "module top_module(input a, input b, input c, input d, output y);
+  assign y = (a & b) | (c & d);
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob008_majority3",
+        category: Category::CombGate,
+        difficulty: 0.7,
+        top: "top_module",
+        spec: "Implement a 3-input majority function: output `y` is 1 when at least two of the inputs `a`, `b`, `c` are 1.",
+        golden: "module top_module(input a, input b, input c, output y);
+  assign y = (a & b) | (b & c) | (a & c);
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob009_reductions",
+        category: Category::CombGate,
+        difficulty: 0.8,
+        top: "top_module",
+        spec: "Given an 8-bit input `in`, compute three outputs: `all_ones` (reduction AND), `any_one` (reduction OR), and `parity` (reduction XOR).",
+        golden: "module top_module(input [7:0] in, output all_ones, output any_one, output parity);
+  assign all_ones = &in;
+  assign any_one = |in;
+  assign parity = ^in;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    // ------------------------------------------------------------------
+    // Multiplexers
+    // ------------------------------------------------------------------
+    Problem {
+        id: "prob010_mux2",
+        category: Category::CombMux,
+        difficulty: 0.4,
+        top: "top_module",
+        spec: "Implement a one-bit 2-to-1 multiplexer: output `y` equals `b` when `sel` is 1 and `a` otherwise.",
+        golden: "module top_module(input a, input b, input sel, output y);
+  assign y = sel ? b : a;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob011_mux2_byte",
+        category: Category::CombMux,
+        difficulty: 0.55,
+        top: "top_module",
+        spec: "Implement an 8-bit wide 2-to-1 multiplexer selecting between byte inputs `a` and `b` with select `sel`.",
+        golden: "module top_module(input [7:0] a, input [7:0] b, input sel, output [7:0] y);
+  assign y = sel ? b : a;
+endmodule",
+        stim: StimSpec::RandomComb { vectors: 128 },
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob012_mux4_case",
+        category: Category::CombMux,
+        difficulty: 0.9,
+        top: "top_module",
+        spec: "Implement a 4-to-1 multiplexer with 4-bit data inputs `a`, `b`, `c`, `d`, a 2-bit select `sel`, and 4-bit output `y`, using a case statement.",
+        golden: "module top_module(input [3:0] a, input [3:0] b, input [3:0] c, input [3:0] d, input [1:0] sel, output reg [3:0] y);
+  always @(*) begin
+    case (sel)
+      2'b00: y = a;
+      2'b01: y = b;
+      2'b10: y = c;
+      default: y = d;
+    endcase
+  end
+endmodule",
+        stim: StimSpec::RandomComb { vectors: 160 },
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob013_mux4_ternary",
+        category: Category::CombMux,
+        difficulty: 0.85,
+        top: "top_module",
+        spec: "Implement a one-bit 4-to-1 multiplexer from inputs `a`, `b`, `c`, `d` using nested conditional operators on the 2-bit select `sel`.",
+        golden: "module top_module(input a, input b, input c, input d, input [1:0] sel, output y);
+  assign y = sel[1] ? (sel[0] ? d : c) : (sel[0] ? b : a);
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob014_demux4",
+        category: Category::CombMux,
+        difficulty: 0.95,
+        top: "top_module",
+        spec: "Implement a 1-to-4 demultiplexer: route input `d` to one of the four bits of output `y` chosen by the 2-bit select `sel`; all other bits are 0.",
+        golden: "module top_module(input d, input [1:0] sel, output reg [3:0] y);
+  always @(*) begin
+    y = 4'b0000;
+    y[sel] = d;
+  end
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: false,
+        in_v2: true,
+    },
+    // ------------------------------------------------------------------
+    // Decoders / encoders / code converters
+    // ------------------------------------------------------------------
+    Problem {
+        id: "prob015_dec2to4_en",
+        category: Category::CombCode,
+        difficulty: 0.8,
+        top: "top_module",
+        spec: "Implement a 2-to-4 decoder with enable: when `en` is 1 output bit `y[sel]` is 1 and the rest are 0; when `en` is 0 the output is all zeros.",
+        golden: "module top_module(input en, input [1:0] sel, output [3:0] y);
+  assign y = en ? (4'b0001 << sel) : 4'b0000;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob016_dec3to8",
+        category: Category::CombCode,
+        difficulty: 1.0,
+        top: "top_module",
+        spec: "Implement a 3-to-8 decoder: the 8-bit output `y` has exactly the bit indexed by the 3-bit input `sel` set.",
+        golden: "module top_module(input [2:0] sel, output reg [7:0] y);
+  always @(*) begin
+    case (sel)
+      3'd0: y = 8'b0000_0001;
+      3'd1: y = 8'b0000_0010;
+      3'd2: y = 8'b0000_0100;
+      3'd3: y = 8'b0000_1000;
+      3'd4: y = 8'b0001_0000;
+      3'd5: y = 8'b0010_0000;
+      3'd6: y = 8'b0100_0000;
+      default: y = 8'b1000_0000;
+    endcase
+  end
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob017_prienc4",
+        category: Category::CombCode,
+        difficulty: 1.3,
+        top: "top_module",
+        spec: "Implement a 4-bit priority encoder: output `pos` is the index of the highest set bit of `in`, and `valid` is 1 when any bit is set; `pos` is 0 when no bit is set.",
+        golden: "module top_module(input [3:0] in, output reg [1:0] pos, output valid);
+  always @(*) begin
+    casez (in)
+      4'b1???: pos = 2'd3;
+      4'b01??: pos = 2'd2;
+      4'b001?: pos = 2'd1;
+      default: pos = 2'd0;
+    endcase
+  end
+  assign valid = |in;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob018_bin2gray",
+        category: Category::CombCode,
+        difficulty: 0.7,
+        top: "top_module",
+        spec: "Convert a 4-bit binary input `bin` to its Gray-code representation `gray` (gray = bin XOR (bin >> 1)).",
+        golden: "module top_module(input [3:0] bin, output [3:0] gray);
+  assign gray = bin ^ (bin >> 1);
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob019_sevenseg",
+        category: Category::CombCode,
+        difficulty: 7.0,
+        top: "top_module",
+        spec: "Implement a hexadecimal seven-segment decoder: the 4-bit input `hex` selects the active-high segment pattern `seg[6:0]` (gfedcba order) for digits 0-F.",
+        golden: "module top_module(input [3:0] hex, output reg [6:0] seg);
+  always @(*) begin
+    case (hex)
+      4'h0: seg = 7'b0111111;
+      4'h1: seg = 7'b0000110;
+      4'h2: seg = 7'b1011011;
+      4'h3: seg = 7'b1001111;
+      4'h4: seg = 7'b1100110;
+      4'h5: seg = 7'b1101101;
+      4'h6: seg = 7'b1111101;
+      4'h7: seg = 7'b0000111;
+      4'h8: seg = 7'b1111111;
+      4'h9: seg = 7'b1101111;
+      4'hA: seg = 7'b1110111;
+      4'hB: seg = 7'b1111100;
+      4'hC: seg = 7'b0111001;
+      4'hD: seg = 7'b1011110;
+      4'hE: seg = 7'b1111001;
+      default: seg = 7'b1110001;
+    endcase
+  end
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob020_split_bytes",
+        category: Category::CombCode,
+        difficulty: 0.6,
+        top: "top_module",
+        spec: "Split the 16-bit input `in` into its upper byte `hi` and lower byte `lo`, and also produce `swapped`, the 16-bit value with the two bytes exchanged.",
+        golden: "module top_module(input [15:0] in, output [7:0] hi, output [7:0] lo, output [15:0] swapped);
+  assign hi = in[15:8];
+  assign lo = in[7:0];
+  assign swapped = {in[7:0], in[15:8]};
+endmodule",
+        stim: StimSpec::RandomComb { vectors: 128 },
+        in_v1: false,
+        in_v2: true,
+    },
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+    Problem {
+        id: "prob021_halfadd",
+        category: Category::CombArith,
+        difficulty: 0.5,
+        top: "top_module",
+        spec: "Implement a half adder: sum `s` and carry `c` of one-bit inputs `a` and `b`.",
+        golden: "module top_module(input a, input b, output s, output c);
+  assign s = a ^ b;
+  assign c = a & b;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob022_fulladd",
+        category: Category::CombArith,
+        difficulty: 0.65,
+        top: "top_module",
+        spec: "Implement a full adder: sum `s` and carry-out `cout` of one-bit inputs `a`, `b` and carry-in `cin`.",
+        golden: "module top_module(input a, input b, input cin, output s, output cout);
+  assign s = a ^ b ^ cin;
+  assign cout = (a & b) | (cin & (a ^ b));
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob023_add8",
+        category: Category::CombArith,
+        difficulty: 0.9,
+        top: "top_module",
+        spec: "Implement an 8-bit adder with carry-in and carry-out: `{cout, sum} = a + b + cin`.",
+        golden: "module top_module(input [7:0] a, input [7:0] b, input cin, output [7:0] sum, output cout);
+  assign {cout, sum} = a + b + cin;
+endmodule",
+        stim: StimSpec::RandomComb { vectors: 192 },
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob024_sub4",
+        category: Category::CombArith,
+        difficulty: 1.0,
+        top: "top_module",
+        spec: "Implement a 4-bit subtractor: `diff = a - b` (modulo 16) and `borrow` is 1 when `a < b`.",
+        golden: "module top_module(input [3:0] a, input [3:0] b, output [3:0] diff, output borrow);
+  assign diff = a - b;
+  assign borrow = a < b;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob025_addsub4",
+        category: Category::CombArith,
+        difficulty: 1.2,
+        top: "top_module",
+        spec: "Implement a 4-bit adder/subtractor: when `mode` is 0 compute `a + b`, when `mode` is 1 compute `a - b`; result on the 4-bit output `r`.",
+        golden: "module top_module(input [3:0] a, input [3:0] b, input mode, output [3:0] r);
+  assign r = mode ? a - b : a + b;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob026_cmp4",
+        category: Category::CombArith,
+        difficulty: 0.9,
+        top: "top_module",
+        spec: "Implement a 4-bit unsigned comparator producing `eq` (a == b), `lt` (a < b) and `gt` (a > b).",
+        golden: "module top_module(input [3:0] a, input [3:0] b, output eq, output lt, output gt);
+  assign eq = a == b;
+  assign lt = a < b;
+  assign gt = a > b;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob027_minmax4",
+        category: Category::CombArith,
+        difficulty: 1.0,
+        top: "top_module",
+        spec: "Given 4-bit unsigned inputs `a` and `b`, output `min` and `max` of the two values.",
+        golden: "module top_module(input [3:0] a, input [3:0] b, output [3:0] min, output [3:0] max);
+  assign min = a < b ? a : b;
+  assign max = a < b ? b : a;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob028_absdiff",
+        category: Category::CombArith,
+        difficulty: 1.0,
+        top: "top_module",
+        spec: "Compute the absolute difference of two 4-bit unsigned inputs: `y = |a - b|`.",
+        golden: "module top_module(input [3:0] a, input [3:0] b, output [3:0] y);
+  assign y = a > b ? a - b : b - a;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob029_alu4",
+        category: Category::CombArith,
+        difficulty: 6.0,
+        top: "top_module",
+        spec: "Implement a 4-bit ALU. The 3-bit opcode `op` selects: 0 ADD, 1 SUB, 2 AND, 3 OR, 4 XOR, 5 set-less-than (unsigned, 1 or 0), 6 shift-left by b[1:0], 7 shift-right by b[1:0]. Also output `zero`, set when the result is 0.",
+        golden: "module top_module(input [3:0] a, input [3:0] b, input [2:0] op, output reg [3:0] r, output zero);
+  always @(*) begin
+    case (op)
+      3'd0: r = a + b;
+      3'd1: r = a - b;
+      3'd2: r = a & b;
+      3'd3: r = a | b;
+      3'd4: r = a ^ b;
+      3'd5: r = {3'b000, a < b};
+      3'd6: r = a << b[1:0];
+      default: r = a >> b[1:0];
+    endcase
+  end
+  assign zero = r == 4'd0;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob031_popcount8",
+        category: Category::CombArith,
+        difficulty: 1.3,
+        top: "top_module",
+        spec: "Count the number of 1 bits of the 8-bit input `in`; result on the 4-bit output `count`.",
+        golden: "module top_module(input [7:0] in, output reg [3:0] count);
+  integer i;
+  always @(*) begin
+    count = 4'd0;
+    for (i = 0; i < 8; i = i + 1)
+      count = count + {3'b000, in[i]};
+  end
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob032_reverse8",
+        category: Category::CombArith,
+        difficulty: 1.1,
+        top: "top_module",
+        spec: "Reverse the bit order of the 8-bit input `in`: output bit `out[i]` equals `in[7-i]`.",
+        golden: "module top_module(input [7:0] in, output reg [7:0] out);
+  integer i;
+  always @(*) begin
+    for (i = 0; i < 8; i = i + 1)
+      out[i] = in[7 - i];
+  end
+endmodule",
+        stim: StimSpec::RandomComb { vectors: 128 },
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob033_sat_add4",
+        category: Category::CombArith,
+        difficulty: 1.5,
+        top: "top_module",
+        spec: "Implement a 4-bit saturating adder: `y = a + b`, clamped to 15 when the true sum exceeds 15.",
+        golden: "module top_module(input [3:0] a, input [3:0] b, output [3:0] y);
+  wire [4:0] full;
+  assign full = a + b;
+  assign y = full[4] ? 4'hF : full[3:0];
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob034_mul4",
+        category: Category::CombArith,
+        difficulty: 1.2,
+        top: "top_module",
+        spec: "Multiply two 4-bit unsigned inputs, producing the full 8-bit product.",
+        golden: "module top_module(input [3:0] a, input [3:0] b, output [7:0] p);
+  assign p = {4'b0000, a} * {4'b0000, b};
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    // ------------------------------------------------------------------
+    // Karnaugh-map / truth-table specifications
+    // ------------------------------------------------------------------
+    Problem {
+        id: "prob093_ece241_2014_q3",
+        category: Category::Kmap,
+        difficulty: 1.6,
+        top: "top_module",
+        spec: "For the function f of four variables implemented with a 4-to-1 multiplexer addressed by {a, b}, derive the four mux data inputs `mux_in[3:0]` as functions of `c` and `d`: mux_in[0] covers the minterms where f=1 for ab=00 (f = c OR d), mux_in[1] is constant 0, mux_in[2] covers ab=10 (f = NOT d), and mux_in[3] covers ab=11 (f = c AND d).",
+        golden: "module top_module(input c, input d, output reg [3:0] mux_in);
+  always @(*) begin
+    mux_in[0] = (~c & d) | (c & ~d) | (c & d);
+    mux_in[1] = 1'b0;
+    mux_in[2] = (~c & ~d) | (c & ~d);
+    mux_in[3] = c & d;
+  end
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob036_kmap3",
+        category: Category::Kmap,
+        difficulty: 1.4,
+        top: "top_module",
+        spec: "Implement the 3-variable function given by the Karnaugh map with minterms m(1,2,5,6,7) of inputs {a,b,c}: y = (a AND b') OR (b AND c') OR (a' AND b' AND c) is one valid SOP; any equivalent implementation is accepted.",
+        golden: "module top_module(input a, input b, input c, output y);
+  assign y = (~a & ~b & c) | (~a & b & ~c) | (a & ~b & c) | (a & b & ~c) | (a & b & c);
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob037_kmap4",
+        category: Category::Kmap,
+        difficulty: 3.6,
+        top: "top_module",
+        spec: "Implement the 4-variable function y(a,b,c,d) that is 1 exactly when the 4-bit value {a,b,c,d} is a valid BCD digit (0-9) whose value is even.",
+        golden: "module top_module(input a, input b, input c, input d, output y);
+  wire [3:0] v;
+  assign v = {a, b, c, d};
+  assign y = (v <= 4'd9) & ~d;
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob038_truthtable",
+        category: Category::Kmap,
+        difficulty: 1.2,
+        top: "top_module",
+        spec: "Implement the function of three inputs {x3,x2,x1} defined by the truth table whose output is 1 for input rows 2, 3, 5, 7 (row = {x3,x2,x1} as a binary number).",
+        golden: "module top_module(input x3, input x2, input x1, output reg f);
+  always @(*) begin
+    case ({x3, x2, x1})
+      3'd2: f = 1'b1;
+      3'd3: f = 1'b1;
+      3'd5: f = 1'b1;
+      3'd7: f = 1'b1;
+      default: f = 1'b0;
+    endcase
+  end
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+];

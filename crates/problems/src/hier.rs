@@ -1,0 +1,92 @@
+//! Hierarchical benchmark problems: multi-module designs with instances
+//! and parameter overrides.
+
+use crate::problem::{Category, Problem, StimSpec};
+
+/// All hierarchical problems.
+pub(crate) static PROBLEMS: &[Problem] = &[
+    Problem {
+        id: "prob070_ripple4",
+        category: Category::Hier,
+        difficulty: 1.6,
+        top: "top_module",
+        spec: "Build a 4-bit ripple-carry adder from four instances of a one-bit full-adder cell `fa`: inputs `a[3:0]`, `b[3:0]`, `cin`; outputs `sum[3:0]` and `cout`.",
+        golden: "module fa(input a, input b, input cin, output s, output cout);
+  assign s = a ^ b ^ cin;
+  assign cout = (a & b) | (cin & (a ^ b));
+endmodule
+module top_module(input [3:0] a, input [3:0] b, input cin, output [3:0] sum, output cout);
+  wire c0, c1, c2;
+  fa f0 (.a(a[0]), .b(b[0]), .cin(cin), .s(sum[0]), .cout(c0));
+  fa f1 (.a(a[1]), .b(b[1]), .cin(c0), .s(sum[1]), .cout(c1));
+  fa f2 (.a(a[2]), .b(b[2]), .cin(c1), .s(sum[2]), .cout(c2));
+  fa f3 (.a(a[3]), .b(b[3]), .cin(c2), .s(sum[3]), .cout(cout));
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob071_mux_tree",
+        category: Category::Hier,
+        difficulty: 1.5,
+        top: "top_module",
+        spec: "Build a 4-to-1 multiplexer as a tree of three 2-to-1 multiplexer instances `mux2`: data inputs `a..d`, select `sel[1:0]`, output `y`.",
+        golden: "module mux2(input x, input y, input s, output z);
+  assign z = s ? y : x;
+endmodule
+module top_module(input a, input b, input c, input d, input [1:0] sel, output y);
+  wire lo, hi;
+  mux2 m0 (.x(a), .y(b), .s(sel[0]), .z(lo));
+  mux2 m1 (.x(c), .y(d), .s(sel[0]), .z(hi));
+  mux2 m2 (.x(lo), .y(hi), .s(sel[1]), .z(y));
+endmodule",
+        stim: StimSpec::Exhaustive,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob072_param_mask",
+        category: Category::Hier,
+        difficulty: 1.4,
+        top: "top_module",
+        spec: "Instantiate the parameterized masking unit `masker` (parameter N, default 4) at width 8 to compute `y = a AND b` bitwise over 8-bit operands.",
+        golden: "module masker #(parameter N = 4)(input [N-1:0] a, input [N-1:0] b, output [N-1:0] y);
+  assign y = a & b;
+endmodule
+module top_module(input [7:0] a, input [7:0] b, output [7:0] y);
+  masker #(.N(8)) u (.a(a), .b(b), .y(y));
+endmodule",
+        stim: StimSpec::RandomComb { vectors: 128 },
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob073_counter_pair",
+        category: Category::Hier,
+        difficulty: 3.8,
+        top: "top_module",
+        spec: "Build an 8-bit counter from two 4-bit counter slices `nib_counter` (synchronous reset, enable): the low slice always counts, and the high slice counts only when the low slice is at 15 (carry chaining through the slice's `carry` output).",
+        golden: "module nib_counter(input clk, input rst, input en, output reg [3:0] q, output carry);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else if (en) q <= q + 4'd1;
+  end
+  assign carry = en & (q == 4'hF);
+endmodule
+module top_module(input clk, input rst, output [7:0] q);
+  wire c;
+  nib_counter lo (.clk(clk), .rst(rst), .en(1'b1), .q(q[3:0]), .carry(c));
+  nib_counter hi (.clk(clk), .rst(rst), .en(c), .q(q[7:4]), .carry());
+  // unconnected carry is fine: .carry() above is an explicit no-connect
+endmodule",
+        stim: StimSpec::Clocked {
+            cycles: 64,
+            reset: Some("rst"),
+            reset_active_high: true,
+            reset_cycles: 2,
+        },
+        in_v1: true,
+        in_v2: true,
+    },
+];

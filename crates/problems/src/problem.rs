@@ -1,0 +1,279 @@
+//! The benchmark problem type and stimulus derivation.
+
+use mage_llm::ProblemOracle;
+use mage_logic::LogicVec;
+use mage_tb::Stimulus;
+use mage_verilog::ast::Direction;
+use mage_verilog::{parse, SourceFile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Problem category, mirroring the VerilogEval mixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Basic gates and boolean expressions.
+    CombGate,
+    /// Multiplexers and selectors.
+    CombMux,
+    /// Decoders, encoders, code converters.
+    CombCode,
+    /// Adders, comparators, ALUs.
+    CombArith,
+    /// Karnaugh-map / specification-table problems.
+    Kmap,
+    /// Flip-flops and registers.
+    SeqReg,
+    /// Counters and shift registers.
+    SeqCount,
+    /// Finite state machines.
+    Fsm,
+    /// Hierarchical, multi-module designs.
+    Hier,
+}
+
+/// How a problem's stimulus is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StimSpec {
+    /// Exhaustive sweep of all input combinations (combinational, total
+    /// input width ≤ 12 bits — wider specs fall back to 256 random
+    /// vectors).
+    Exhaustive,
+    /// `vectors` random input vectors (combinational).
+    RandomComb {
+        /// Number of vectors.
+        vectors: usize,
+    },
+    /// Clocked: assert `reset` (if any) for `reset_cycles`, then drive
+    /// random inputs for `cycles` cycles.
+    Clocked {
+        /// Total post-reset cycles.
+        cycles: usize,
+        /// Reset input name, when the design has one.
+        reset: Option<&'static str>,
+        /// `true` when reset is active-high.
+        reset_active_high: bool,
+        /// Cycles to hold reset at the start.
+        reset_cycles: usize,
+    },
+}
+
+/// One benchmark problem: NL spec, golden design, stimulus recipe.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Stable id, `probNNN_name` in VerilogEval style.
+    pub id: &'static str,
+    /// Category.
+    pub category: Category,
+    /// Channel difficulty (≥ 0); the suite averages near 1.0.
+    pub difficulty: f64,
+    /// Name of the module to implement.
+    pub top: &'static str,
+    /// The natural-language specification handed to the agents.
+    pub spec: &'static str,
+    /// Golden Verilog source (top module last when hierarchical).
+    pub golden: &'static str,
+    /// Stimulus recipe.
+    pub stim: StimSpec,
+    /// Member of the VerilogEval-v1-Human-style suite.
+    pub in_v1: bool,
+    /// Member of the VerilogEval-v2-style suite.
+    pub in_v2: bool,
+}
+
+impl Problem {
+    /// Parse the golden source.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the embedded golden source is invalid — that is a
+    /// library bug caught by the self-consistency tests.
+    pub fn golden_file(&self) -> SourceFile {
+        parse(self.golden).unwrap_or_else(|e| panic!("golden of {} broken: {e}", self.id))
+    }
+
+    /// `(name, width)` of the top module's data inputs — everything
+    /// except the clock and reset named by the stimulus recipe.
+    pub fn data_inputs(&self) -> Vec<(String, usize)> {
+        let file = self.golden_file();
+        let module = file.module(self.top).expect("top module present");
+        let mut consts = std::collections::HashMap::new();
+        for p in &module.params {
+            if let Some(v) = mage_sim::fold_const_expr(&p.default, &consts) {
+                consts.insert(p.name.clone(), v);
+            }
+        }
+        let (clock, reset) = match self.stim {
+            StimSpec::Clocked { reset, .. } => (Some("clk"), reset),
+            _ => (None, None),
+        };
+        module
+            .ports
+            .iter()
+            .filter(|p| p.dir == Direction::Input)
+            .filter(|p| Some(p.name.as_str()) != clock && Some(p.name.as_str()) != reset)
+            .map(|p| {
+                let w = match &p.range {
+                    None => 1,
+                    Some(r) => {
+                        let msb = mage_sim::fold_const_expr(&r.msb, &consts)
+                            .and_then(|v| v.to_u64())
+                            .unwrap_or(0);
+                        let lsb = mage_sim::fold_const_expr(&r.lsb, &consts)
+                            .and_then(|v| v.to_u64())
+                            .unwrap_or(0);
+                        (msb - lsb + 1) as usize
+                    }
+                };
+                (p.name.clone(), w)
+            })
+            .collect()
+    }
+
+    /// Build the problem's stimulus, deterministically from `seed`.
+    pub fn stimulus(&self, seed: u64) -> Stimulus {
+        let mut rng = StdRng::seed_from_u64(seed ^ fnv1a(self.id.as_bytes()));
+        let inputs = self.data_inputs();
+        match self.stim {
+            StimSpec::Exhaustive => {
+                let total: usize = inputs.iter().map(|(_, w)| w).sum();
+                if total <= 12 {
+                    Stimulus::exhaustive(&inputs)
+                } else {
+                    random_comb(&inputs, 256, &mut rng)
+                }
+            }
+            StimSpec::RandomComb { vectors } => random_comb(&inputs, vectors, &mut rng),
+            StimSpec::Clocked {
+                cycles,
+                reset,
+                reset_active_high,
+                reset_cycles,
+            } => {
+                let mut steps = Vec::with_capacity(reset_cycles + cycles);
+                for i in 0..reset_cycles + cycles {
+                    let mut drives = Vec::with_capacity(inputs.len() + 1);
+                    if let Some(rst) = reset {
+                        let active = i < reset_cycles;
+                        drives.push((
+                            rst.to_string(),
+                            LogicVec::from_bool(active == reset_active_high),
+                        ));
+                    }
+                    for (name, w) in &inputs {
+                        drives.push((name.clone(), random_vec(*w, &mut rng)));
+                    }
+                    steps.push(drives);
+                }
+                Stimulus::clocked("clk", steps)
+            }
+        }
+    }
+
+    /// The benchmark-side grading stimulus: like [`Problem::stimulus`]
+    /// but substantially longer (4x the cycles, 3x the vectors), the way
+    /// a benchmark's reference testbench is more thorough than anything
+    /// an agent writes during the run. Always derived from `seed` alone,
+    /// so grading is identical for every system under test.
+    pub fn grading_stimulus(&self, seed: u64) -> Stimulus {
+        let mut rng = StdRng::seed_from_u64(seed ^ fnv1a(self.id.as_bytes()) ^ 0x6AD3);
+        let inputs = self.data_inputs();
+        match self.stim {
+            StimSpec::Exhaustive => {
+                let total: usize = inputs.iter().map(|(_, w)| w).sum();
+                if total <= 12 {
+                    Stimulus::exhaustive(&inputs)
+                } else {
+                    random_comb(&inputs, 768, &mut rng)
+                }
+            }
+            StimSpec::RandomComb { vectors } => random_comb(&inputs, vectors * 3, &mut rng),
+            StimSpec::Clocked {
+                cycles,
+                reset,
+                reset_active_high,
+                reset_cycles,
+            } => {
+                // Two independent reset phases with long random tails.
+                let mut steps = Vec::new();
+                for _phase in 0..2 {
+                    for i in 0..reset_cycles + cycles * 2 {
+                        let mut drives = Vec::with_capacity(inputs.len() + 1);
+                        if let Some(rst) = reset {
+                            let active = i < reset_cycles;
+                            drives.push((
+                                rst.to_string(),
+                                LogicVec::from_bool(active == reset_active_high),
+                            ));
+                        }
+                        for (name, w) in &inputs {
+                            drives.push((name.clone(), random_vec(*w, &mut rng)));
+                        }
+                        steps.push(drives);
+                    }
+                }
+                Stimulus::clocked("clk", steps)
+            }
+        }
+    }
+
+    /// Build the [`ProblemOracle`] the synthetic channel registers.
+    pub fn oracle(&self, seed: u64) -> ProblemOracle {
+        ProblemOracle::new(
+            self.golden_file(),
+            self.top,
+            self.stimulus(seed),
+            self.difficulty,
+        )
+    }
+}
+
+fn random_vec<R: Rng>(width: usize, rng: &mut R) -> LogicVec {
+    let mut v = LogicVec::new(width);
+    for i in 0..width {
+        v.set_bit(i, mage_logic::LogicBit::from(rng.gen::<bool>()));
+    }
+    v
+}
+
+fn random_comb<R: Rng>(inputs: &[(String, usize)], vectors: usize, rng: &mut R) -> Stimulus {
+    let steps = (0..vectors)
+        .map(|_| {
+            inputs
+                .iter()
+                .map(|(n, w)| (n.clone(), random_vec(*w, rng)))
+                .collect()
+        })
+        .collect();
+    Stimulus::combinational(steps)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry;
+
+    #[test]
+    fn stimulus_is_seed_deterministic() {
+        let p = registry::by_id("prob001_and2").unwrap();
+        assert_eq!(p.stimulus(1), p.stimulus(1));
+        let q = registry::by_id("prob047_accum8").unwrap();
+        assert_eq!(q.stimulus(5), q.stimulus(5));
+        assert_ne!(q.stimulus(5), q.stimulus(6));
+    }
+
+    #[test]
+    fn data_inputs_exclude_clock_and_reset() {
+        let p = registry::by_id("prob030_counter4").unwrap();
+        let names: Vec<String> = p.data_inputs().into_iter().map(|(n, _)| n).collect();
+        assert!(!names.contains(&"clk".to_string()));
+        assert!(!names.contains(&"rst".to_string()));
+    }
+}

@@ -1,0 +1,96 @@
+//! The problem registry and suite definitions.
+
+use crate::problem::Problem;
+use crate::{comb, extras, hier, seq};
+
+/// Benchmark suite identifiers, mirroring the paper's two evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteId {
+    /// VerilogEval-v1-Human-style suite.
+    V1Human,
+    /// VerilogEval-v2-style suite.
+    V2,
+}
+
+impl SuiteId {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteId::V1Human => "VerilogEval-Human",
+            SuiteId::V2 => "VerilogEval-V2",
+        }
+    }
+}
+
+impl std::fmt::Display for SuiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Every problem in the corpus, in id order.
+pub fn all_problems() -> Vec<&'static Problem> {
+    let mut v: Vec<&'static Problem> = comb::PROBLEMS
+        .iter()
+        .chain(seq::PROBLEMS.iter())
+        .chain(hier::PROBLEMS.iter())
+        .chain(extras::PROBLEMS.iter())
+        .collect();
+    v.sort_by_key(|p| p.id);
+    v
+}
+
+/// The problems of one suite, in id order.
+pub fn suite(id: SuiteId) -> Vec<&'static Problem> {
+    all_problems()
+        .into_iter()
+        .filter(|p| match id {
+            SuiteId::V1Human => p.in_v1,
+            SuiteId::V2 => p.in_v2,
+        })
+        .collect()
+}
+
+/// Look up a problem by id.
+pub fn by_id(id: &str) -> Option<&'static Problem> {
+    all_problems().into_iter().find(|p| p.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_nonempty_and_unique() {
+        let all = all_problems();
+        assert!(all.len() >= 45, "corpus too small: {}", all.len());
+        let mut ids: Vec<&str> = all.iter().map(|p| p.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len(), "duplicate problem ids");
+    }
+
+    #[test]
+    fn suites_have_expected_shape() {
+        let v1 = suite(SuiteId::V1Human);
+        let v2 = suite(SuiteId::V2);
+        assert!(v1.len() >= 35, "v1 too small: {}", v1.len());
+        assert!(v2.len() >= 40, "v2 too small: {}", v2.len());
+        assert!(v2.len() >= v1.len());
+    }
+
+    #[test]
+    fn difficulty_mix_centers_near_one() {
+        let v2 = suite(SuiteId::V2);
+        let mean: f64 = v2.iter().map(|p| p.difficulty).sum::<f64>() / v2.len() as f64;
+        assert!(
+            (1.0..=2.6).contains(&mean),
+            "V2 difficulty mean {mean:.2} out of calibration band"
+        );
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("prob093_ece241_2014_q3").is_some());
+        assert!(by_id("nope").is_none());
+    }
+}

@@ -1,0 +1,514 @@
+//! Sequential benchmark problems: registers, counters, shift registers
+//! and finite state machines.
+
+use crate::problem::{Category, Problem, StimSpec};
+
+const CLOCKED: StimSpec = StimSpec::Clocked {
+    cycles: 48,
+    reset: Some("rst"),
+    reset_active_high: true,
+    reset_cycles: 2,
+};
+
+const CLOCKED_LONG: StimSpec = StimSpec::Clocked {
+    cycles: 96,
+    reset: Some("rst"),
+    reset_active_high: true,
+    reset_cycles: 2,
+};
+
+/// All sequential problems.
+pub(crate) static PROBLEMS: &[Problem] = &[
+    // ------------------------------------------------------------------
+    // Registers
+    // ------------------------------------------------------------------
+    Problem {
+        id: "prob040_dff",
+        category: Category::SeqReg,
+        difficulty: 0.45,
+        top: "top_module",
+        spec: "Implement a D flip-flop with synchronous active-high reset: on each rising clock edge, `q` takes `d`, or 0 when `rst` is asserted.",
+        golden: "module top_module(input clk, input rst, input d, output reg q);
+  always @(posedge clk) begin
+    if (rst) q <= 1'b0;
+    else q <= d;
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob041_dff_en",
+        category: Category::SeqReg,
+        difficulty: 0.7,
+        top: "top_module",
+        spec: "Implement an 8-bit register with synchronous reset and write-enable: on the rising clock edge, load `d` when `en` is 1, clear to 0 when `rst` is 1 (reset dominates), otherwise hold.",
+        golden: "module top_module(input clk, input rst, input en, input [7:0] d, output reg [7:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 8'h00;
+    else if (en) q <= d;
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob042_dff_arst",
+        category: Category::SeqReg,
+        difficulty: 0.95,
+        top: "top_module",
+        spec: "Implement a D flip-flop with asynchronous active-high reset: `q` clears immediately when `rst` rises and captures `d` on rising clock edges while `rst` is low.",
+        golden: "module top_module(input clk, input rst, input d, output reg q);
+  always @(posedge clk or posedge rst) begin
+    if (rst) q <= 1'b0;
+    else q <= d;
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob043_tff",
+        category: Category::SeqReg,
+        difficulty: 0.8,
+        top: "top_module",
+        spec: "Implement a T flip-flop with synchronous reset: on each rising clock edge, toggle `q` when `t` is 1, hold otherwise; reset clears `q`.",
+        golden: "module top_module(input clk, input rst, input t, output reg q);
+  always @(posedge clk) begin
+    if (rst) q <= 1'b0;
+    else if (t) q <= ~q;
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob044_pipeline2",
+        category: Category::SeqReg,
+        difficulty: 1.0,
+        top: "top_module",
+        spec: "Implement a two-stage pipeline register: output `q` is the input `d` delayed by exactly two clock cycles; synchronous reset clears both stages.",
+        golden: "module top_module(input clk, input rst, input [3:0] d, output reg [3:0] q);
+  reg [3:0] s1;
+  always @(posedge clk) begin
+    if (rst) begin
+      s1 <= 4'd0;
+      q <= 4'd0;
+    end
+    else begin
+      s1 <= d;
+      q <= s1;
+    end
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob045_edge_detect",
+        category: Category::SeqReg,
+        difficulty: 1.3,
+        top: "top_module",
+        spec: "Implement a rising-edge detector: output `pulse` is 1 for exactly one cycle after the input `sig` transitions from 0 to 1 (registered output; synchronous reset).",
+        golden: "module top_module(input clk, input rst, input sig, output reg pulse);
+  reg prev;
+  always @(posedge clk) begin
+    if (rst) begin
+      prev <= 1'b0;
+      pulse <= 1'b0;
+    end
+    else begin
+      pulse <= sig & ~prev;
+      prev <= sig;
+    end
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob046_sync2ff",
+        category: Category::SeqReg,
+        difficulty: 0.7,
+        top: "top_module",
+        spec: "Implement a two-flop synchronizer: the asynchronous input `async_in` passes through two cascaded flip-flops to the output `sync_out`; synchronous reset clears both.",
+        golden: "module top_module(input clk, input rst, input async_in, output reg sync_out);
+  reg meta;
+  always @(posedge clk) begin
+    if (rst) begin
+      meta <= 1'b0;
+      sync_out <= 1'b0;
+    end
+    else begin
+      meta <= async_in;
+      sync_out <= meta;
+    end
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob047_accum8",
+        category: Category::SeqReg,
+        difficulty: 1.1,
+        top: "top_module",
+        spec: "Implement an 8-bit accumulator: on each rising clock edge add the input `in` to the running sum `acc` (wrapping modulo 256); synchronous reset clears the sum.",
+        golden: "module top_module(input clk, input rst, input [7:0] in, output reg [7:0] acc);
+  always @(posedge clk) begin
+    if (rst) acc <= 8'h00;
+    else acc <= acc + in;
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    // ------------------------------------------------------------------
+    // Counters & shift registers
+    // ------------------------------------------------------------------
+    Problem {
+        id: "prob030_counter4",
+        category: Category::SeqCount,
+        difficulty: 0.8,
+        top: "top_module",
+        spec: "Implement a 4-bit binary up-counter with synchronous active-high reset; the counter wraps from 15 to 0.",
+        golden: "module top_module(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else q <= q + 4'd1;
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob050_counter_en",
+        category: Category::SeqCount,
+        difficulty: 1.0,
+        top: "top_module",
+        spec: "Implement a 4-bit up-counter with enable: increments only when `en` is 1; synchronous reset clears it.",
+        golden: "module top_module(input clk, input rst, input en, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else if (en) q <= q + 4'd1;
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob051_counter_updown",
+        category: Category::SeqCount,
+        difficulty: 1.4,
+        top: "top_module",
+        spec: "Implement a 4-bit up/down counter: counts up when `up` is 1 and down when `up` is 0, wrapping in both directions; synchronous reset clears it.",
+        golden: "module top_module(input clk, input rst, input up, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else if (up) q <= q + 4'd1;
+    else q <= q - 4'd1;
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob052_counter_mod10",
+        category: Category::SeqCount,
+        difficulty: 1.5,
+        top: "top_module",
+        spec: "Implement a decade (mod-10) counter: counts 0 through 9 then wraps to 0; output `nine` is 1 while the count equals 9; synchronous reset.",
+        golden: "module top_module(input clk, input rst, output reg [3:0] q, output nine);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else if (q == 4'd9) q <= 4'd0;
+    else q <= q + 4'd1;
+  end
+  assign nine = q == 4'd9;
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob053_counter_load",
+        category: Category::SeqCount,
+        difficulty: 1.3,
+        top: "top_module",
+        spec: "Implement a 4-bit counter with parallel load: when `load` is 1 the counter takes `d`; otherwise it increments; synchronous reset dominates.",
+        golden: "module top_module(input clk, input rst, input load, input [3:0] d, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else if (load) q <= d;
+    else q <= q + 4'd1;
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob054_ring4",
+        category: Category::SeqCount,
+        difficulty: 1.1,
+        top: "top_module",
+        spec: "Implement a 4-bit ring counter: reset loads 0001, and each clock rotates the single hot bit left (bit 3 wraps to bit 0).",
+        golden: "module top_module(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'b0001;
+    else q <= {q[2:0], q[3]};
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob055_johnson4",
+        category: Category::SeqCount,
+        difficulty: 1.3,
+        top: "top_module",
+        spec: "Implement a 4-bit Johnson (twisted-ring) counter: reset clears it, and each clock shifts left injecting the complement of the MSB into the LSB.",
+        golden: "module top_module(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'b0000;
+    else q <= {q[2:0], ~q[3]};
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob056_lfsr4",
+        category: Category::SeqCount,
+        difficulty: 1.5,
+        top: "top_module",
+        spec: "Implement a 4-bit Fibonacci LFSR with taps at bits 3 and 2 (polynomial x^4+x^3+1): shift left, feeding q[3] XOR q[2] into bit 0; reset loads 0001.",
+        golden: "module top_module(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'b0001;
+    else q <= {q[2:0], q[3] ^ q[2]};
+  end
+endmodule",
+        stim: CLOCKED_LONG,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob057_shift8",
+        category: Category::SeqCount,
+        difficulty: 0.9,
+        top: "top_module",
+        spec: "Implement an 8-bit serial-in shift register: each clock shifts left by one, inserting the serial input `sin` at bit 0; synchronous reset clears it.",
+        golden: "module top_module(input clk, input rst, input sin, output reg [7:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 8'h00;
+    else q <= {q[6:0], sin};
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob058_shift_load",
+        category: Category::SeqCount,
+        difficulty: 1.4,
+        top: "top_module",
+        spec: "Implement a 4-bit shift register with parallel load: `load` takes priority and loads `d`; otherwise shift right by one inserting `sin` at the MSB; synchronous reset clears.",
+        golden: "module top_module(input clk, input rst, input load, input [3:0] d, input sin, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else if (load) q <= d;
+    else q <= {sin, q[3:1]};
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob059_gray_counter",
+        category: Category::SeqCount,
+        difficulty: 1.2,
+        top: "top_module",
+        spec: "Implement a 4-bit Gray-code counter: an internal binary counter increments each clock, and the output `g` is its Gray encoding (bin XOR bin>>1); synchronous reset.",
+        golden: "module top_module(input clk, input rst, output [3:0] g);
+  reg [3:0] bin;
+  always @(posedge clk) begin
+    if (rst) bin <= 4'd0;
+    else bin <= bin + 4'd1;
+  end
+  assign g = bin ^ (bin >> 1);
+endmodule",
+        stim: CLOCKED,
+        in_v1: false,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob060_sat_counter",
+        category: Category::SeqCount,
+        difficulty: 1.6,
+        top: "top_module",
+        spec: "Implement a 3-bit saturating up/down counter (as used in branch predictors): `inc` increments toward 7 and `dec` decrements toward 0 without wrapping; simultaneous inc and dec hold; synchronous reset clears.",
+        golden: "module top_module(input clk, input rst, input inc, input dec, output reg [2:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 3'd0;
+    else if (inc & ~dec) begin
+      if (q != 3'd7) q <= q + 3'd1;
+    end
+    else if (dec & ~inc) begin
+      if (q != 3'd0) q <= q - 3'd1;
+    end
+  end
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    // ------------------------------------------------------------------
+    // Finite state machines
+    // ------------------------------------------------------------------
+    Problem {
+        id: "prob061_fsm_toggle",
+        category: Category::Fsm,
+        difficulty: 1.2,
+        top: "top_module",
+        spec: "Implement a two-state FSM: output `out` is 0 in state OFF and 1 in state ON; the input `go` toggles the state each cycle it is 1; synchronous reset to OFF.",
+        golden: "module top_module(input clk, input rst, input go, output out);
+  reg state;
+  always @(posedge clk) begin
+    if (rst) state <= 1'b0;
+    else if (go) state <= ~state;
+  end
+  assign out = state;
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob062_fsm_seq101",
+        category: Category::Fsm,
+        difficulty: 8.0,
+        top: "top_module",
+        spec: "Implement a Moore FSM detecting the overlapping bit sequence 1-0-1 on input `x`: output `z` is 1 in the cycle after the final 1 of a 101 pattern arrives; synchronous reset.",
+        golden: "module top_module(input clk, input rst, input x, output z);
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst) state <= 2'd0;
+    else case (state)
+      2'd0: state <= x ? 2'd1 : 2'd0;
+      2'd1: state <= x ? 2'd1 : 2'd2;
+      2'd2: state <= x ? 2'd3 : 2'd0;
+      default: state <= x ? 2'd1 : 2'd2;
+    endcase
+  end
+  assign z = state == 2'd3;
+endmodule",
+        stim: CLOCKED_LONG,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob063_fsm_traffic",
+        category: Category::Fsm,
+        difficulty: 5.5,
+        top: "top_module",
+        spec: "Implement a traffic-light controller FSM cycling GREEN -> YELLOW -> RED -> GREEN, advancing one step each cycle `tick` is 1. Outputs are one-hot {red, yellow, green}; synchronous reset to GREEN.",
+        golden: "module top_module(input clk, input rst, input tick, output red, output yellow, output green);
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst) state <= 2'd0;
+    else if (tick) begin
+      case (state)
+        2'd0: state <= 2'd1;
+        2'd1: state <= 2'd2;
+        default: state <= 2'd0;
+      endcase
+    end
+  end
+  assign green = state == 2'd0;
+  assign yellow = state == 2'd1;
+  assign red = state == 2'd2;
+endmodule",
+        stim: CLOCKED,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob064_fsm_onehot",
+        category: Category::Fsm,
+        difficulty: 12.0,
+        top: "top_module",
+        spec: "Implement a 3-state one-hot FSM over states A=001, B=010, C=100: from A go to B when `w` else stay; from B go to C when `w` else back to A; from C go to A always. Output `y` is 1 in state C. Reset (synchronous) loads state A.",
+        golden: "module top_module(input clk, input rst, input w, output y);
+  reg [2:0] state;
+  always @(posedge clk) begin
+    if (rst) state <= 3'b001;
+    else case (state)
+      3'b001: state <= w ? 3'b010 : 3'b001;
+      3'b010: state <= w ? 3'b100 : 3'b001;
+      default: state <= 3'b001;
+    endcase
+  end
+  assign y = state[2];
+endmodule",
+        stim: CLOCKED_LONG,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob065_fsm_lock",
+        category: Category::Fsm,
+        difficulty: 16.0,
+        top: "top_module",
+        spec: "Implement a sequence lock: the 2-bit input `code` must present the values 1, then 3, then 2 on consecutive cycles to assert `unlock` (Moore output, one cycle). A wrong value returns to the start (or to the second step when the wrong value is itself 1). Synchronous reset.",
+        golden: "module top_module(input clk, input rst, input [1:0] code, output unlock);
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst) state <= 2'd0;
+    else case (state)
+      2'd0: state <= code == 2'd1 ? 2'd1 : 2'd0;
+      2'd1: state <= code == 2'd3 ? 2'd2 : (code == 2'd1 ? 2'd1 : 2'd0);
+      2'd2: state <= code == 2'd2 ? 2'd3 : (code == 2'd1 ? 2'd1 : 2'd0);
+      default: state <= code == 2'd1 ? 2'd1 : 2'd0;
+    endcase
+  end
+  assign unlock = state == 2'd3;
+endmodule",
+        stim: CLOCKED_LONG,
+        in_v1: true,
+        in_v2: true,
+    },
+    Problem {
+        id: "prob066_fsm_mealy",
+        category: Category::Fsm,
+        difficulty: 17.0,
+        top: "top_module",
+        spec: "Implement a Mealy FSM detecting the sequence 1-1 on input `x`: output `z` is 1 combinationally whenever the previous input was 1 and the current input is 1 (overlapping detection); synchronous reset clears the history.",
+        golden: "module top_module(input clk, input rst, input x, output z);
+  reg last;
+  always @(posedge clk) begin
+    if (rst) last <= 1'b0;
+    else last <= x;
+  end
+  assign z = last & x;
+endmodule",
+        stim: CLOCKED_LONG,
+        in_v1: true,
+        in_v2: true,
+    },
+];

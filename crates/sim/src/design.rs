@@ -1,0 +1,220 @@
+//! The elaborated design: flat signals and compiled processes.
+
+use mage_logic::LogicVec;
+use mage_verilog::ast::{BinaryOp, CaseKind, Edge, NetKind, UnaryOp};
+
+/// Index of a signal in the elaborated design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A flattened signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalDecl {
+    /// Hierarchical name (`u0.carry`), top-level signals unprefixed.
+    pub name: String,
+    /// Width in bits.
+    pub width: usize,
+    /// Declared LSB index (`[7:4]` has `lsb_index = 4`); selects are
+    /// rebased against it.
+    pub lsb_index: i64,
+    /// `wire` or `reg` flavor of the declaration.
+    pub kind: NetKind,
+}
+
+/// Compiled expression. Identifiers are resolved to [`SignalId`]s and
+/// parameters are folded to constants at elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CExpr {
+    /// Constant value.
+    Const(LogicVec),
+    /// Whole-signal read.
+    Sig(SignalId),
+    /// Unary operation.
+    Unary(UnaryOp, Box<CExpr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<CExpr>, Box<CExpr>),
+    /// Conditional.
+    Ternary(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    /// Concatenation, MSB-first.
+    Concat(Vec<CExpr>),
+    /// Replication with an elaboration-time count.
+    Repl(usize, Box<CExpr>),
+    /// Dynamic bit select: `sig[index]`, where `index` is rebased so that
+    /// `0` addresses the physical LSB.
+    BitSel(SignalId, Box<CExpr>),
+    /// Constant part select at a physical bit offset.
+    PartSel(SignalId, i64, usize),
+}
+
+impl CExpr {
+    /// Self-determined width in bits (simplified IEEE rules; see crate
+    /// docs for deviations).
+    pub fn width(&self, design: &Design) -> usize {
+        match self {
+            CExpr::Const(v) => v.width(),
+            CExpr::Sig(id) => design.signals[id.index()].width,
+            CExpr::Unary(op, e) => match op {
+                UnaryOp::Not | UnaryOp::Neg | UnaryOp::Plus => e.width(design),
+                _ => 1, // reductions and !
+            },
+            CExpr::Binary(op, l, r) => match op {
+                BinaryOp::Add
+                | BinaryOp::Sub
+                | BinaryOp::Mul
+                | BinaryOp::Div
+                | BinaryOp::Mod
+                | BinaryOp::And
+                | BinaryOp::Or
+                | BinaryOp::Xor
+                | BinaryOp::Xnor => l.width(design).max(r.width(design)),
+                BinaryOp::Shl | BinaryOp::Shr => l.width(design),
+                _ => 1, // comparisons, logical
+            },
+            CExpr::Ternary(_, t, e) => t.width(design).max(e.width(design)),
+            CExpr::Concat(parts) => parts.iter().map(|p| p.width(design)).sum(),
+            CExpr::Repl(n, e) => n * e.width(design),
+            CExpr::BitSel(..) => 1,
+            CExpr::PartSel(_, _, w) => *w,
+        }
+    }
+}
+
+/// Compiled assignment target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CLValue {
+    /// Whole signal.
+    Whole(SignalId),
+    /// Dynamic single bit (index rebased to physical).
+    BitSel(SignalId, CExpr),
+    /// Constant part select at a physical offset.
+    PartSel(SignalId, i64, usize),
+    /// Concatenation of targets, MSB-first.
+    Concat(Vec<CLValue>),
+}
+
+impl CLValue {
+    /// Total width written by this target.
+    pub fn width(&self, design: &Design) -> usize {
+        match self {
+            CLValue::Whole(id) => design.signals[id.index()].width,
+            CLValue::BitSel(..) => 1,
+            CLValue::PartSel(_, _, w) => *w,
+            CLValue::Concat(parts) => parts.iter().map(|p| p.width(design)).sum(),
+        }
+    }
+}
+
+/// Compiled statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CStmt {
+    /// Sequence.
+    Block(Vec<CStmt>),
+    /// Two-way branch.
+    If(CExpr, Box<CStmt>, Option<Box<CStmt>>),
+    /// Multi-way branch. Labels are compiled expressions (usually
+    /// constants, but identifier labels are allowed).
+    Case {
+        /// `case` or `casez`.
+        kind: CaseKind,
+        /// Selector.
+        sel: CExpr,
+        /// `(labels, body)` arms in source order.
+        arms: Vec<(Vec<CExpr>, CStmt)>,
+        /// `default` body.
+        default: Option<Box<CStmt>>,
+    },
+    /// Assignment; `nonblocking` selects NBA commit semantics.
+    Assign {
+        /// Target.
+        lv: CLValue,
+        /// Source.
+        rhs: CExpr,
+        /// `<=` vs `=`.
+        nonblocking: bool,
+    },
+    /// No-op.
+    Nop,
+}
+
+/// A compiled process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Process {
+    /// Combinational: re-evaluated whenever any read signal changes.
+    Comb {
+        /// Signals whose change triggers re-evaluation.
+        reads: Vec<SignalId>,
+        /// Signals the body can write (static over-approximation). The
+        /// scheduler compares these before/after a run so that a process
+        /// that reads what it writes (`count = count + in[i]` chains)
+        /// settles when its *net* effect is stable.
+        writes: Vec<SignalId>,
+        /// Body.
+        body: CStmt,
+    },
+    /// Edge-triggered.
+    Seq {
+        /// Triggering edges.
+        edges: Vec<(Edge, SignalId)>,
+        /// Body.
+        body: CStmt,
+    },
+}
+
+/// An elaborated, flattened design ready for simulation.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Name of the top module.
+    pub top: String,
+    /// All signals (top ports first, then internals, then sub-instances).
+    pub signals: Vec<SignalDecl>,
+    /// Top-level input ports in declaration order.
+    pub inputs: Vec<SignalId>,
+    /// Top-level output ports in declaration order.
+    pub outputs: Vec<SignalId>,
+    /// Compiled processes in elaboration order.
+    pub processes: Vec<Process>,
+}
+
+impl Design {
+    /// Look up a signal id by (hierarchical) name.
+    pub fn signal(&self, name: &str) -> Option<SignalId> {
+        self.signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SignalId(i as u32))
+    }
+
+    /// The declaration for `id`.
+    pub fn decl(&self, id: SignalId) -> &SignalDecl {
+        &self.signals[id.index()]
+    }
+
+    /// Width of signal `id`.
+    pub fn width(&self, id: SignalId) -> usize {
+        self.signals[id.index()].width
+    }
+
+    /// `(name, width)` pairs for the top-level inputs.
+    pub fn input_ports(&self) -> Vec<(String, usize)> {
+        self.inputs
+            .iter()
+            .map(|&id| (self.decl(id).name.clone(), self.width(id)))
+            .collect()
+    }
+
+    /// `(name, width)` pairs for the top-level outputs.
+    pub fn output_ports(&self) -> Vec<(String, usize)> {
+        self.outputs
+            .iter()
+            .map(|&id| (self.decl(id).name.clone(), self.width(id)))
+            .collect()
+    }
+}

@@ -1,0 +1,831 @@
+//! Elaboration: parsed AST → flattened [`Design`].
+//!
+//! Elaboration resolves parameters to constants, unrolls `for` loops,
+//! flattens the instance hierarchy with dot-separated name prefixes, and
+//! compiles statements into the interpreter form in [`crate::design`].
+
+use crate::design::{CExpr, CLValue, CStmt, Design, Process, SignalDecl, SignalId};
+use crate::error::ElabError;
+use mage_logic::LogicVec;
+use mage_verilog::ast::*;
+use std::collections::HashMap;
+
+/// Maximum static iterations of a single `for` loop.
+const LOOP_LIMIT: usize = 4096;
+/// Maximum instance nesting depth.
+const DEPTH_LIMIT: usize = 64;
+
+/// Elaborate `top` (and everything it instantiates) from `file`.
+///
+/// # Errors
+///
+/// Returns [`ElabError`] for undeclared signals, non-constant contexts,
+/// bad ranges/selects, bad connections, or unroll/recursion limits. These
+/// errors form part of the MAGE feedback loop: a candidate that parses
+/// but fails elaboration is reported back to the generating agent.
+///
+/// # Example
+///
+/// ```
+/// let file = mage_verilog::parse(
+///     "module top(input a, input b, output y); assign y = a ^ b; endmodule",
+/// ).unwrap();
+/// let design = mage_sim::elaborate(&file, "top")?;
+/// assert_eq!(design.inputs.len(), 2);
+/// assert_eq!(design.outputs.len(), 1);
+/// # Ok::<(), mage_sim::ElabError>(())
+/// ```
+pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, ElabError> {
+    let module = file
+        .module(top)
+        .ok_or_else(|| ElabError::UnknownModule(top.to_string()))?;
+    let mut e = Elaborator {
+        file,
+        signals: Vec::new(),
+        by_name: HashMap::new(),
+        processes: Vec::new(),
+    };
+    let scope = e.instantiate(module, "", &HashMap::new(), &HashMap::new(), 0)?;
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    for p in &module.ports {
+        let id = scope[&p.name];
+        match p.dir {
+            Direction::Input => inputs.push(id),
+            Direction::Output => outputs.push(id),
+        }
+    }
+    Ok(Design {
+        top: top.to_string(),
+        signals: e.signals,
+        inputs,
+        outputs,
+        processes: e.processes,
+    })
+}
+
+type Scope = HashMap<String, SignalId>;
+type Consts = HashMap<String, LogicVec>;
+
+struct Elaborator<'a> {
+    file: &'a SourceFile,
+    signals: Vec<SignalDecl>,
+    by_name: HashMap<String, SignalId>,
+    processes: Vec<Process>,
+}
+
+/// Per-module compile context.
+struct ModuleCtx<'a> {
+    module: &'a Module,
+    scope: Scope,
+    consts: Consts,
+}
+
+impl<'a> Elaborator<'a> {
+    /// Instantiate `module` under `prefix` with parameter overrides
+    /// already folded into `overrides`. Returns the local scope.
+    fn instantiate(
+        &mut self,
+        module: &'a Module,
+        prefix: &str,
+        overrides: &Consts,
+        aliases: &HashMap<String, SignalId>,
+        depth: usize,
+    ) -> Result<Scope, ElabError> {
+        if depth > DEPTH_LIMIT {
+            return Err(ElabError::RecursionLimit(module.name.clone()));
+        }
+        // 1. Parameter environment: defaults in order (earlier params may
+        //    appear in later defaults), overridden where requested.
+        let mut consts: Consts = HashMap::new();
+        for p in &module.params {
+            let v = match overrides.get(&p.name) {
+                Some(v) if !p.local => v.clone(),
+                _ => fold_const(&p.default, &consts).map_err(|_| {
+                    ElabError::NotConstant(format!(
+                        "default of parameter `{}` in `{}`",
+                        p.name, module.name
+                    ))
+                })?,
+            };
+            consts.insert(p.name.clone(), v);
+        }
+
+        // 2. Declare signals: ports, then body nets. Ports whose parent
+        //    connection is a plain same-width identifier are *aliased* to
+        //    the parent signal, so clock/reset edges propagate into
+        //    instances without indirection.
+        let mut scope: Scope = HashMap::new();
+        for port in &module.ports {
+            let width = self.range_width(port.range.as_ref(), &consts)?;
+            let lsb = self.range_lsb(port.range.as_ref(), &consts)?;
+            if let Some(&parent) = aliases.get(&port.name) {
+                let decl = &mut self.signals[parent.index()];
+                if decl.width == width && decl.lsb_index == lsb {
+                    if port.kind == NetKind::Reg {
+                        decl.kind = NetKind::Reg;
+                    }
+                    scope.insert(port.name.clone(), parent);
+                    continue;
+                }
+            }
+            self.declare(prefix, &port.name, width, lsb, port.kind, &mut scope)?;
+        }
+        for item in &module.items {
+            if let Item::Net { kind, range, names } = item {
+                let width = self.range_width(range.as_ref(), &consts)?;
+                let lsb = self.range_lsb(range.as_ref(), &consts)?;
+                for n in names {
+                    if let Some(&existing) = scope.get(n) {
+                        // Non-ANSI style `output y; reg y;` re-declaration:
+                        // accept if widths agree, upgrading the kind.
+                        let decl = &mut self.signals[existing.index()];
+                        if decl.width == width {
+                            if *kind == NetKind::Reg {
+                                decl.kind = NetKind::Reg;
+                            }
+                            continue;
+                        }
+                        return Err(ElabError::DuplicateSignal(format!("{prefix}{n}")));
+                    }
+                    self.declare(prefix, n, width, lsb, *kind, &mut scope)?;
+                }
+            }
+        }
+
+        let ctx = ModuleCtx {
+            module,
+            scope,
+            consts,
+        };
+
+        // 3. Compile items.
+        for item in &module.items {
+            match item {
+                Item::Net { .. } | Item::Param(_) => {}
+                Item::Assign { lhs, rhs } => {
+                    let lv = self.compile_lvalue(&ctx, lhs)?;
+                    let rhs = self.compile_expr(&ctx, rhs)?;
+                    let body = CStmt::Assign {
+                        lv,
+                        rhs,
+                        nonblocking: false,
+                    };
+                    let mut reads = Vec::new();
+                    collect_reads(&body, &mut reads);
+                    let mut writes = Vec::new();
+                    collect_writes(&body, &mut writes);
+                    self.processes.push(Process::Comb { reads, writes, body });
+                }
+                Item::Always { sens, body } => {
+                    let cbody = self.compile_stmt(&ctx, body)?;
+                    match sens {
+                        Sensitivity::Comb => {
+                            let mut reads = Vec::new();
+                            collect_reads(&cbody, &mut reads);
+                            let mut writes = Vec::new();
+                            collect_writes(&cbody, &mut writes);
+                            self.processes.push(Process::Comb {
+                                reads,
+                                writes,
+                                body: cbody,
+                            });
+                        }
+                        Sensitivity::Edges(events) => {
+                            let mut edges = Vec::new();
+                            for ev in events {
+                                let id = self.resolve_signal(&ctx, &ev.signal)?;
+                                edges.push((ev.edge, id));
+                            }
+                            self.processes.push(Process::Seq { edges, body: cbody });
+                        }
+                    }
+                }
+                Item::Instance {
+                    module: def_name,
+                    name,
+                    params,
+                    conns,
+                } => {
+                    self.compile_instance(&ctx, prefix, def_name, name, params, conns, depth)?;
+                }
+            }
+        }
+        Ok(ctx.scope)
+    }
+
+    fn declare(
+        &mut self,
+        prefix: &str,
+        name: &str,
+        width: usize,
+        lsb_index: i64,
+        kind: NetKind,
+        scope: &mut Scope,
+    ) -> Result<SignalId, ElabError> {
+        let full = format!("{prefix}{name}");
+        if scope.contains_key(name) {
+            return Err(ElabError::DuplicateSignal(full));
+        }
+        let id = SignalId(self.signals.len() as u32);
+        self.signals.push(SignalDecl {
+            name: full.clone(),
+            width,
+            lsb_index,
+            kind,
+        });
+        self.by_name.insert(full, id);
+        scope.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn range_width(&self, range: Option<&Range>, consts: &Consts) -> Result<usize, ElabError> {
+        let Some(r) = range else { return Ok(1) };
+        let msb = self.const_i64(&r.msb, consts)?;
+        let lsb = self.const_i64(&r.lsb, consts)?;
+        if msb < lsb {
+            return Err(ElabError::BadRange(format!("[{msb}:{lsb}]")));
+        }
+        let w = (msb - lsb + 1) as usize;
+        if w == 0 || w > 4096 {
+            return Err(ElabError::BadRange(format!("[{msb}:{lsb}]")));
+        }
+        Ok(w)
+    }
+
+    fn range_lsb(&self, range: Option<&Range>, consts: &Consts) -> Result<i64, ElabError> {
+        match range {
+            Some(r) => self.const_i64(&r.lsb, consts),
+            None => Ok(0),
+        }
+    }
+
+    fn const_i64(&self, e: &Expr, consts: &Consts) -> Result<i64, ElabError> {
+        let v = fold_const(e, consts)
+            .map_err(|_| ElabError::NotConstant(mage_verilog::print_expr(e)))?;
+        v.to_u64()
+            .map(|u| u as i64)
+            .ok_or_else(|| ElabError::NotConstant(mage_verilog::print_expr(e)))
+    }
+
+    fn resolve_signal(&self, ctx: &ModuleCtx<'_>, name: &str) -> Result<SignalId, ElabError> {
+        ctx.scope
+            .get(name)
+            .copied()
+            .ok_or_else(|| ElabError::UndeclaredSignal {
+                module: ctx.module.name.clone(),
+                name: name.to_string(),
+            })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn compile_expr(&self, ctx: &ModuleCtx<'_>, e: &Expr) -> Result<CExpr, ElabError> {
+        Ok(match e {
+            Expr::Literal { value, .. } => CExpr::Const(value.clone()),
+            Expr::Ident(n) => match ctx.consts.get(n) {
+                Some(v) => CExpr::Const(v.clone()),
+                None => CExpr::Sig(self.resolve_signal(ctx, n)?),
+            },
+            Expr::Unary { op, operand } => {
+                CExpr::Unary(*op, Box::new(self.compile_expr(ctx, operand)?))
+            }
+            Expr::Binary { op, lhs, rhs } => CExpr::Binary(
+                *op,
+                Box::new(self.compile_expr(ctx, lhs)?),
+                Box::new(self.compile_expr(ctx, rhs)?),
+            ),
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => CExpr::Ternary(
+                Box::new(self.compile_expr(ctx, cond)?),
+                Box::new(self.compile_expr(ctx, then_expr)?),
+                Box::new(self.compile_expr(ctx, else_expr)?),
+            ),
+            Expr::Concat(parts) => CExpr::Concat(
+                parts
+                    .iter()
+                    .map(|p| self.compile_expr(ctx, p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Repl { count, value } => {
+                let n = self.const_i64(count, &ctx.consts)?;
+                if n <= 0 || n > 4096 {
+                    return Err(ElabError::BadRange(format!("replication count {n}")));
+                }
+                CExpr::Repl(n as usize, Box::new(self.compile_expr(ctx, value)?))
+            }
+            Expr::Bit { base, index } => {
+                // Selecting a bit of a parameter constant.
+                if let Some(v) = ctx.consts.get(base) {
+                    let idx = self.const_i64(index, &ctx.consts)?;
+                    let bit = if idx >= 0 {
+                        v.get(idx as usize).unwrap_or(mage_logic::LogicBit::X)
+                    } else {
+                        mage_logic::LogicBit::X
+                    };
+                    return Ok(CExpr::Const(LogicVec::from_bit(bit)));
+                }
+                let id = self.resolve_signal(ctx, base)?;
+                CExpr::BitSel(id, Box::new(self.compile_expr(ctx, index)?))
+            }
+            Expr::Part { base, msb, lsb } => {
+                let id = self.resolve_signal(ctx, base)?;
+                let decl = &self.signals[id.index()];
+                let msb_v = self.const_i64(msb, &ctx.consts)?;
+                let lsb_v = self.const_i64(lsb, &ctx.consts)?;
+                if msb_v < lsb_v {
+                    return Err(ElabError::BadRange(format!("{base}[{msb_v}:{lsb_v}]")));
+                }
+                let phys = lsb_v - decl.lsb_index;
+                let width = (msb_v - lsb_v + 1) as usize;
+                if phys < 0 || (phys as usize) + width > decl.width {
+                    return Err(ElabError::BadSelect(format!("{base}[{msb_v}:{lsb_v}]")));
+                }
+                CExpr::PartSel(id, phys, width)
+            }
+        })
+    }
+
+    fn compile_lvalue(&self, ctx: &ModuleCtx<'_>, l: &LValue) -> Result<CLValue, ElabError> {
+        Ok(match l {
+            LValue::Ident(n) => CLValue::Whole(self.resolve_signal(ctx, n)?),
+            LValue::Bit(n, idx) => {
+                let id = self.resolve_signal(ctx, n)?;
+                CLValue::BitSel(id, self.compile_expr(ctx, idx)?)
+            }
+            LValue::Part(n, msb, lsb) => {
+                let id = self.resolve_signal(ctx, n)?;
+                let decl = &self.signals[id.index()];
+                let msb_v = self.const_i64(msb, &ctx.consts)?;
+                let lsb_v = self.const_i64(lsb, &ctx.consts)?;
+                if msb_v < lsb_v {
+                    return Err(ElabError::BadRange(format!("{n}[{msb_v}:{lsb_v}]")));
+                }
+                let phys = lsb_v - decl.lsb_index;
+                let width = (msb_v - lsb_v + 1) as usize;
+                if phys < 0 || (phys as usize) + width > decl.width {
+                    return Err(ElabError::BadSelect(format!("{n}[{msb_v}:{lsb_v}]")));
+                }
+                CLValue::PartSel(id, phys, width)
+            }
+            LValue::Concat(parts) => CLValue::Concat(
+                parts
+                    .iter()
+                    .map(|p| self.compile_lvalue(ctx, p))
+                    .collect::<Result<_, _>>()?,
+            ),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn compile_stmt(&self, ctx: &ModuleCtx<'_>, s: &Stmt) -> Result<CStmt, ElabError> {
+        Ok(match s {
+            Stmt::Block(stmts) => CStmt::Block(
+                stmts
+                    .iter()
+                    .map(|st| self.compile_stmt(ctx, st))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => CStmt::If(
+                self.compile_expr(ctx, cond)?,
+                Box::new(self.compile_stmt(ctx, then_branch)?),
+                match else_branch {
+                    Some(e) => Some(Box::new(self.compile_stmt(ctx, e)?)),
+                    None => None,
+                },
+            ),
+            Stmt::Case {
+                kind,
+                expr,
+                arms,
+                default,
+            } => {
+                let sel = self.compile_expr(ctx, expr)?;
+                let mut carms = Vec::with_capacity(arms.len());
+                for arm in arms {
+                    let labels = arm
+                        .labels
+                        .iter()
+                        .map(|l| self.compile_expr(ctx, l))
+                        .collect::<Result<_, _>>()?;
+                    carms.push((labels, self.compile_stmt(ctx, &arm.body)?));
+                }
+                CStmt::Case {
+                    kind: *kind,
+                    sel,
+                    arms: carms,
+                    default: match default {
+                        Some(d) => Some(Box::new(self.compile_stmt(ctx, d)?)),
+                        None => None,
+                    },
+                }
+            }
+            Stmt::Blocking { lhs, rhs } => CStmt::Assign {
+                lv: self.compile_lvalue(ctx, lhs)?,
+                rhs: self.compile_expr(ctx, rhs)?,
+                nonblocking: false,
+            },
+            Stmt::NonBlocking { lhs, rhs } => CStmt::Assign {
+                lv: self.compile_lvalue(ctx, lhs)?,
+                rhs: self.compile_expr(ctx, rhs)?,
+                nonblocking: true,
+            },
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // Static unroll with `var` folded as a constant.
+                let mut unrolled = Vec::new();
+                let mut consts = ctx.consts.clone();
+                let mut v = fold_const(init, &consts).map_err(|_| {
+                    ElabError::NotConstant(format!("for-init {}", mage_verilog::print_expr(init)))
+                })?;
+                let mut iters = 0usize;
+                loop {
+                    consts.insert(var.clone(), v.clone());
+                    let c = fold_const(cond, &consts).map_err(|_| {
+                        ElabError::NotConstant(format!(
+                            "for-cond {}",
+                            mage_verilog::print_expr(cond)
+                        ))
+                    })?;
+                    if !c.truth().is_true() {
+                        break;
+                    }
+                    let iter_ctx = ModuleCtx {
+                        module: ctx.module,
+                        scope: ctx.scope.clone(),
+                        consts: consts.clone(),
+                    };
+                    unrolled.push(self.compile_stmt(&iter_ctx, body)?);
+                    v = fold_const(step, &consts).map_err(|_| {
+                        ElabError::NotConstant(format!(
+                            "for-step {}",
+                            mage_verilog::print_expr(step)
+                        ))
+                    })?;
+                    iters += 1;
+                    if iters > LOOP_LIMIT {
+                        return Err(ElabError::LoopLimit(format!("for ({var} = …)")));
+                    }
+                }
+                CStmt::Block(unrolled)
+            }
+            Stmt::Empty => CStmt::Nop,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Instances
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn compile_instance(
+        &mut self,
+        ctx: &ModuleCtx<'_>,
+        prefix: &str,
+        def_name: &str,
+        inst_name: &str,
+        params: &[(String, Expr)],
+        conns: &Connections,
+        depth: usize,
+    ) -> Result<(), ElabError> {
+        let def = self
+            .file
+            .module(def_name)
+            .ok_or_else(|| ElabError::UnknownModule(def_name.to_string()))?;
+        let mut overrides: Consts = HashMap::new();
+        for (pname, pexpr) in params {
+            if !def.params.iter().any(|p| p.name == *pname && !p.local) {
+                return Err(ElabError::BadConnection(format!(
+                    "module `{def_name}` has no parameter `{pname}`"
+                )));
+            }
+            let v = fold_const(pexpr, &ctx.consts).map_err(|_| {
+                ElabError::NotConstant(format!("override of parameter `{pname}`"))
+            })?;
+            overrides.insert(pname.clone(), v);
+        }
+        // Propose aliases for ports connected to plain identifiers.
+        let mut aliases: HashMap<String, SignalId> = HashMap::new();
+        let conn_pairs: Vec<(&Port, Option<&Expr>)> = match conns {
+            Connections::Named(named) => {
+                let mut v = Vec::new();
+                for (pname, expr) in named {
+                    let port = def.port(pname).ok_or_else(|| {
+                        ElabError::BadConnection(format!(
+                            "module `{def_name}` has no port `{pname}`"
+                        ))
+                    })?;
+                    v.push((port, expr.as_ref()));
+                }
+                v
+            }
+            Connections::Ordered(exprs) => {
+                if exprs.len() > def.ports.len() {
+                    return Err(ElabError::BadConnection(format!(
+                        "too many connections for `{def_name}`"
+                    )));
+                }
+                def.ports.iter().zip(exprs.iter().map(Some)).collect()
+            }
+        };
+        for (port, conn) in &conn_pairs {
+            if let Some(Expr::Ident(n)) = conn {
+                if !ctx.consts.contains_key(n) {
+                    if let Some(&parent) = ctx.scope.get(n) {
+                        aliases.insert(port.name.clone(), parent);
+                    }
+                }
+            }
+        }
+        let child_prefix = format!("{prefix}{inst_name}.");
+        let child_scope =
+            self.instantiate(def, &child_prefix, &overrides, &aliases, depth + 1)?;
+
+        // Bind connections.
+        for (port, conn) in conn_pairs {
+            let Some(conn) = conn else { continue };
+            let port_id = child_scope[&port.name];
+            // Aliased ports are wired by construction.
+            if let Some(&proposed) = aliases.get(&port.name) {
+                if proposed == port_id {
+                    continue;
+                }
+            }
+            match port.dir {
+                Direction::Input => {
+                    let rhs = self.compile_expr(ctx, conn)?;
+                    let body = CStmt::Assign {
+                        lv: CLValue::Whole(port_id),
+                        rhs,
+                        nonblocking: false,
+                    };
+                    let mut reads = Vec::new();
+                    collect_reads(&body, &mut reads);
+                    let mut writes = Vec::new();
+                    collect_writes(&body, &mut writes);
+                    self.processes.push(Process::Comb { reads, writes, body });
+                }
+                Direction::Output => {
+                    let lval = expr_as_lvalue(conn).ok_or_else(|| {
+                        ElabError::BadConnection(format!(
+                            "output port `{}` connected to a non-lvalue",
+                            port.name
+                        ))
+                    })?;
+                    let lv = self.compile_lvalue(ctx, &lval)?;
+                    let body = CStmt::Assign {
+                        lv,
+                        rhs: CExpr::Sig(port_id),
+                        nonblocking: false,
+                    };
+                    let mut reads = vec![port_id];
+                    collect_reads(&body, &mut reads);
+                    let mut writes = Vec::new();
+                    collect_writes(&body, &mut writes);
+                    self.processes.push(Process::Comb { reads, writes, body });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convert a connection expression to an lvalue when possible.
+fn expr_as_lvalue(e: &Expr) -> Option<LValue> {
+    match e {
+        Expr::Ident(n) => Some(LValue::Ident(n.clone())),
+        Expr::Bit { base, index } => Some(LValue::Bit(base.clone(), (**index).clone())),
+        Expr::Part { base, msb, lsb } => Some(LValue::Part(
+            base.clone(),
+            (**msb).clone(),
+            (**lsb).clone(),
+        )),
+        Expr::Concat(parts) => {
+            let mut out = Vec::with_capacity(parts.len());
+            for p in parts {
+                out.push(expr_as_lvalue(p)?);
+            }
+            Some(LValue::Concat(out))
+        }
+        _ => None,
+    }
+}
+
+/// Collect the signals a compiled statement reads (for combinational
+/// sensitivity). Written signals are *not* excluded: a comb process that
+/// reads what it writes is a combinational loop and will be caught at
+/// simulation time.
+pub(crate) fn collect_reads(s: &CStmt, out: &mut Vec<SignalId>) {
+    fn expr(e: &CExpr, out: &mut Vec<SignalId>) {
+        match e {
+            CExpr::Const(_) => {}
+            CExpr::Sig(id) => out.push(*id),
+            CExpr::Unary(_, a) => expr(a, out),
+            CExpr::Binary(_, a, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            CExpr::Ternary(c, t, f) => {
+                expr(c, out);
+                expr(t, out);
+                expr(f, out);
+            }
+            CExpr::Concat(parts) => parts.iter().for_each(|p| expr(p, out)),
+            CExpr::Repl(_, v) => expr(v, out),
+            CExpr::BitSel(id, idx) => {
+                out.push(*id);
+                expr(idx, out);
+            }
+            CExpr::PartSel(id, _, _) => out.push(*id),
+        }
+    }
+    fn lval_indices(l: &CLValue, out: &mut Vec<SignalId>) {
+        match l {
+            CLValue::Whole(_) | CLValue::PartSel(..) => {}
+            CLValue::BitSel(_, idx) => expr(idx, out),
+            CLValue::Concat(parts) => parts.iter().for_each(|p| lval_indices(p, out)),
+        }
+    }
+    match s {
+        CStmt::Block(stmts) => stmts.iter().for_each(|c| collect_reads(c, out)),
+        CStmt::If(c, t, e) => {
+            expr(c, out);
+            collect_reads(t, out);
+            if let Some(e) = e {
+                collect_reads(e, out);
+            }
+        }
+        CStmt::Case {
+            sel, arms, default, ..
+        } => {
+            expr(sel, out);
+            for (labels, body) in arms {
+                labels.iter().for_each(|l| expr(l, out));
+                collect_reads(body, out);
+            }
+            if let Some(d) = default {
+                collect_reads(d, out);
+            }
+        }
+        CStmt::Assign { lv, rhs, .. } => {
+            expr(rhs, out);
+            lval_indices(lv, out);
+        }
+        CStmt::Nop => {}
+    }
+}
+
+/// Collect the signals a compiled statement can write.
+pub(crate) fn collect_writes(s: &CStmt, out: &mut Vec<SignalId>) {
+    fn lval(l: &CLValue, out: &mut Vec<SignalId>) {
+        match l {
+            CLValue::Whole(id) | CLValue::BitSel(id, _) | CLValue::PartSel(id, _, _) => {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+            CLValue::Concat(parts) => parts.iter().for_each(|p| lval(p, out)),
+        }
+    }
+    match s {
+        CStmt::Block(stmts) => stmts.iter().for_each(|c| collect_writes(c, out)),
+        CStmt::If(_, t, e) => {
+            collect_writes(t, out);
+            if let Some(e) = e {
+                collect_writes(e, out);
+            }
+        }
+        CStmt::Case { arms, default, .. } => {
+            for (_, body) in arms {
+                collect_writes(body, out);
+            }
+            if let Some(d) = default {
+                collect_writes(d, out);
+            }
+        }
+        CStmt::Assign { lv, .. } => lval(lv, out),
+        CStmt::Nop => {}
+    }
+}
+
+/// Fold a constant expression over a parameter environment.
+///
+/// Every identifier must resolve in `consts`; `None` otherwise. Exposed
+/// for tools (like the mutation engine) that need widths of declared
+/// signals without a full elaboration.
+pub fn fold_const_expr(e: &Expr, consts: &HashMap<String, LogicVec>) -> Option<LogicVec> {
+    fold_const(e, consts).ok()
+}
+
+/// Internal fallible fold used by elaboration error paths.
+pub(crate) fn fold_const(e: &Expr, consts: &Consts) -> Result<LogicVec, ()> {
+    use mage_logic::{LogicBit, Truth};
+    Ok(match e {
+        Expr::Literal { value, .. } => value.clone(),
+        Expr::Ident(n) => consts.get(n).cloned().ok_or(())?,
+        Expr::Unary { op, operand } => {
+            let v = fold_const(operand, consts)?;
+            match op {
+                UnaryOp::Not => v.bit_not(),
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::Plus => v,
+                UnaryOp::LogicNot => LogicVec::from_bit(v.truth().not().to_bit()),
+                UnaryOp::ReduceAnd => LogicVec::from_bit(v.reduce_and()),
+                UnaryOp::ReduceOr => LogicVec::from_bit(v.reduce_or()),
+                UnaryOp::ReduceXor => LogicVec::from_bit(v.reduce_xor()),
+                UnaryOp::ReduceNand => LogicVec::from_bit(v.reduce_nand()),
+                UnaryOp::ReduceNor => LogicVec::from_bit(v.reduce_nor()),
+                UnaryOp::ReduceXnor => LogicVec::from_bit(v.reduce_xnor()),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = fold_const(lhs, consts)?;
+            let b = fold_const(rhs, consts)?;
+            match op {
+                BinaryOp::Add => a.add(&b),
+                BinaryOp::Sub => a.sub(&b),
+                BinaryOp::Mul => a.mul(&b),
+                BinaryOp::Div => a.div(&b),
+                BinaryOp::Mod => a.rem(&b),
+                BinaryOp::And => a.bit_and(&b),
+                BinaryOp::Or => a.bit_or(&b),
+                BinaryOp::Xor => a.bit_xor(&b),
+                BinaryOp::Xnor => a.bit_xnor(&b),
+                BinaryOp::LogicAnd => LogicVec::from_bit(a.truth().and(b.truth()).to_bit()),
+                BinaryOp::LogicOr => LogicVec::from_bit(a.truth().or(b.truth()).to_bit()),
+                BinaryOp::Eq => LogicVec::from_bit(a.logic_eq(&b)),
+                BinaryOp::Neq => LogicVec::from_bit(a.logic_neq(&b)),
+                BinaryOp::CaseEq => LogicVec::from_bit(LogicBit::from(a.case_eq(&b))),
+                BinaryOp::CaseNeq => LogicVec::from_bit(LogicBit::from(!a.case_eq(&b))),
+                BinaryOp::Lt => LogicVec::from_bit(a.lt(&b)),
+                BinaryOp::Le => LogicVec::from_bit(a.le(&b)),
+                BinaryOp::Gt => LogicVec::from_bit(a.gt(&b)),
+                BinaryOp::Ge => LogicVec::from_bit(a.ge(&b)),
+                BinaryOp::Shl => a.shl(&b),
+                BinaryOp::Shr => a.shr(&b),
+            }
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            let c = fold_const(cond, consts)?.truth();
+            match c {
+                Truth::True => fold_const(then_expr, consts)?,
+                Truth::False => fold_const(else_expr, consts)?,
+                Truth::Unknown => LogicVec::mux(
+                    Truth::Unknown,
+                    &fold_const(then_expr, consts)?,
+                    &fold_const(else_expr, consts)?,
+                ),
+            }
+        }
+        Expr::Concat(parts) => {
+            let vals: Vec<LogicVec> = parts
+                .iter()
+                .map(|p| fold_const(p, consts))
+                .collect::<Result<_, _>>()?;
+            let refs: Vec<&LogicVec> = vals.iter().collect();
+            LogicVec::concat_msb_first(&refs)
+        }
+        Expr::Repl { count, value } => {
+            let n = fold_const(count, consts)?.to_u64().ok_or(())? as usize;
+            if n == 0 || n > 4096 {
+                return Err(());
+            }
+            fold_const(value, consts)?.replicate(n)
+        }
+        Expr::Bit { base, index } => {
+            let v = consts.get(base).ok_or(())?;
+            let i = fold_const(index, consts)?.to_u64().ok_or(())? as usize;
+            LogicVec::from_bit(v.get(i).unwrap_or(LogicBit::X))
+        }
+        Expr::Part { base, msb, lsb } => {
+            let v = consts.get(base).ok_or(())?;
+            let m = fold_const(msb, consts)?.to_u64().ok_or(())? as i64;
+            let l = fold_const(lsb, consts)?.to_u64().ok_or(())? as i64;
+            if m < l {
+                return Err(());
+            }
+            v.slice(l as isize, (m - l + 1) as usize)
+        }
+    })
+}

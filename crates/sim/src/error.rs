@@ -1,0 +1,93 @@
+//! Elaboration and simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while elaborating a parsed design into a [`crate::Design`].
+///
+/// Elaboration errors are part of the feedback loop: a candidate that
+/// parses but references undeclared signals (a common LLM failure mode)
+/// is reported back to the RTL agent through this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElabError {
+    /// The requested top module does not exist in the source file.
+    UnknownModule(String),
+    /// An identifier was used but never declared.
+    UndeclaredSignal {
+        /// Module where the reference occurred.
+        module: String,
+        /// The undeclared name.
+        name: String,
+    },
+    /// A signal was declared more than once.
+    DuplicateSignal(String),
+    /// An expression that must be constant could not be folded.
+    NotConstant(String),
+    /// A `[msb:lsb]` range with msb < lsb or negative width.
+    BadRange(String),
+    /// Select indices outside the declared range of a signal.
+    BadSelect(String),
+    /// Instance connection problems (unknown port, non-lvalue output, …).
+    BadConnection(String),
+    /// `for` loop exceeded the static unroll limit.
+    LoopLimit(String),
+    /// Instantiation recursion exceeded the depth limit.
+    RecursionLimit(String),
+    /// Anything else with a message.
+    Unsupported(String),
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElabError::UnknownModule(m) => write!(f, "unknown module `{m}`"),
+            ElabError::UndeclaredSignal { module, name } => {
+                write!(f, "undeclared signal `{name}` in module `{module}`")
+            }
+            ElabError::DuplicateSignal(s) => write!(f, "duplicate declaration of `{s}`"),
+            ElabError::NotConstant(e) => write!(f, "expression is not constant: {e}"),
+            ElabError::BadRange(e) => write!(f, "invalid range: {e}"),
+            ElabError::BadSelect(e) => write!(f, "select out of declared range: {e}"),
+            ElabError::BadConnection(e) => write!(f, "invalid instance connection: {e}"),
+            ElabError::LoopLimit(e) => write!(f, "for-loop unroll limit exceeded: {e}"),
+            ElabError::RecursionLimit(e) => write!(f, "instantiation recursion too deep: {e}"),
+            ElabError::Unsupported(e) => write!(f, "unsupported construct: {e}"),
+        }
+    }
+}
+
+impl Error for ElabError {}
+
+/// Error raised during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Combinational evaluation failed to reach a fixpoint (a
+    /// combinational loop, possibly introduced by a mutation).
+    CombinationalLoop {
+        /// Iterations attempted before giving up.
+        iterations: usize,
+    },
+    /// Edge-cascade limit exceeded (pathological clock feedback).
+    EdgeCascade {
+        /// Cascade rounds attempted.
+        rounds: usize,
+    },
+    /// A named input does not exist or is not a top-level input.
+    UnknownInput(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombinationalLoop { iterations } => {
+                write!(f, "combinational loop: no fixpoint after {iterations} iterations")
+            }
+            SimError::EdgeCascade { rounds } => {
+                write!(f, "edge cascade did not converge after {rounds} rounds")
+            }
+            SimError::UnknownInput(n) => write!(f, "`{n}` is not a top-level input"),
+        }
+    }
+}
+
+impl Error for SimError {}

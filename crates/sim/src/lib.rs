@@ -1,0 +1,56 @@
+//! Elaboration and four-state simulation for the MAGE Verilog subset.
+//!
+//! This crate replaces the Icarus Verilog compile-and-simulate loop the
+//! MAGE paper uses: [`elaborate`] flattens a parsed design into signals
+//! and compiled processes, and [`Simulator`] executes it with
+//! combinational-fixpoint and non-blocking-assignment clock semantics,
+//! with full `X`/`Z` propagation.
+//!
+//! The intended cycle-level usage mirrors a Verilog testbench: drive
+//! inputs with [`Simulator::poke`], toggle the clock input, and read
+//! outputs with [`Simulator::peek`]. The `mage-tb` crate builds the
+//! paper's checkpointed testbench protocol on top of this interface.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mage_logic::LogicVec;
+//! use mage_sim::{elaborate, Simulator};
+//!
+//! let file = mage_verilog::parse(
+//!     "module counter(input clk, input rst, output reg [3:0] q);
+//!        always @(posedge clk) if (rst) q <= 4'd0; else q <= q + 4'd1;
+//!      endmodule",
+//! ).unwrap();
+//! let design = Arc::new(elaborate(&file, "counter")?);
+//! let mut sim = Simulator::new(design);
+//! sim.settle().unwrap();
+//! sim.poke("rst", LogicVec::from_bool(true)).unwrap();
+//! sim.poke("clk", LogicVec::from_bool(false)).unwrap();
+//! sim.poke("clk", LogicVec::from_bool(true)).unwrap(); // reset edge
+//! sim.poke("rst", LogicVec::from_bool(false)).unwrap();
+//! for _ in 0..3 {
+//!     sim.poke("clk", LogicVec::from_bool(false)).unwrap();
+//!     sim.poke("clk", LogicVec::from_bool(true)).unwrap();
+//! }
+//! assert_eq!(sim.peek_by_name("q").unwrap().to_u64(), Some(3));
+//! # Ok::<(), mage_sim::ElabError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod design;
+mod elab;
+mod error;
+mod eval;
+mod sim;
+mod vcd;
+
+pub use design::{CExpr, CLValue, CStmt, Design, Process, SignalDecl, SignalId};
+pub use elab::{elaborate, fold_const_expr};
+pub use error::{ElabError, SimError};
+pub use eval::{eval, exec, PendingWrite, Store};
+pub use sim::Simulator;
+pub use vcd::VcdRecorder;

@@ -1,0 +1,697 @@
+//! The four-state cycle/event simulator.
+
+use crate::design::{Design, Process, SignalId};
+use crate::error::SimError;
+use crate::eval::{apply_write, exec, PendingWrite, Store};
+use mage_logic::{LogicBit, LogicVec};
+use mage_verilog::ast::Edge;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Upper bound on combinational fixpoint iterations per settle.
+const SETTLE_LIMIT_FACTOR: usize = 64;
+/// Upper bound on NBA-commit → edge-trigger cascade rounds.
+const CASCADE_LIMIT: usize = 64;
+
+/// IEEE-1364 edge detection on the LSB of a changing signal.
+fn is_edge(edge: Edge, old: LogicBit, new: LogicBit) -> bool {
+    let (old, new) = (old.normalized(), new.normalized());
+    if old == new {
+        return false;
+    }
+    match edge {
+        // posedge: 0→1, 0→X, X→1
+        Edge::Pos => old == LogicBit::Zero || new == LogicBit::One,
+        // negedge: 1→0, 1→X, X→0
+        Edge::Neg => old == LogicBit::One || new == LogicBit::Zero,
+    }
+}
+
+/// An instance of a design being simulated.
+///
+/// The simulator owns a value store (one [`LogicVec`] per signal, all `X`
+/// at time zero, like an event-driven simulator's un-reset state),
+/// executes edge-triggered processes with non-blocking-assignment
+/// semantics, and settles combinational processes to a fixpoint after
+/// every disturbance.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use mage_logic::LogicVec;
+/// use mage_sim::{elaborate, Simulator};
+///
+/// let file = mage_verilog::parse(
+///     "module top(input a, input b, output y); assign y = a & b; endmodule",
+/// ).unwrap();
+/// let design = Arc::new(elaborate(&file, "top")?);
+/// let mut sim = Simulator::new(design);
+/// sim.settle().unwrap();
+/// sim.poke("a", LogicVec::from_bool(true)).unwrap();
+/// sim.poke("b", LogicVec::from_bool(true)).unwrap();
+/// assert_eq!(sim.peek_by_name("y").unwrap().to_u64(), Some(1));
+/// # Ok::<(), mage_sim::ElabError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    design: Arc<Design>,
+    store: Store,
+    time: u64,
+    /// signal -> comb process indices reading it
+    comb_deps: HashMap<SignalId, Vec<usize>>,
+    /// signal -> seq process indices with an edge on it
+    edge_deps: HashMap<SignalId, Vec<usize>>,
+}
+
+impl Simulator {
+    /// Create a simulator with every signal at `X` and time 0.
+    ///
+    /// Call [`Simulator::settle`] before reading combinational outputs.
+    pub fn new(design: Arc<Design>) -> Self {
+        let store: Store = design
+            .signals
+            .iter()
+            .map(|s| LogicVec::all_x(s.width))
+            .collect();
+        let mut comb_deps: HashMap<SignalId, Vec<usize>> = HashMap::new();
+        let mut edge_deps: HashMap<SignalId, Vec<usize>> = HashMap::new();
+        for (i, p) in design.processes.iter().enumerate() {
+            match p {
+                Process::Comb { reads, .. } => {
+                    for &r in reads {
+                        let v = comb_deps.entry(r).or_default();
+                        if !v.contains(&i) {
+                            v.push(i);
+                        }
+                    }
+                }
+                Process::Seq { edges, .. } => {
+                    for &(_, s) in edges {
+                        let v = edge_deps.entry(s).or_default();
+                        if !v.contains(&i) {
+                            v.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        Simulator {
+            design,
+            store,
+            time: 0,
+            comb_deps,
+            edge_deps,
+        }
+    }
+
+    /// The design being simulated.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Current simulation time (advanced only by [`Simulator::advance`]).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Advance the nominal time stamp (used by testbench logs).
+    pub fn advance(&mut self, dt: u64) {
+        self.time += dt;
+    }
+
+    /// Read the current value of a signal.
+    pub fn peek(&self, id: SignalId) -> &LogicVec {
+        &self.store[id.index()]
+    }
+
+    /// Read a signal by hierarchical name.
+    pub fn peek_by_name(&self, name: &str) -> Option<&LogicVec> {
+        self.design.signal(name).map(|id| self.peek(id))
+    }
+
+    /// Drive a top-level input by name and propagate the change (edges
+    /// first, then combinational settle).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownInput`] if `name` is not a top-level input;
+    /// propagation errors as in [`Simulator::settle`].
+    pub fn poke(&mut self, name: &str, value: LogicVec) -> Result<(), SimError> {
+        let id = self
+            .design
+            .signal(name)
+            .filter(|id| self.design.inputs.contains(id))
+            .ok_or_else(|| SimError::UnknownInput(name.to_string()))?;
+        self.poke_id(id, value)
+    }
+
+    /// Drive a signal by id (testbenches use this for clocks and data).
+    ///
+    /// # Errors
+    ///
+    /// Propagation errors as in [`Simulator::settle`].
+    pub fn poke_id(&mut self, id: SignalId, value: LogicVec) -> Result<(), SimError> {
+        let width = self.design.width(id);
+        let value = value.resized(width);
+        let old = self.store[id.index()].clone();
+        if old.case_eq(&value) {
+            return Ok(());
+        }
+        self.store[id.index()] = value.clone();
+
+        // 1. Edge-triggered processes sampling the pre-NBA world.
+        let old_bit = old.get(0).unwrap_or(LogicBit::X);
+        let new_bit = value.get(0).unwrap_or(LogicBit::X);
+        let mut triggered: Vec<usize> = Vec::new();
+        if let Some(procs) = self.edge_deps.get(&id) {
+            for &pi in procs {
+                if let Process::Seq { edges, .. } = &self.design.processes[pi] {
+                    if edges
+                        .iter()
+                        .any(|&(e, s)| s == id && is_edge(e, old_bit, new_bit))
+                    {
+                        triggered.push(pi);
+                    }
+                }
+            }
+        }
+        let mut changed = vec![id];
+        self.run_seq_cascade(triggered, &mut changed)?;
+
+        // 2. Combinational settle from everything that moved.
+        self.settle_from(changed)
+    }
+
+    /// Run triggered sequential processes, commit their non-blocking
+    /// writes, and follow any edges those commits produce (clock
+    /// dividers), up to [`CASCADE_LIMIT`] rounds.
+    fn run_seq_cascade(
+        &mut self,
+        mut triggered: Vec<usize>,
+        changed: &mut Vec<SignalId>,
+    ) -> Result<(), SimError> {
+        let design = self.design.clone();
+        let mut rounds = 0usize;
+        while !triggered.is_empty() {
+            rounds += 1;
+            if rounds > CASCADE_LIMIT {
+                return Err(SimError::EdgeCascade { rounds });
+            }
+            let mut nba: Vec<PendingWrite> = Vec::new();
+            for pi in triggered.drain(..) {
+                if let Process::Seq { body, .. } = &design.processes[pi] {
+                    // Blocking writes inside sequential bodies write
+                    // through (standard Verilog), tracked in `changed`.
+                    exec(&design, &mut self.store, body, &mut nba, changed);
+                }
+            }
+            // Commit NBAs, detecting new edges.
+            let mut nba_changed: Vec<SignalId> = Vec::new();
+            let olds: HashMap<SignalId, LogicBit> = nba
+                .iter()
+                .map(|w| {
+                    (
+                        w.signal,
+                        self.store[w.signal.index()].get(0).unwrap_or(LogicBit::X),
+                    )
+                })
+                .collect();
+            for w in &nba {
+                apply_write(
+                    &design,
+                    &mut self.store,
+                    w.signal,
+                    w.lsb,
+                    w.width,
+                    &w.value,
+                    &mut nba_changed,
+                );
+            }
+            for &sig in &nba_changed {
+                let old_bit = olds.get(&sig).copied().unwrap_or(LogicBit::X);
+                let new_bit = self.store[sig.index()].get(0).unwrap_or(LogicBit::X);
+                if let Some(procs) = self.edge_deps.get(&sig) {
+                    for &pi in procs {
+                        if let Process::Seq { edges, .. } = &design.processes[pi] {
+                            if edges
+                                .iter()
+                                .any(|&(e, s)| s == sig && is_edge(e, old_bit, new_bit))
+                                && !triggered.contains(&pi)
+                            {
+                                triggered.push(pi);
+                            }
+                        }
+                    }
+                }
+            }
+            changed.extend(nba_changed);
+        }
+        Ok(())
+    }
+
+    /// Evaluate every combinational process to a fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CombinationalLoop`] when no fixpoint is reached — a
+    /// real failure mode for mutated candidates, which the judge agent
+    /// scores as zero.
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        let all: Vec<usize> = (0..self.design.processes.len())
+            .filter(|&i| matches!(self.design.processes[i], Process::Comb { .. }))
+            .collect();
+        self.run_comb_worklist(all)
+    }
+
+    /// Settle starting from the processes sensitive to `changed` signals.
+    fn settle_from(&mut self, changed: Vec<SignalId>) -> Result<(), SimError> {
+        let mut init: Vec<usize> = Vec::new();
+        for sig in changed {
+            if let Some(procs) = self.comb_deps.get(&sig) {
+                for &p in procs {
+                    if !init.contains(&p) {
+                        init.push(p);
+                    }
+                }
+            }
+        }
+        self.run_comb_worklist(init)
+    }
+
+    fn run_comb_worklist(&mut self, init: Vec<usize>) -> Result<(), SimError> {
+        let design = self.design.clone();
+        let mut queue: std::collections::VecDeque<usize> = init.into();
+        let mut in_queue: Vec<bool> = vec![false; design.processes.len()];
+        for &p in &queue {
+            in_queue[p] = true;
+        }
+        let limit = SETTLE_LIMIT_FACTOR * design.processes.len().max(4) + 64;
+        let mut iterations = 0usize;
+        while let Some(pi) = queue.pop_front() {
+            in_queue[pi] = false;
+            iterations += 1;
+            if iterations > limit {
+                return Err(SimError::CombinationalLoop { iterations });
+            }
+            let Process::Comb { body, writes, .. } = &design.processes[pi] else {
+                continue;
+            };
+            // Snapshot the write set so a process that reads what it
+            // writes (an accumulation chain) only reports *net* changes;
+            // intermediate blocking-write glitches must not re-trigger it.
+            let before: Vec<LogicVec> = writes
+                .iter()
+                .map(|id| self.store[id.index()].clone())
+                .collect();
+            let mut nba: Vec<PendingWrite> = Vec::new();
+            let mut scratch: Vec<SignalId> = Vec::new();
+            exec(&design, &mut self.store, body, &mut nba, &mut scratch);
+            // NBAs inside comb always blocks commit immediately at the end
+            // of the process (simplified @* semantics).
+            for w in &nba {
+                apply_write(
+                    &design,
+                    &mut self.store,
+                    w.signal,
+                    w.lsb,
+                    w.width,
+                    &w.value,
+                    &mut scratch,
+                );
+            }
+            let changed: Vec<SignalId> = writes
+                .iter()
+                .zip(before.iter())
+                .filter(|(id, old)| !self.store[id.index()].case_eq(old))
+                .map(|(id, _)| *id)
+                .collect();
+            // Sequential processes must not be edge-triggered by
+            // combinational glitches in this model; only real pokes and
+            // NBA commits produce edges. (Clock gating through logic is
+            // outside the benchmark subset.)
+            for sig in changed {
+                if let Some(procs) = self.comb_deps.get(&sig) {
+                    for &p in procs {
+                        if !in_queue[p] {
+                            in_queue[p] = true;
+                            queue.push_back(p);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::elaborate;
+
+    fn sim_of(src: &str) -> Simulator {
+        let file = mage_verilog::parse(src).unwrap();
+        let top = file.modules.last().unwrap().name.clone();
+        let design = Arc::new(elaborate(&file, &top).unwrap());
+        let mut s = Simulator::new(design);
+        s.settle().unwrap();
+        s
+    }
+
+    fn v(w: usize, x: u64) -> LogicVec {
+        LogicVec::from_u64(w, x)
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        let mut s = sim_of("module top(input a, input b, output y); assign y = a & b; endmodule");
+        for (a, b, y) in [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)] {
+            s.poke("a", v(1, a)).unwrap();
+            s.poke("b", v(1, b)).unwrap();
+            assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(y));
+        }
+    }
+
+    #[test]
+    fn outputs_x_before_drive() {
+        let s = sim_of("module top(input a, output y); assign y = ~a; endmodule");
+        assert!(s.peek_by_name("y").unwrap().is_all_x());
+    }
+
+    #[test]
+    fn adder_with_carry_capture() {
+        let mut s = sim_of(
+            "module top(input [3:0] a, input [3:0] b, output [4:0] s);
+               assign s = a + b;
+             endmodule",
+        );
+        s.poke("a", v(4, 9)).unwrap();
+        s.poke("b", v(4, 9)).unwrap();
+        // Context width 5 captures the carry.
+        assert_eq!(s.peek_by_name("s").unwrap().to_u64(), Some(18));
+    }
+
+    #[test]
+    fn concat_lvalue_splits_sum() {
+        let mut s = sim_of(
+            "module top(input [3:0] a, input [3:0] b, output cout, output [3:0] sum);
+               assign {cout, sum} = a + b;
+             endmodule",
+        );
+        s.poke("a", v(4, 12)).unwrap();
+        s.poke("b", v(4, 7)).unwrap();
+        assert_eq!(s.peek_by_name("sum").unwrap().to_u64(), Some(3));
+        assert_eq!(s.peek_by_name("cout").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn comb_always_with_case() {
+        let mut s = sim_of(
+            "module top(input [1:0] sel, input [3:0] a, input [3:0] b, input [3:0] c, output reg [3:0] y);
+               always @(*) case (sel)
+                 2'b00: y = a;
+                 2'b01: y = b;
+                 default: y = c;
+               endcase
+             endmodule",
+        );
+        s.poke("a", v(4, 1)).unwrap();
+        s.poke("b", v(4, 2)).unwrap();
+        s.poke("c", v(4, 3)).unwrap();
+        s.poke("sel", v(2, 0)).unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(1));
+        s.poke("sel", v(2, 1)).unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(2));
+        s.poke("sel", v(2, 3)).unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(3));
+    }
+
+    #[test]
+    fn dff_samples_on_posedge_only() {
+        let mut s = sim_of(
+            "module top(input clk, input d, output reg q);
+               always @(posedge clk) q <= d;
+             endmodule",
+        );
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("d", v(1, 1)).unwrap();
+        assert!(s.peek_by_name("q").unwrap().is_all_x(), "q X before clock");
+        s.poke("clk", v(1, 1)).unwrap(); // posedge
+        assert_eq!(s.peek_by_name("q").unwrap().to_u64(), Some(1));
+        s.poke("d", v(1, 0)).unwrap(); // no edge: q holds
+        assert_eq!(s.peek_by_name("q").unwrap().to_u64(), Some(1));
+        s.poke("clk", v(1, 0)).unwrap(); // negedge: q holds
+        assert_eq!(s.peek_by_name("q").unwrap().to_u64(), Some(1));
+        s.poke("clk", v(1, 1)).unwrap(); // posedge samples new d
+        assert_eq!(s.peek_by_name("q").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn nba_swap_is_simultaneous() {
+        let mut s = sim_of(
+            "module top(input clk, input [7:0] init_a, output reg [7:0] a, output reg [7:0] b);
+               always @(posedge clk) begin
+                 a <= b;
+                 b <= a;
+               end
+             endmodule",
+        );
+        // Force initial values through input-independent paths: poke via
+        // clocked capture is impossible here, so initialize by hand.
+        let ida = s.design().signal("a").unwrap();
+        let idb = s.design().signal("b").unwrap();
+        s.store[ida.index()] = v(8, 1);
+        s.store[idb.index()] = v(8, 2);
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("clk", v(1, 1)).unwrap();
+        assert_eq!(s.peek(ida).to_u64(), Some(2), "a takes old b");
+        assert_eq!(s.peek(idb).to_u64(), Some(1), "b takes old a");
+    }
+
+    #[test]
+    fn async_reset_dominates() {
+        let mut s = sim_of(
+            "module top(input clk, input rst, input d, output reg q);
+               always @(posedge clk or posedge rst)
+                 if (rst) q <= 1'b0; else q <= d;
+             endmodule",
+        );
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("d", v(1, 1)).unwrap();
+        s.poke("rst", v(1, 1)).unwrap(); // async reset without clock
+        assert_eq!(s.peek_by_name("q").unwrap().to_u64(), Some(0));
+        s.poke("rst", v(1, 0)).unwrap();
+        s.poke("clk", v(1, 1)).unwrap();
+        assert_eq!(s.peek_by_name("q").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut s = sim_of(
+            "module top(input clk, input rst, output reg [3:0] q);
+               always @(posedge clk) begin
+                 if (rst) q <= 4'd0;
+                 else q <= q + 4'd1;
+               end
+             endmodule",
+        );
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("rst", v(1, 1)).unwrap();
+        s.poke("clk", v(1, 1)).unwrap();
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("rst", v(1, 0)).unwrap();
+        for expect in 1..=5u64 {
+            s.poke("clk", v(1, 1)).unwrap();
+            s.poke("clk", v(1, 0)).unwrap();
+            assert_eq!(s.peek_by_name("q").unwrap().to_u64(), Some(expect % 16));
+        }
+    }
+
+    #[test]
+    fn hierarchy_flattens_and_works() {
+        let mut s = sim_of(
+            "module fa(input a, input b, input cin, output s, output cout);
+               assign s = a ^ b ^ cin;
+               assign cout = (a & b) | (cin & (a ^ b));
+             endmodule
+             module top(input [1:0] x, input [1:0] y, output [2:0] sum);
+               wire c0;
+               fa f0 (.a(x[0]), .b(y[0]), .cin(1'b0), .s(sum[0]), .cout(c0));
+               fa f1 (.a(x[1]), .b(y[1]), .cin(c0), .s(sum[1]), .cout(sum[2]));
+             endmodule",
+        );
+        for x in 0..4u64 {
+            for y in 0..4u64 {
+                s.poke("x", v(2, x)).unwrap();
+                s.poke("y", v(2, y)).unwrap();
+                assert_eq!(
+                    s.peek_by_name("sum").unwrap().to_u64(),
+                    Some(x + y),
+                    "{x}+{y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_override_changes_width() {
+        let mut s = sim_of(
+            "module w #(parameter N = 4)(input [N-1:0] a, output [N-1:0] y);
+               assign y = ~a;
+             endmodule
+             module top(input [7:0] a, output [7:0] y);
+               w #(.N(8)) u (.a(a), .y(y));
+             endmodule",
+        );
+        s.poke("a", v(8, 0x0F)).unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(0xF0));
+    }
+
+    #[test]
+    fn for_loop_reverses_bits() {
+        let mut s = sim_of(
+            "module top(input [7:0] a, output reg [7:0] y);
+               integer i;
+               always @(*) for (i = 0; i < 8; i = i + 1) y[i] = a[7 - i];
+             endmodule",
+        );
+        s.poke("a", v(8, 0b1101_0010)).unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(0b0100_1011));
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let file = mage_verilog::parse(
+            "module top(input a, output y);
+               assign y = a ? ~y : 1'b0; // rings when a = 1
+             endmodule",
+        )
+        .unwrap();
+        let design = Arc::new(elaborate(&file, "top").unwrap());
+        let mut s = Simulator::new(design);
+        s.settle().unwrap(); // all-X fixpoint settles fine
+        s.poke("a", v(1, 0)).unwrap(); // y settles to a defined 0
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(0));
+        // Now y = ~y oscillates between defined values: must error, not hang.
+        let r = s.poke("a", v(1, 1));
+        assert!(matches!(r, Err(SimError::CombinationalLoop { .. })));
+    }
+
+    #[test]
+    fn clock_divider_cascade() {
+        let mut s = sim_of(
+            "module top(input clk, input rst, output reg c0, output reg c1);
+               always @(posedge clk or posedge rst)
+                 if (rst) c0 <= 1'b0; else c0 <= ~c0;
+               always @(posedge c0 or posedge rst)
+                 if (rst) c1 <= 1'b0; else c1 <= ~c1;
+             endmodule",
+        );
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("rst", v(1, 1)).unwrap();
+        s.poke("rst", v(1, 0)).unwrap();
+        let mut c1_seq = Vec::new();
+        for _ in 0..8 {
+            s.poke("clk", v(1, 1)).unwrap();
+            s.poke("clk", v(1, 0)).unwrap();
+            c1_seq.push(s.peek_by_name("c1").unwrap().to_u64().unwrap());
+        }
+        // c0 toggles each cycle: 1,0,1,0…; c1 toggles on c0 rising.
+        assert_eq!(c1_seq, vec![1, 1, 0, 0, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn part_select_lvalue_and_rvalue() {
+        let mut s = sim_of(
+            "module top(input [7:0] a, output reg [7:0] y);
+               always @(*) begin
+                 y = 8'h00;
+                 y[3:0] = a[7:4];
+               end
+             endmodule",
+        );
+        s.poke("a", v(8, 0xA5)).unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(0x0A));
+    }
+
+    #[test]
+    fn dynamic_bit_select_write() {
+        let mut s = sim_of(
+            "module top(input [2:0] idx, output reg [7:0] y);
+               always @(*) begin
+                 y = 8'h00;
+                 y[idx] = 1'b1;
+               end
+             endmodule",
+        );
+        for i in 0..8u64 {
+            s.poke("idx", v(3, i)).unwrap();
+            assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(1 << i));
+        }
+    }
+
+    #[test]
+    fn x_propagates_through_arith_not_through_masks() {
+        let mut s = sim_of(
+            "module top(input [3:0] a, output [3:0] add_y, output [3:0] and_y);
+               assign add_y = a + 4'd1;
+               assign and_y = a & 4'h0;
+             endmodule",
+        );
+        // `a` is still X.
+        assert!(s.peek_by_name("add_y").unwrap().is_all_x());
+        assert!(s.peek_by_name("and_y").unwrap().is_all_zero());
+        s.poke("a", v(4, 3)).unwrap();
+        assert_eq!(s.peek_by_name("add_y").unwrap().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn shift_ops() {
+        let mut s = sim_of(
+            "module top(input [7:0] a, input [2:0] n, output [7:0] l, output [7:0] r);
+               assign l = a << n;
+               assign r = a >> n;
+             endmodule",
+        );
+        s.poke("a", v(8, 0b0001_1000)).unwrap();
+        s.poke("n", v(3, 2)).unwrap();
+        assert_eq!(s.peek_by_name("l").unwrap().to_u64(), Some(0b0110_0000));
+        assert_eq!(s.peek_by_name("r").unwrap().to_u64(), Some(0b0000_0110));
+    }
+
+    #[test]
+    fn casez_wildcard_priority() {
+        let mut s = sim_of(
+            "module top(input [3:0] r, output reg [1:0] y);
+               always @(*) casez (r)
+                 4'b1???: y = 2'd3;
+                 4'b01??: y = 2'd2;
+                 4'b001?: y = 2'd1;
+                 default: y = 2'd0;
+               endcase
+             endmodule",
+        );
+        s.poke("r", v(4, 0b1010)).unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(3));
+        s.poke("r", v(4, 0b0110)).unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(2));
+        s.poke("r", v(4, 0b0010)).unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(1));
+        s.poke("r", v(4, 0b0001)).unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn poke_rejects_non_inputs() {
+        let mut s = sim_of("module top(input a, output y); assign y = a; endmodule");
+        assert!(matches!(
+            s.poke("y", v(1, 0)),
+            Err(SimError::UnknownInput(_))
+        ));
+        assert!(matches!(
+            s.poke("zz", v(1, 0)),
+            Err(SimError::UnknownInput(_))
+        ));
+    }
+}

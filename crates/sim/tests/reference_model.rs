@@ -1,0 +1,286 @@
+//! Differential tests: simulated designs vs software reference models,
+//! plus property tests comparing random combinational expressions against
+//! direct evaluation.
+
+use mage_logic::LogicVec;
+use mage_sim::{elaborate, Simulator};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn simulator(src: &str, top: &str) -> Simulator {
+    let file = mage_verilog::parse(src).unwrap();
+    let design = Arc::new(elaborate(&file, top).unwrap());
+    let mut s = Simulator::new(design);
+    s.settle().unwrap();
+    s
+}
+
+fn v(w: usize, x: u64) -> LogicVec {
+    LogicVec::from_u64(w, x)
+}
+
+// ----------------------------------------------------------------------
+// Sequential reference models
+// ----------------------------------------------------------------------
+
+#[test]
+fn shift_register_matches_model() {
+    let mut s = simulator(
+        "module sr(input clk, input rst, input d, output reg [7:0] q);
+           always @(posedge clk) begin
+             if (rst) q <= 8'h00;
+             else q <= {q[6:0], d};
+           end
+         endmodule",
+        "sr",
+    );
+    let mut model: u64 = 0;
+    s.poke("rst", v(1, 1)).unwrap();
+    s.poke("clk", v(1, 0)).unwrap();
+    s.poke("clk", v(1, 1)).unwrap();
+    s.poke("rst", v(1, 0)).unwrap();
+    let bits = [1u64, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0];
+    for &b in &bits {
+        s.poke("d", v(1, b)).unwrap();
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("clk", v(1, 1)).unwrap();
+        model = ((model << 1) | b) & 0xFF;
+        assert_eq!(s.peek_by_name("q").unwrap().to_u64(), Some(model));
+    }
+}
+
+#[test]
+fn moore_fsm_sequence_detector() {
+    // Detects the sequence 1-0-1 on `x` (overlapping).
+    let mut s = simulator(
+        "module det(input clk, input rst, input x, output z);
+           reg [1:0] state;
+           localparam S0 = 2'd0, S1 = 2'd1, S2 = 2'd2, S3 = 2'd3;
+           always @(posedge clk) begin
+             if (rst) state <= S0;
+             else case (state)
+               S0: state <= x ? S1 : S0;
+               S1: state <= x ? S1 : S2;
+               S2: state <= x ? S3 : S0;
+               S3: state <= x ? S1 : S2;
+             endcase
+           end
+           assign z = state == S3;
+         endmodule",
+        "det",
+    );
+    s.poke("rst", v(1, 1)).unwrap();
+    s.poke("clk", v(1, 0)).unwrap();
+    s.poke("clk", v(1, 1)).unwrap();
+    s.poke("rst", v(1, 0)).unwrap();
+    let input = [1u64, 0, 1, 0, 1, 1, 0, 1, 0, 0, 1];
+    // Software model.
+    let mut state = 0u64;
+    for &x in &input {
+        s.poke("x", v(1, x)).unwrap();
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("clk", v(1, 1)).unwrap();
+        state = match (state, x) {
+            (0, 1) => 1,
+            (0, 0) => 0,
+            (1, 1) => 1,
+            (1, 0) => 2,
+            (2, 1) => 3,
+            (2, 0) => 0,
+            (3, 1) => 1,
+            (3, 0) => 2,
+            _ => unreachable!(),
+        };
+        let z = s.peek_by_name("z").unwrap().to_u64().unwrap();
+        assert_eq!(z, (state == 3) as u64);
+    }
+}
+
+#[test]
+fn gray_counter_changes_one_bit_per_cycle() {
+    let mut s = simulator(
+        "module gray(input clk, input rst, output [3:0] g);
+           reg [3:0] bin;
+           always @(posedge clk) begin
+             if (rst) bin <= 4'd0;
+             else bin <= bin + 4'd1;
+           end
+           assign g = bin ^ (bin >> 1);
+         endmodule",
+        "gray",
+    );
+    s.poke("rst", v(1, 1)).unwrap();
+    s.poke("clk", v(1, 0)).unwrap();
+    s.poke("clk", v(1, 1)).unwrap();
+    s.poke("rst", v(1, 0)).unwrap();
+    let mut prev = s.peek_by_name("g").unwrap().to_u64().unwrap();
+    for _ in 0..20 {
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("clk", v(1, 1)).unwrap();
+        let cur = s.peek_by_name("g").unwrap().to_u64().unwrap();
+        assert_eq!((cur ^ prev).count_ones(), 1, "gray property");
+        prev = cur;
+    }
+}
+
+#[test]
+fn deep_hierarchy_ripple_adder() {
+    // 8-bit ripple-carry adder from full-adder cells, 3 levels deep.
+    let src = "
+        module fa(input a, input b, input cin, output s, output cout);
+          assign s = a ^ b ^ cin;
+          assign cout = (a & b) | (cin & (a ^ b));
+        endmodule
+        module nib(input [3:0] a, input [3:0] b, input cin, output [3:0] s, output cout);
+          wire c0, c1, c2;
+          fa f0 (.a(a[0]), .b(b[0]), .cin(cin), .s(s[0]), .cout(c0));
+          fa f1 (.a(a[1]), .b(b[1]), .cin(c0), .s(s[1]), .cout(c1));
+          fa f2 (.a(a[2]), .b(b[2]), .cin(c1), .s(s[2]), .cout(c2));
+          fa f3 (.a(a[3]), .b(b[3]), .cin(c2), .s(s[3]), .cout(cout));
+        endmodule
+        module add8(input [7:0] a, input [7:0] b, output [8:0] sum);
+          wire c;
+          nib lo (.a(a[3:0]), .b(b[3:0]), .cin(1'b0), .s(sum[3:0]), .cout(c));
+          nib hi (.a(a[7:4]), .b(b[7:4]), .cin(c), .s(sum[7:4]), .cout(sum[8]));
+        endmodule";
+    let mut s = simulator(src, "add8");
+    for (a, b) in [(0u64, 0u64), (255, 255), (170, 85), (1, 254), (200, 57)] {
+        s.poke("a", v(8, a)).unwrap();
+        s.poke("b", v(8, b)).unwrap();
+        assert_eq!(s.peek_by_name("sum").unwrap().to_u64(), Some(a + b));
+    }
+}
+
+#[test]
+fn blocking_vs_nonblocking_difference_observable() {
+    // Classic pipeline bug: blocking assignments collapse two stages.
+    let nb = "module p(input clk, input d, output reg q2);
+                reg q1;
+                always @(posedge clk) begin
+                  q1 <= d;
+                  q2 <= q1;
+                end
+              endmodule";
+    let bl = "module p(input clk, input d, output reg q2);
+                reg q1;
+                always @(posedge clk) begin
+                  q1 = d;
+                  q2 = q1;
+                end
+              endmodule";
+    let run = |src: &str| {
+        let mut s = simulator(src, "p");
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("d", v(1, 1)).unwrap();
+        s.poke("clk", v(1, 1)).unwrap();
+        s.peek_by_name("q2").unwrap().clone()
+    };
+    let nb_q2 = run(nb);
+    let bl_q2 = run(bl);
+    // Non-blocking: q2 gets old q1 (X). Blocking: q2 gets d (1).
+    assert!(nb_q2.is_all_x());
+    assert_eq!(bl_q2.to_u64(), Some(1));
+}
+
+// ----------------------------------------------------------------------
+// Property tests: random expression nets vs reference evaluation
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    And,
+    Or,
+    Xor,
+    Add,
+    Sub,
+}
+
+impl Op {
+    fn verilog(&self) -> &'static str {
+        match self {
+            Op::And => "&",
+            Op::Or => "|",
+            Op::Xor => "^",
+            Op::Add => "+",
+            Op::Sub => "-",
+        }
+    }
+    fn apply(&self, a: u64, b: u64, mask: u64) -> u64 {
+        (match self {
+            Op::And => a & b,
+            Op::Or => a | b,
+            Op::Xor => a ^ b,
+            Op::Add => a.wrapping_add(b),
+            Op::Sub => a.wrapping_sub(b),
+        }) & mask
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Add),
+        Just(Op::Sub),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `assign y = (a op1 b) op2 (a op3 c)` matches the u64 model for a
+    /// random width and random operand values.
+    #[test]
+    fn random_expression_matches_reference(
+        w in 1usize..16,
+        ops in proptest::collection::vec(op_strategy(), 3),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let (a, b, c) = (a & mask, b & mask, c & mask);
+        let src = format!(
+            "module t(input [{msb}:0] a, input [{msb}:0] b, input [{msb}:0] c, output [{msb}:0] y);
+               assign y = (a {o1} b) {o2} (a {o3} c);
+             endmodule",
+            msb = w - 1,
+            o1 = ops[0].verilog(),
+            o2 = ops[1].verilog(),
+            o3 = ops[2].verilog(),
+        );
+        let mut s = simulator(&src, "t");
+        s.poke("a", v(w, a)).unwrap();
+        s.poke("b", v(w, b)).unwrap();
+        s.poke("c", v(w, c)).unwrap();
+        let expect = ops[1].apply(ops[0].apply(a, b, mask), ops[2].apply(a, c, mask), mask);
+        prop_assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(expect));
+    }
+
+    /// A registered version of the same expression matches after a clock.
+    #[test]
+    fn registered_expression_matches_reference(
+        w in 1usize..12,
+        op in op_strategy(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        let src = format!(
+            "module t(input clk, input [{msb}:0] a, input [{msb}:0] b, output reg [{msb}:0] y);
+               always @(posedge clk) y <= a {op} b;
+             endmodule",
+            msb = w - 1,
+            op = op.verilog(),
+        );
+        let mut s = simulator(&src, "t");
+        s.poke("clk", v(1, 0)).unwrap();
+        s.poke("a", v(w, a)).unwrap();
+        s.poke("b", v(w, b)).unwrap();
+        prop_assert!(s.peek_by_name("y").unwrap().is_all_x());
+        s.poke("clk", v(1, 1)).unwrap();
+        prop_assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(op.apply(a, b, mask)));
+    }
+}

@@ -1,0 +1,189 @@
+//! Testbench synthesis: derive expected values by simulating a reference
+//! design over a stimulus.
+//!
+//! The paper's Testbench Agent writes an "optimized testbench" whose
+//! expected values encode the specification. In this reproduction the
+//! specification's behaviour lives in the problem's golden design, so the
+//! reference expectations are produced by simulating it (the synthetic
+//! Testbench Agent then *corrupts* this ideal bench according to its
+//! error model — see `mage-llm`). The same function also builds each
+//! problem's benchmark ("golden") testbench.
+
+use crate::report::TbReport;
+use crate::stimulus::Stimulus;
+use crate::tb::{run_testbench, Check, TbStep, Testbench};
+use mage_sim::Design;
+use std::sync::Arc;
+
+/// How densely the synthesized bench checks outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckDensity {
+    /// Check every output at every step — the paper's state-checkpoint
+    /// bench.
+    EveryStep,
+    /// Check every output once every `n` steps (sparser benches used to
+    /// stress the debugging ablation).
+    EveryN(usize),
+}
+
+/// Simulate `reference` over `stim` and build a [`Testbench`] whose
+/// expected values are the reference outputs.
+///
+/// Checks are only emitted for fully-defined reference outputs: a golden
+/// model that outputs `X` at some step (before reset, say) produces no
+/// check there, matching how benchmark testbenches avoid pre-reset
+/// comparisons.
+pub fn synthesize_testbench(
+    name: impl Into<String>,
+    reference: &Arc<Design>,
+    stim: &Stimulus,
+    density: CheckDensity,
+) -> Testbench {
+    let outputs = reference.output_ports();
+    // Run the reference via a probe bench with no checks, capturing
+    // values at each step.
+    let probe = Testbench {
+        name: "probe".into(),
+        clock: stim.clock.clone(),
+        steps: stim
+            .steps
+            .iter()
+            .map(|drives| TbStep {
+                drives: drives.clone(),
+                checks: outputs
+                    .iter()
+                    .map(|(n, w)| Check {
+                        signal: n.clone(),
+                        expected: mage_logic::LogicVec::all_x(*w),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    };
+    let report = run_testbench(&probe, reference)
+        .expect("reference design must match its own interface");
+    build_from_reference_report(name, stim, &report, density)
+}
+
+/// Build a bench from an already-captured reference report (the `got`
+/// values become expectations).
+pub fn build_from_reference_report(
+    name: impl Into<String>,
+    stim: &Stimulus,
+    reference_report: &TbReport,
+    density: CheckDensity,
+) -> Testbench {
+    let mut steps: Vec<TbStep> = stim
+        .steps
+        .iter()
+        .map(|drives| TbStep {
+            drives: drives.clone(),
+            checks: Vec::new(),
+        })
+        .collect();
+    for rec in reference_report.records() {
+        let keep = match density {
+            CheckDensity::EveryStep => true,
+            CheckDensity::EveryN(n) => n != 0 && (rec.step + 1) % n == 0,
+        };
+        if !keep || !rec.got.is_fully_defined() {
+            continue;
+        }
+        if let Some(step) = steps.get_mut(rec.step) {
+            step.checks.push(Check {
+                signal: rec.signal.clone(),
+                expected: rec.got.clone(),
+            });
+        }
+    }
+    Testbench {
+        name: name.into(),
+        clock: stim.clock.clone(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mage_logic::LogicVec;
+    use mage_sim::elaborate;
+
+    fn design(src: &str, top: &str) -> Arc<mage_sim::Design> {
+        let file = mage_verilog::parse(src).unwrap();
+        Arc::new(elaborate(&file, top).unwrap())
+    }
+
+    #[test]
+    fn golden_passes_its_own_bench() {
+        let d = design(
+            "module top(input [1:0] a, input [1:0] b, output [2:0] s); assign s = a + b; endmodule",
+            "top",
+        );
+        let stim = Stimulus::exhaustive(&[("a".into(), 2), ("b".into(), 2)]);
+        let tb = synthesize_testbench("adder", &d, &stim, CheckDensity::EveryStep);
+        assert_eq!(tb.total_checks(), 16);
+        let report = run_testbench(&tb, &d).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.score(), 1.0);
+    }
+
+    #[test]
+    fn buggy_dut_fails_synthesized_bench() {
+        let golden = design(
+            "module top(input [1:0] a, input [1:0] b, output [2:0] s); assign s = a + b; endmodule",
+            "top",
+        );
+        let buggy = design(
+            "module top(input [1:0] a, input [1:0] b, output [2:0] s); assign s = a - b; endmodule",
+            "top",
+        );
+        let stim = Stimulus::exhaustive(&[("a".into(), 2), ("b".into(), 2)]);
+        let tb = synthesize_testbench("adder", &golden, &stim, CheckDensity::EveryStep);
+        let report = run_testbench(&tb, &buggy).unwrap();
+        assert!(!report.passed());
+        assert!(report.score() < 1.0);
+        assert!(report.score() > 0.0, "a-b agrees with a+b when b = 0");
+    }
+
+    #[test]
+    fn pre_reset_x_produces_no_checks() {
+        let d = design(
+            "module top(input clk, input rst, input d, output reg q);
+               always @(posedge clk) if (rst) q <= 1'b0; else q <= d;
+             endmodule",
+            "top",
+        );
+        // Step 0 leaves `d` undriven (X) with reset low, so q captures X
+        // at the first edge.
+        let stim = Stimulus::clocked(
+            "clk",
+            vec![
+                vec![("rst".into(), LogicVec::from_u64(1, 0))],
+                vec![("rst".into(), LogicVec::from_u64(1, 1))],
+                vec![
+                    ("rst".into(), LogicVec::from_u64(1, 0)),
+                    ("d".into(), LogicVec::from_u64(1, 1)),
+                ],
+            ],
+        );
+        let tb = synthesize_testbench("dff", &d, &stim, CheckDensity::EveryStep);
+        assert_eq!(tb.steps[0].checks.len(), 0, "X output must not be checked");
+        assert_eq!(tb.steps[1].checks.len(), 1);
+        let report = run_testbench(&tb, &d).unwrap();
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn sparse_density_reduces_checks() {
+        let d = design(
+            "module top(input [1:0] a, output [1:0] y); assign y = ~a; endmodule",
+            "top",
+        );
+        let stim = Stimulus::exhaustive(&[("a".into(), 2)]);
+        let every = synthesize_testbench("t", &d, &stim, CheckDensity::EveryStep);
+        let sparse = synthesize_testbench("t", &d, &stim, CheckDensity::EveryN(2));
+        assert_eq!(every.total_checks(), 4);
+        assert_eq!(sparse.total_checks(), 2);
+    }
+}

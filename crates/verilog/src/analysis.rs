@@ -1,0 +1,425 @@
+//! Static analysis: signal reads/writes, driver maps, and cones of
+//! influence.
+//!
+//! The checkpoint debugging mechanism of MAGE (§III-C of the paper) hinges
+//! on being able to take the *first mismatching output signal* from a
+//! simulation and narrow the search for the bug to the statements that can
+//! possibly affect that signal. [`driving_statements`] implements exactly
+//! that: the transitive fan-in cone of a signal, with control dependencies
+//! (enclosing `if`/`case` conditions) included.
+
+use crate::ast::*;
+use crate::visit::{AssignRef, StmtPath, StmtStep};
+use std::collections::{HashMap, HashSet};
+
+/// Collect every identifier read by an expression (including select bases
+/// and index expressions).
+pub fn expr_reads(e: &Expr, out: &mut HashSet<String>) {
+    match e {
+        Expr::Literal { .. } => {}
+        Expr::Ident(n) => {
+            out.insert(n.clone());
+        }
+        Expr::Unary { operand, .. } => expr_reads(operand, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_reads(lhs, out);
+            expr_reads(rhs, out);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            expr_reads(cond, out);
+            expr_reads(then_expr, out);
+            expr_reads(else_expr, out);
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                expr_reads(p, out);
+            }
+        }
+        Expr::Repl { count, value } => {
+            expr_reads(count, out);
+            expr_reads(value, out);
+        }
+        Expr::Bit { base, index } => {
+            out.insert(base.clone());
+            expr_reads(index, out);
+        }
+        Expr::Part { base, msb, lsb } => {
+            out.insert(base.clone());
+            expr_reads(msb, out);
+            expr_reads(lsb, out);
+        }
+    }
+}
+
+/// Identifiers read by an lvalue's index expressions (not its targets).
+pub fn lvalue_reads(l: &LValue, out: &mut HashSet<String>) {
+    match l {
+        LValue::Ident(_) => {}
+        LValue::Bit(_, i) => expr_reads(i, out),
+        LValue::Part(_, m, l2) => {
+            expr_reads(m, out);
+            expr_reads(l2, out);
+        }
+        LValue::Concat(parts) => {
+            for p in parts {
+                lvalue_reads(p, out);
+            }
+        }
+    }
+}
+
+/// One assignment with its dataflow facts.
+#[derive(Debug, Clone)]
+pub struct AssignmentInfo {
+    /// Where the assignment lives.
+    pub site: AssignRef,
+    /// Signals (base names) it writes.
+    pub targets: Vec<String>,
+    /// Signals its right-hand side and lvalue indices read.
+    pub data_reads: HashSet<String>,
+    /// Signals read by enclosing `if` conditions / `case` selectors /
+    /// `for` bounds on the path from the always-body root.
+    pub ctrl_reads: HashSet<String>,
+}
+
+/// Enumerate all assignments of a module with data and control reads.
+pub fn collect_assignments(m: &Module) -> Vec<AssignmentInfo> {
+    let mut out = Vec::new();
+    for (i, item) in m.items.iter().enumerate() {
+        match item {
+            Item::Assign { lhs, rhs } => {
+                let mut data = HashSet::new();
+                expr_reads(rhs, &mut data);
+                lvalue_reads(lhs, &mut data);
+                out.push(AssignmentInfo {
+                    site: AssignRef::Item(i),
+                    targets: lhs.target_names().iter().map(|s| s.to_string()).collect(),
+                    data_reads: data,
+                    ctrl_reads: HashSet::new(),
+                });
+            }
+            Item::Always { body, .. } => {
+                let mut path = StmtPath {
+                    item: i,
+                    steps: Vec::new(),
+                };
+                let mut ctrl = HashSet::new();
+                collect_proc(body, &mut path, &mut ctrl, &mut out);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn collect_proc(
+    s: &Stmt,
+    path: &mut StmtPath,
+    ctrl: &mut HashSet<String>,
+    out: &mut Vec<AssignmentInfo>,
+) {
+    match s {
+        Stmt::Block(stmts) => {
+            for (i, c) in stmts.iter().enumerate() {
+                path.steps.push(StmtStep::Block(i));
+                collect_proc(c, path, ctrl, out);
+                path.steps.pop();
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let mut added = HashSet::new();
+            expr_reads(cond, &mut added);
+            let new: Vec<String> = added.difference(ctrl).cloned().collect();
+            ctrl.extend(new.iter().cloned());
+            path.steps.push(StmtStep::Then);
+            collect_proc(then_branch, path, ctrl, out);
+            path.steps.pop();
+            if let Some(e) = else_branch {
+                path.steps.push(StmtStep::Else);
+                collect_proc(e, path, ctrl, out);
+                path.steps.pop();
+            }
+            for n in new {
+                ctrl.remove(&n);
+            }
+        }
+        Stmt::Case {
+            expr, arms, default, ..
+        } => {
+            let mut added = HashSet::new();
+            expr_reads(expr, &mut added);
+            for arm in arms {
+                for l in &arm.labels {
+                    expr_reads(l, &mut added);
+                }
+            }
+            let new: Vec<String> = added.difference(ctrl).cloned().collect();
+            ctrl.extend(new.iter().cloned());
+            for (i, arm) in arms.iter().enumerate() {
+                path.steps.push(StmtStep::Arm(i));
+                collect_proc(&arm.body, path, ctrl, out);
+                path.steps.pop();
+            }
+            if let Some(d) = default {
+                path.steps.push(StmtStep::Default);
+                collect_proc(d, path, ctrl, out);
+                path.steps.pop();
+            }
+            for n in new {
+                ctrl.remove(&n);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            let mut added = HashSet::new();
+            expr_reads(init, &mut added);
+            expr_reads(cond, &mut added);
+            expr_reads(step, &mut added);
+            let new: Vec<String> = added.difference(ctrl).cloned().collect();
+            ctrl.extend(new.iter().cloned());
+            path.steps.push(StmtStep::ForBody);
+            collect_proc(body, path, ctrl, out);
+            path.steps.pop();
+            for n in new {
+                ctrl.remove(&n);
+            }
+        }
+        Stmt::Blocking { lhs, rhs } | Stmt::NonBlocking { lhs, rhs } => {
+            let mut data = HashSet::new();
+            expr_reads(rhs, &mut data);
+            lvalue_reads(lhs, &mut data);
+            out.push(AssignmentInfo {
+                site: AssignRef::Stmt(path.clone()),
+                targets: lhs.target_names().iter().map(|s| s.to_string()).collect(),
+                data_reads: data,
+                ctrl_reads: ctrl.clone(),
+            });
+        }
+        Stmt::Empty => {}
+    }
+}
+
+/// Map from signal name to the assignments that write it.
+pub fn driver_map(m: &Module) -> HashMap<String, Vec<AssignRef>> {
+    let mut map: HashMap<String, Vec<AssignRef>> = HashMap::new();
+    for info in collect_assignments(m) {
+        for t in &info.targets {
+            map.entry(t.clone()).or_default().push(info.site.clone());
+        }
+    }
+    map
+}
+
+/// Signals that can influence `target`, transitively, within `module`
+/// (instances are resolved through `file` when their definitions exist
+/// there; unknown instances are treated conservatively).
+///
+/// The returned set always contains `target` itself.
+pub fn cone_of_influence(file: &SourceFile, module: &Module, target: &str) -> HashSet<String> {
+    let infos = collect_assignments(module);
+    // Instance dataflow edges: output-connected signals depend on all
+    // input-connected signals.
+    let mut inst_edges: Vec<(HashSet<String>, HashSet<String>)> = Vec::new(); // (writes, reads)
+    for item in &module.items {
+        if let Item::Instance { module: def, conns, .. } = item {
+            let def_mod = file.module(def);
+            let mut writes = HashSet::new();
+            let mut reads = HashSet::new();
+            match conns {
+                Connections::Named(named) => {
+                    for (port, expr) in named {
+                        let Some(e) = expr else { continue };
+                        let mut ids = HashSet::new();
+                        expr_reads(e, &mut ids);
+                        match def_mod.and_then(|d| d.port(port)).map(|p| p.dir) {
+                            Some(Direction::Output) => writes.extend(ids),
+                            Some(Direction::Input) => reads.extend(ids),
+                            None => {
+                                // Unknown port: assume both.
+                                writes.extend(ids.iter().cloned());
+                                reads.extend(ids);
+                            }
+                        }
+                    }
+                }
+                Connections::Ordered(exprs) => {
+                    for (i, e) in exprs.iter().enumerate() {
+                        let mut ids = HashSet::new();
+                        expr_reads(e, &mut ids);
+                        match def_mod.and_then(|d| d.ports.get(i)).map(|p| p.dir) {
+                            Some(Direction::Output) => writes.extend(ids),
+                            Some(Direction::Input) => reads.extend(ids),
+                            None => {
+                                writes.extend(ids.iter().cloned());
+                                reads.extend(ids);
+                            }
+                        }
+                    }
+                }
+            }
+            inst_edges.push((writes, reads));
+        }
+    }
+
+    let mut cone: HashSet<String> = HashSet::new();
+    cone.insert(target.to_string());
+    let mut frontier: Vec<String> = vec![target.to_string()];
+    while let Some(sig) = frontier.pop() {
+        for info in &infos {
+            if info.targets.iter().any(|t| *t == sig) {
+                for dep in info.data_reads.iter().chain(info.ctrl_reads.iter()) {
+                    if cone.insert(dep.clone()) {
+                        frontier.push(dep.clone());
+                    }
+                }
+            }
+        }
+        for (writes, reads) in &inst_edges {
+            if writes.contains(&sig) {
+                for dep in reads {
+                    if cone.insert(dep.clone()) {
+                        frontier.push(dep.clone());
+                    }
+                }
+            }
+        }
+    }
+    cone
+}
+
+/// The assignments that can influence `target`: every assignment whose
+/// written signal lies in [`cone_of_influence`] of `target`.
+///
+/// This is the candidate-site list the checkpoint debug agent works from.
+pub fn driving_statements(file: &SourceFile, module: &Module, target: &str) -> Vec<AssignRef> {
+    let cone = cone_of_influence(file, module, target);
+    collect_assignments(module)
+        .into_iter()
+        .filter(|info| info.targets.iter().any(|t| cone.contains(t)))
+        .map(|info| info.site)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_module};
+
+    #[test]
+    fn expr_reads_collects_all() {
+        let m = parse_module(
+            "module e(input [3:0] a, input [3:0] b, input [1:0] i, output y);
+               assign y = a[i] ^ b[3:2] == 2'b01;
+             endmodule",
+        )
+        .unwrap();
+        let Item::Assign { rhs, .. } = &m.items[0] else {
+            panic!()
+        };
+        let mut reads = HashSet::new();
+        expr_reads(rhs, &mut reads);
+        assert!(reads.contains("a"));
+        assert!(reads.contains("b"));
+        assert!(reads.contains("i"));
+        assert_eq!(reads.len(), 3);
+    }
+
+    #[test]
+    fn control_deps_tracked() {
+        let m = parse_module(
+            "module c(input s, input a, input b, output reg y, output reg z);
+               always @(*) begin
+                 if (s) y = a;
+                 else y = b;
+                 z = a;
+               end
+             endmodule",
+        )
+        .unwrap();
+        let infos = collect_assignments(&m);
+        assert_eq!(infos.len(), 3);
+        // y = a is controlled by s.
+        assert!(infos[0].ctrl_reads.contains("s"));
+        assert!(infos[1].ctrl_reads.contains("s"));
+        // z = a is not.
+        assert!(infos[2].ctrl_reads.is_empty());
+    }
+
+    #[test]
+    fn cone_includes_control_and_data() {
+        let src = "module c(input s, input a, input b, output reg y, output w);
+               wire t;
+               assign t = a & b;
+               assign w = b;
+               always @(*) if (s) y = t; else y = 1'b0;
+             endmodule";
+        let file = parse(src).unwrap();
+        let m = &file.modules[0];
+        let cone = cone_of_influence(&file, m, "y");
+        assert!(cone.contains("y"));
+        assert!(cone.contains("t"));
+        assert!(cone.contains("a"));
+        assert!(cone.contains("b"));
+        assert!(cone.contains("s"));
+        // w is not in y's cone.
+        let cone_w = cone_of_influence(&file, m, "w");
+        assert!(cone_w.contains("b"));
+        assert!(!cone_w.contains("a"));
+        assert!(!cone_w.contains("s"));
+    }
+
+    #[test]
+    fn driving_statements_filter() {
+        let src = "module d(input a, input b, output x, output y);
+               assign x = a;
+               assign y = b;
+             endmodule";
+        let file = parse(src).unwrap();
+        let m = &file.modules[0];
+        let drivers = driving_statements(&file, m, "x");
+        assert_eq!(drivers.len(), 1);
+        assert_eq!(drivers[0], AssignRef::Item(0));
+    }
+
+    #[test]
+    fn cone_crosses_instances() {
+        let src = "module inv(input i, output o); assign o = ~i; endmodule
+             module top(input a, input b, output y);
+               wire t;
+               inv u (.i(a), .o(t));
+               assign y = t & b;
+             endmodule";
+        let file = parse(src).unwrap();
+        let top = file.module("top").unwrap();
+        let cone = cone_of_influence(&file, top, "y");
+        assert!(cone.contains("t"));
+        assert!(cone.contains("a"), "cone should cross the instance to a");
+        assert!(cone.contains("b"));
+    }
+
+    #[test]
+    fn driver_map_groups_by_signal() {
+        let m = parse_module(
+            "module g(input clk, input a, output reg q);
+               always @(posedge clk) q <= a;
+             endmodule",
+        )
+        .unwrap();
+        let map = driver_map(&m);
+        assert_eq!(map.get("q").map(|v| v.len()), Some(1));
+        assert!(map.get("a").is_none());
+    }
+}

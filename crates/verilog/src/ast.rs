@@ -1,0 +1,524 @@
+//! Abstract syntax tree for the MAGE synthesizable Verilog subset.
+//!
+//! The tree is deliberately plain data: no interior node ids, no spans on
+//! every node. Tools that need to address nodes (the mutation engine, the
+//! driver-cone analysis) use *structural paths* ([`crate::StmtPath`],
+//! [`crate::ExprPath`]) computed by the [`crate::visit`] helpers, which keeps
+//! structural equality (`PartialEq`) meaningful — two ASTs are equal exactly
+//! when they denote the same design text modulo formatting.
+
+use mage_logic::LogicVec;
+
+/// A parsed source file: one or more module definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Modules in source order; the last one is conventionally the top.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Find a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// A Verilog `module … endmodule` definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module identifier.
+    pub name: String,
+    /// Header parameters (`#(parameter N = 8)`), in declaration order.
+    pub params: Vec<Param>,
+    /// Ports in header order (ANSI style after normalization).
+    pub ports: Vec<Port>,
+    /// Body items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Find a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Names of all input ports, in declaration order.
+    pub fn input_names(&self) -> Vec<String> {
+        self.ports
+            .iter()
+            .filter(|p| p.dir == Direction::Input)
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    /// Names of all output ports, in declaration order.
+    pub fn output_names(&self) -> Vec<String> {
+        self.ports
+            .iter()
+            .filter(|p| p.dir == Direction::Output)
+            .map(|p| p.name.clone())
+            .collect()
+    }
+}
+
+/// A `parameter` (or `localparam`, when [`Param::local`] is set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Default value expression (must be constant at elaboration).
+    pub default: Expr,
+    /// `true` for `localparam` (cannot be overridden by instances).
+    pub local: bool,
+}
+
+/// Port direction. The subset excludes `inout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// Net flavor of a declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Direction.
+    pub dir: Direction,
+    /// `wire` (default) or `reg` (outputs driven from always blocks).
+    pub kind: NetKind,
+    /// Port name.
+    pub name: String,
+    /// Optional vector range `[msb:lsb]`; `None` means scalar (1 bit).
+    pub range: Option<Range>,
+}
+
+/// A vector range `[msb:lsb]` with constant expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Range {
+    /// Most-significant bit index expression.
+    pub msb: Expr,
+    /// Least-significant bit index expression.
+    pub lsb: Expr,
+}
+
+/// A module body item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `wire`/`reg` declarations: `wire [3:0] a, b;`
+    Net {
+        /// Net flavor.
+        kind: NetKind,
+        /// Optional vector range.
+        range: Option<Range>,
+        /// Declared names.
+        names: Vec<String>,
+    },
+    /// `parameter`/`localparam` declared in the body.
+    Param(Param),
+    /// `assign lhs = rhs;`
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Driven expression.
+        rhs: Expr,
+    },
+    /// `always @(…) stmt`
+    Always {
+        /// Sensitivity list.
+        sens: Sensitivity,
+        /// Body statement (usually a block).
+        body: Stmt,
+    },
+    /// Module instantiation.
+    Instance {
+        /// Instantiated module name.
+        module: String,
+        /// Instance name.
+        name: String,
+        /// Parameter overrides `#(.N(8))`.
+        params: Vec<(String, Expr)>,
+        /// Port connections.
+        conns: Connections,
+    },
+}
+
+/// `always` sensitivity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// `@(*)` or `@*` — combinational.
+    Comb,
+    /// `@(posedge a or negedge b …)` — edge-triggered.
+    Edges(Vec<EdgeEvent>),
+}
+
+/// One `posedge`/`negedge` event in a sensitivity list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeEvent {
+    /// Edge polarity.
+    pub edge: Edge,
+    /// Signal watched for the edge.
+    pub signal: String,
+}
+
+/// Edge polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// `posedge`
+    Pos,
+    /// `negedge`
+    Neg,
+}
+
+/// Instance port connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Connections {
+    /// Named: `.port(expr)`; `None` expression means unconnected `.port()`.
+    Named(Vec<(String, Option<Expr>)>),
+    /// Ordered positional connections.
+    Ordered(Vec<Expr>),
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// Whole signal: `q`
+    Ident(String),
+    /// Single bit: `q[i]` (index may be a dynamic expression)
+    Bit(String, Expr),
+    /// Constant part select: `q[7:4]`
+    Part(String, Expr, Expr),
+    /// Concatenation: `{carry, sum}`
+    Concat(Vec<LValue>),
+}
+
+impl LValue {
+    /// Names of all signals written by this lvalue.
+    pub fn target_names(&self) -> Vec<&str> {
+        match self {
+            LValue::Ident(n) | LValue::Bit(n, _) | LValue::Part(n, _, _) => vec![n.as_str()],
+            LValue::Concat(parts) => parts.iter().flat_map(|p| p.target_names()).collect(),
+        }
+    }
+}
+
+/// Procedural statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `begin … end`
+    Block(Vec<Stmt>),
+    /// `if (cond) … else …`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken branch.
+        then_branch: Box<Stmt>,
+        /// Optional `else` branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `case`/`casez`
+    Case {
+        /// Plain `case` or wildcard `casez`.
+        kind: CaseKind,
+        /// Selector.
+        expr: Expr,
+        /// Arms in source order.
+        arms: Vec<CaseArm>,
+        /// Optional `default:` arm.
+        default: Option<Box<Stmt>>,
+    },
+    /// Blocking assignment `lhs = rhs;`
+    Blocking {
+        /// Target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+    },
+    /// Non-blocking assignment `lhs <= rhs;`
+    NonBlocking {
+        /// Target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+    },
+    /// `for (i = init; cond; i = step) body` — statically unrolled at
+    /// elaboration.
+    For {
+        /// Loop variable (an integer/genvar-style reg).
+        var: String,
+        /// Initial value.
+        init: Expr,
+        /// Continuation condition.
+        cond: Expr,
+        /// Step expression assigned to `var` each iteration.
+        step: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// Bare `;`
+    Empty,
+}
+
+/// `case` flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseKind {
+    /// Exact match.
+    Case,
+    /// `casez` — `z`/`?` bits in labels are wildcards.
+    Casez,
+}
+
+/// One `label[, label…]: stmt` arm of a case statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseArm {
+    /// Match labels.
+    pub labels: Vec<Expr>,
+    /// Arm body.
+    pub body: Stmt,
+}
+
+/// How a literal was spelled, which controls printing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LiteralForm {
+    /// `8'hFF` — explicit width; printed canonically as sized binary.
+    Sized,
+    /// `42` or `'b101` — no explicit width; printed as decimal when fully
+    /// defined, otherwise as `'b…`.
+    Unsized,
+}
+
+/// Expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Number literal.
+    Literal {
+        /// Value at its literal width.
+        value: LogicVec,
+        /// Spelling category.
+        form: LiteralForm,
+    },
+    /// Signal or parameter reference.
+    Ident(String),
+    /// Unary operator application.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operator application.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? a : b`
+    Ternary {
+        /// Selector.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+    },
+    /// `{a, b, c}` (MSB first).
+    Concat(Vec<Expr>),
+    /// `{n{v}}`
+    Repl {
+        /// Replication count (constant).
+        count: Box<Expr>,
+        /// Replicated value.
+        value: Box<Expr>,
+    },
+    /// Bit select `base[index]`.
+    Bit {
+        /// Selected signal.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Constant part select `base[msb:lsb]`.
+    Part {
+        /// Selected signal.
+        base: String,
+        /// MSB index (constant).
+        msb: Box<Expr>,
+        /// LSB index (constant).
+        lsb: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an unsized decimal literal.
+    pub fn number(v: u64) -> Expr {
+        Expr::Literal {
+            value: LogicVec::from_u64(32, v),
+            form: LiteralForm::Unsized,
+        }
+    }
+
+    /// Convenience constructor for a sized literal.
+    pub fn sized(width: usize, v: u64) -> Expr {
+        Expr::Literal {
+            value: LogicVec::from_u64(width, v),
+            form: LiteralForm::Sized,
+        }
+    }
+
+    /// Convenience constructor for an identifier reference.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnaryOp {
+    /// `~`
+    Not,
+    /// `!`
+    LogicNot,
+    /// unary `-`
+    Neg,
+    /// unary `+` (identity)
+    Plus,
+    /// `&`
+    ReduceAnd,
+    /// `|`
+    ReduceOr,
+    /// `^`
+    ReduceXor,
+    /// `~&`
+    ReduceNand,
+    /// `~|`
+    ReduceNor,
+    /// `~^` / `^~`
+    ReduceXnor,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `~^` / `^~`
+    Xnor,
+    /// `&&`
+    LogicAnd,
+    /// `||`
+    LogicOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `===`
+    CaseEq,
+    /// `!==`
+    CaseNeq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl BinaryOp {
+    /// Binding power for the pretty-printer / parser (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        use BinaryOp::*;
+        match self {
+            Mul | Div | Mod => 11,
+            Add | Sub => 10,
+            Shl | Shr => 9,
+            Lt | Le | Gt | Ge => 8,
+            Eq | Neq | CaseEq | CaseNeq => 7,
+            And => 6,
+            Xor | Xnor => 5,
+            Or => 4,
+            LogicAnd => 3,
+            LogicOr => 2,
+        }
+    }
+
+    /// The operator's source spelling.
+    pub fn symbol(self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            And => "&",
+            Or => "|",
+            Xor => "^",
+            Xnor => "~^",
+            LogicAnd => "&&",
+            LogicOr => "||",
+            Eq => "==",
+            Neq => "!=",
+            CaseEq => "===",
+            CaseNeq => "!==",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Shl => "<<",
+            Shr => ">>",
+        }
+    }
+}
+
+impl UnaryOp {
+    /// The operator's source spelling.
+    pub fn symbol(self) -> &'static str {
+        use UnaryOp::*;
+        match self {
+            Not => "~",
+            LogicNot => "!",
+            Neg => "-",
+            Plus => "+",
+            ReduceAnd => "&",
+            ReduceOr => "|",
+            ReduceXor => "^",
+            ReduceNand => "~&",
+            ReduceNor => "~|",
+            ReduceXnor => "~^",
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Parse and lex errors.
+
+use crate::token::Pos;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the lexer or parser.
+///
+/// Carries a 1-based source position and a human-readable message; this is
+/// the "syntax feedback" the MAGE RTL agents receive when a candidate fails
+/// to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error was detected.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Create an error at `pos`.
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for ParseError {}

@@ -1,0 +1,306 @@
+//! Hand-written lexer for the Verilog subset.
+
+use crate::error::ParseError;
+use crate::token::{Keyword, Pos, Token, TokenKind};
+
+/// Multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<<", ">>>", "===", "!==", "~^", "^~", "~&", "~|", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+:", "-:", "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", "@", "#", ".", "=", "+",
+    "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+];
+
+/// Tokenize Verilog source text.
+///
+/// Comments (`//` and `/* */`) and whitespace are skipped. The token stream
+/// always ends with a single [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unterminated block comments or characters
+/// outside the subset's alphabet.
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    at: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            at: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.at + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                self.tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    pos,
+                });
+                return Ok(self.tokens);
+            };
+            if c.is_ascii_alphabetic() || c == b'_' || c == b'\\' {
+                self.lex_ident(pos);
+            } else if c.is_ascii_digit() || c == b'\'' {
+                self.lex_number(pos)?;
+            } else {
+                self.lex_punct(pos)?;
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self, pos: Pos) {
+        let start = self.at;
+        if self.peek() == Some(b'\\') {
+            // Escaped identifier: backslash to next whitespace.
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_whitespace() {
+                    break;
+                }
+                self.bump();
+            }
+            let text = self.src[start + 1..self.at].to_string();
+            self.tokens.push(Token {
+                kind: TokenKind::Ident(text),
+                pos,
+            });
+            return;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.at];
+        let kind = match Keyword::from_str(text) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(text.to_string()),
+        };
+        self.tokens.push(Token { kind, pos });
+    }
+
+    fn lex_number(&mut self, pos: Pos) -> Result<(), ParseError> {
+        let start = self.at;
+        // Leading decimal digits (the size, or a plain number).
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Based part?
+        if self.peek() == Some(b'\'') {
+            self.bump();
+            // Base character.
+            match self.peek() {
+                Some(b) if matches!(b.to_ascii_lowercase(), b'b' | b'o' | b'd' | b'h') => {
+                    self.bump();
+                }
+                _ => {
+                    return Err(ParseError::new(
+                        self.pos(),
+                        "expected number base after `'`",
+                    ))
+                }
+            }
+            // Digits (hex digits, x, z, ?, _).
+            let digit_start = self.at;
+            while let Some(c) = self.peek() {
+                let lc = c.to_ascii_lowercase();
+                if lc.is_ascii_alphanumeric() || lc == b'_' || lc == b'?' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if self.at == digit_start {
+                return Err(ParseError::new(self.pos(), "missing digits after base"));
+            }
+        }
+        let text = self.src[start..self.at].to_string();
+        self.tokens.push(Token {
+            kind: TokenKind::Number(text),
+            pos,
+        });
+        Ok(())
+    }
+
+    fn lex_punct(&mut self, pos: Pos) -> Result<(), ParseError> {
+        let rest = &self.src[self.at..];
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                self.tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    pos,
+                });
+                return Ok(());
+            }
+        }
+        Err(ParseError::new(
+            pos,
+            format!(
+                "unexpected character `{}`",
+                self.src[self.at..].chars().next().unwrap_or('?')
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_module_header() {
+        let k = kinds("module top(input a, output b);");
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Module));
+        assert_eq!(k[1], TokenKind::Ident("top".into()));
+        assert_eq!(k[2], TokenKind::Punct("("));
+        assert_eq!(k[3], TokenKind::Keyword(Keyword::Input));
+        assert!(matches!(k.last(), Some(TokenKind::Eof)));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let k = kinds("8'hFF 42 4'b1x0z 'd15 12'd95");
+        assert_eq!(k[0], TokenKind::Number("8'hFF".into()));
+        assert_eq!(k[1], TokenKind::Number("42".into()));
+        assert_eq!(k[2], TokenKind::Number("4'b1x0z".into()));
+        assert_eq!(k[3], TokenKind::Number("'d15".into()));
+        assert_eq!(k[4], TokenKind::Number("12'd95".into()));
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let k = kinds("a <= b <<< c === d");
+        assert_eq!(k[1], TokenKind::Punct("<="));
+        assert_eq!(k[3], TokenKind::Punct("<<<"));
+        assert_eq!(k[5], TokenKind::Punct("==="));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let k = kinds("a // line comment\n /* block\n comment */ b");
+        assert_eq!(k.len(), 3); // a, b, eof
+        assert_eq!(k[0], TokenKind::Ident("a".into()));
+        assert_eq!(k[1], TokenKind::Ident("b".into()));
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[1].pos.col, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn dollar_in_identifier() {
+        let k = kinds("sig$tmp");
+        assert_eq!(k[0], TokenKind::Ident("sig$tmp".into()));
+    }
+
+    #[test]
+    fn bad_base_errors() {
+        assert!(lex("4'q1").is_err());
+        assert!(lex("4'").is_err());
+    }
+}

@@ -1,0 +1,1171 @@
+//! Recursive-descent parser for the MAGE Verilog subset.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{Keyword, Pos, Token, TokenKind};
+use mage_logic::parse_literal;
+
+/// Parse a complete source file (one or more modules).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered. The error message and
+/// position are what the MAGE syntax-repair loop feeds back to the RTL
+/// agent.
+///
+/// # Example
+///
+/// ```
+/// let src = "module top(input a, input b, output y); assign y = a & b; endmodule";
+/// let file = mage_verilog::parse(src)?;
+/// assert_eq!(file.modules[0].name, "top");
+/// # Ok::<(), mage_verilog::ParseError>(())
+/// ```
+pub fn parse(source: &str) -> Result<SourceFile, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, at: 0 };
+    let mut modules = Vec::new();
+    while !p.at_eof() {
+        modules.push(p.module()?);
+    }
+    if modules.is_empty() {
+        return Err(ParseError::new(Pos { line: 1, col: 1 }, "no module found"));
+    }
+    Ok(SourceFile { modules })
+}
+
+/// Parse a single module from source that contains exactly one.
+///
+/// # Errors
+///
+/// Fails like [`parse`], or when the file holds zero or multiple modules.
+pub fn parse_module(source: &str) -> Result<Module, ParseError> {
+    let file = parse(source)?;
+    if file.modules.len() != 1 {
+        return Err(ParseError::new(
+            Pos { line: 1, col: 1 },
+            format!("expected exactly one module, found {}", file.modules.len()),
+        ));
+    }
+    Ok(file.modules.into_iter().next().expect("checked length"))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    // ------------------------------------------------------------------
+    // Token helpers
+    // ------------------------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.at].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].pos
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.at].kind.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        k
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{p}`")))
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(q) if *q == k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<(), ParseError> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{}`", k.as_str())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            TokenKind::Ident(_) => {
+                if let TokenKind::Ident(s) = self.bump() {
+                    Ok(s)
+                } else {
+                    unreachable!()
+                }
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> ParseError {
+        ParseError::new(
+            self.pos(),
+            format!("expected {wanted}, found {}", self.peek()),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Module structure
+    // ------------------------------------------------------------------
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        self.expect_keyword(Keyword::Module)?;
+        let name = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.eat_punct("#") {
+            self.expect_punct("(")?;
+            self.param_list(&mut params)?;
+            self.expect_punct(")")?;
+        }
+        let mut ports: Vec<Port> = Vec::new();
+        let mut port_order: Vec<String> = Vec::new();
+        let mut non_ansi = false;
+        if self.eat_punct("(") {
+            if !self.eat_punct(")") {
+                // ANSI if a direction keyword appears, else non-ANSI names.
+                if matches!(
+                    self.peek(),
+                    TokenKind::Keyword(Keyword::Input) | TokenKind::Keyword(Keyword::Output)
+                        | TokenKind::Keyword(Keyword::Inout)
+                ) {
+                    self.ansi_ports(&mut ports)?;
+                } else {
+                    non_ansi = true;
+                    loop {
+                        port_order.push(self.expect_ident()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+        }
+        self.expect_punct(";")?;
+
+        let mut items = Vec::new();
+        loop {
+            if self.eat_keyword(Keyword::Endmodule) {
+                break;
+            }
+            if self.at_eof() {
+                return Err(self.unexpected("`endmodule`"));
+            }
+            self.item(&mut items, &mut params, non_ansi.then_some(&mut ports))?;
+        }
+
+        if non_ansi {
+            // Reorder collected port declarations to the header order.
+            let mut ordered = Vec::with_capacity(port_order.len());
+            for n in &port_order {
+                let Some(ix) = ports.iter().position(|p| &p.name == n) else {
+                    return Err(ParseError::new(
+                        Pos { line: 1, col: 1 },
+                        format!("port `{n}` listed in header but never declared"),
+                    ));
+                };
+                ordered.push(ports[ix].clone());
+            }
+            ports = ordered;
+        }
+
+        Ok(Module {
+            name,
+            params,
+            ports,
+            items,
+        })
+    }
+
+    fn param_list(&mut self, params: &mut Vec<Param>) -> Result<(), ParseError> {
+        loop {
+            self.expect_keyword(Keyword::Parameter)?;
+            // Optional (ignored) range on the parameter.
+            if matches!(self.peek(), TokenKind::Punct("[")) {
+                self.range()?;
+            }
+            loop {
+                let name = self.expect_ident()?;
+                self.expect_punct("=")?;
+                let default = self.expr()?;
+                params.push(Param {
+                    name,
+                    default,
+                    local: false,
+                });
+                if !self.eat_punct(",") {
+                    return Ok(());
+                }
+                // `parameter A = 1, parameter B = 2` or `, B = 2`.
+                if matches!(self.peek(), TokenKind::Keyword(Keyword::Parameter)) {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn ansi_ports(&mut self, ports: &mut Vec<Port>) -> Result<(), ParseError> {
+        let mut dir = Direction::Input;
+        let mut kind = NetKind::Wire;
+        let mut range: Option<Range> = None;
+        loop {
+            match self.peek() {
+                TokenKind::Keyword(Keyword::Input) => {
+                    self.bump();
+                    dir = Direction::Input;
+                    kind = NetKind::Wire;
+                    range = None;
+                    self.port_type(&mut kind, &mut range)?;
+                }
+                TokenKind::Keyword(Keyword::Output) => {
+                    self.bump();
+                    dir = Direction::Output;
+                    kind = NetKind::Wire;
+                    range = None;
+                    self.port_type(&mut kind, &mut range)?;
+                }
+                TokenKind::Keyword(Keyword::Inout) => {
+                    return Err(ParseError::new(
+                        self.pos(),
+                        "`inout` ports are outside the MAGE subset",
+                    ));
+                }
+                _ => {}
+            }
+            let name = self.expect_ident()?;
+            ports.push(Port {
+                dir,
+                kind,
+                name,
+                range: range.clone(),
+            });
+            if !self.eat_punct(",") {
+                return Ok(());
+            }
+        }
+    }
+
+    fn port_type(&mut self, kind: &mut NetKind, range: &mut Option<Range>) -> Result<(), ParseError> {
+        if self.eat_keyword(Keyword::Wire) {
+            *kind = NetKind::Wire;
+        } else if self.eat_keyword(Keyword::Reg) {
+            *kind = NetKind::Reg;
+        }
+        if self.eat_keyword(Keyword::Signed) {
+            return Err(ParseError::new(
+                self.pos(),
+                "`signed` is outside the MAGE subset",
+            ));
+        }
+        if matches!(self.peek(), TokenKind::Punct("[")) {
+            *range = Some(self.range()?);
+        }
+        Ok(())
+    }
+
+    fn range(&mut self) -> Result<Range, ParseError> {
+        self.expect_punct("[")?;
+        let msb = self.expr()?;
+        self.expect_punct(":")?;
+        let lsb = self.expr()?;
+        self.expect_punct("]")?;
+        Ok(Range { msb, lsb })
+    }
+
+    // ------------------------------------------------------------------
+    // Items
+    // ------------------------------------------------------------------
+
+    fn item(
+        &mut self,
+        items: &mut Vec<Item>,
+        params: &mut Vec<Param>,
+        mut non_ansi_ports: Option<&mut Vec<Port>>,
+    ) -> Result<(), ParseError> {
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Input) | TokenKind::Keyword(Keyword::Output) => {
+                let dir = if self.eat_keyword(Keyword::Input) {
+                    Direction::Input
+                } else {
+                    self.bump();
+                    Direction::Output
+                };
+                let mut kind = NetKind::Wire;
+                let mut range = None;
+                self.port_type(&mut kind, &mut range)?;
+                loop {
+                    let name = self.expect_ident()?;
+                    match non_ansi_ports.as_deref_mut() {
+                        Some(ports) => ports.push(Port {
+                            dir,
+                            kind,
+                            name,
+                            range: range.clone(),
+                        }),
+                        None => {
+                            return Err(ParseError::new(
+                                self.pos(),
+                                "port declaration in body of ANSI-style module",
+                            ))
+                        }
+                    }
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(";")?;
+            }
+            TokenKind::Keyword(Keyword::Wire) | TokenKind::Keyword(Keyword::Reg) => {
+                let kind = if self.eat_keyword(Keyword::Wire) {
+                    NetKind::Wire
+                } else {
+                    self.bump();
+                    NetKind::Reg
+                };
+                if self.eat_keyword(Keyword::Signed) {
+                    return Err(ParseError::new(
+                        self.pos(),
+                        "`signed` is outside the MAGE subset",
+                    ));
+                }
+                let range = if matches!(self.peek(), TokenKind::Punct("[")) {
+                    Some(self.range()?)
+                } else {
+                    None
+                };
+                let mut names = Vec::new();
+                let mut init_assigns: Vec<Item> = Vec::new();
+                loop {
+                    let name = self.expect_ident()?;
+                    // `wire x = expr;` sugar -> decl + assign.
+                    if self.eat_punct("=") {
+                        let rhs = self.expr()?;
+                        if kind != NetKind::Wire {
+                            return Err(ParseError::new(
+                                self.pos(),
+                                "reg initializers are outside the MAGE subset",
+                            ));
+                        }
+                        init_assigns.push(Item::Assign {
+                            lhs: LValue::Ident(name.clone()),
+                            rhs,
+                        });
+                    }
+                    names.push(name);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(";")?;
+                items.push(Item::Net { kind, range, names });
+                items.extend(init_assigns);
+            }
+            TokenKind::Keyword(Keyword::Integer) | TokenKind::Keyword(Keyword::Genvar) => {
+                self.bump();
+                let mut names = Vec::new();
+                loop {
+                    names.push(self.expect_ident()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(";")?;
+                items.push(Item::Net {
+                    kind: NetKind::Reg,
+                    range: Some(Range {
+                        msb: Expr::number(31),
+                        lsb: Expr::number(0),
+                    }),
+                    names,
+                });
+            }
+            TokenKind::Keyword(Keyword::Parameter) | TokenKind::Keyword(Keyword::Localparam) => {
+                let local = matches!(self.peek(), TokenKind::Keyword(Keyword::Localparam));
+                self.bump();
+                if matches!(self.peek(), TokenKind::Punct("[")) {
+                    self.range()?;
+                }
+                loop {
+                    let name = self.expect_ident()?;
+                    self.expect_punct("=")?;
+                    let default = self.expr()?;
+                    let p = Param {
+                        name,
+                        default,
+                        local,
+                    };
+                    items.push(Item::Param(p.clone()));
+                    params.push(p);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(";")?;
+            }
+            TokenKind::Keyword(Keyword::Assign) => {
+                self.bump();
+                loop {
+                    let lhs = self.lvalue()?;
+                    self.expect_punct("=")?;
+                    let rhs = self.expr()?;
+                    items.push(Item::Assign { lhs, rhs });
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(";")?;
+            }
+            TokenKind::Keyword(Keyword::Always) => {
+                self.bump();
+                let sens = self.sensitivity()?;
+                let body = self.stmt()?;
+                items.push(Item::Always { sens, body });
+            }
+            TokenKind::Ident(module) => {
+                self.bump();
+                let mut overrides = Vec::new();
+                if self.eat_punct("#") {
+                    self.expect_punct("(")?;
+                    loop {
+                        if self.eat_punct(".") {
+                            let pname = self.expect_ident()?;
+                            self.expect_punct("(")?;
+                            let value = self.expr()?;
+                            self.expect_punct(")")?;
+                            overrides.push((pname, value));
+                        } else {
+                            return Err(ParseError::new(
+                                self.pos(),
+                                "positional parameter overrides are outside the MAGE subset",
+                            ));
+                        }
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                let name = self.expect_ident()?;
+                self.expect_punct("(")?;
+                let conns = if matches!(self.peek(), TokenKind::Punct(".")) {
+                    let mut named = Vec::new();
+                    loop {
+                        self.expect_punct(".")?;
+                        let port = self.expect_ident()?;
+                        self.expect_punct("(")?;
+                        let expr = if matches!(self.peek(), TokenKind::Punct(")")) {
+                            None
+                        } else {
+                            Some(self.expr()?)
+                        };
+                        self.expect_punct(")")?;
+                        named.push((port, expr));
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    Connections::Named(named)
+                } else if matches!(self.peek(), TokenKind::Punct(")")) {
+                    Connections::Ordered(Vec::new())
+                } else {
+                    let mut exprs = Vec::new();
+                    loop {
+                        exprs.push(self.expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    Connections::Ordered(exprs)
+                };
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                items.push(Item::Instance {
+                    module,
+                    name,
+                    params: overrides,
+                    conns,
+                });
+            }
+            TokenKind::Keyword(k @ (Keyword::Initial
+            | Keyword::Generate
+            | Keyword::Function
+            | Keyword::Task)) => {
+                return Err(ParseError::new(
+                    self.pos(),
+                    format!("`{}` blocks are outside the MAGE subset", k.as_str()),
+                ));
+            }
+            _ => return Err(self.unexpected("module item")),
+        }
+        Ok(())
+    }
+
+    fn sensitivity(&mut self) -> Result<Sensitivity, ParseError> {
+        self.expect_punct("@")?;
+        if self.eat_punct("*") {
+            return Ok(Sensitivity::Comb);
+        }
+        self.expect_punct("(")?;
+        if self.eat_punct("*") {
+            self.expect_punct(")")?;
+            return Ok(Sensitivity::Comb);
+        }
+        let mut edges = Vec::new();
+        let mut plain = Vec::new();
+        loop {
+            if self.eat_keyword(Keyword::Posedge) {
+                edges.push(EdgeEvent {
+                    edge: Edge::Pos,
+                    signal: self.expect_ident()?,
+                });
+            } else if self.eat_keyword(Keyword::Negedge) {
+                edges.push(EdgeEvent {
+                    edge: Edge::Neg,
+                    signal: self.expect_ident()?,
+                });
+            } else {
+                plain.push(self.expect_ident()?);
+            }
+            if self.eat_punct(",") || self.eat_keyword(Keyword::Or) {
+                continue;
+            }
+            break;
+        }
+        self.expect_punct(")")?;
+        match (edges.is_empty(), plain.is_empty()) {
+            (true, false) => Ok(Sensitivity::Comb), // old-style @(a or b)
+            (false, true) => Ok(Sensitivity::Edges(edges)),
+            (false, false) => Err(ParseError::new(
+                self.pos(),
+                "mixed edge and level sensitivity is outside the MAGE subset",
+            )),
+            (true, true) => Err(self.unexpected("sensitivity event")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Begin) => {
+                self.bump();
+                // Optional block label `begin : name`.
+                if self.eat_punct(":") {
+                    self.expect_ident()?;
+                }
+                let mut stmts = Vec::new();
+                while !self.eat_keyword(Keyword::End) {
+                    if self.at_eof() {
+                        return Err(self.unexpected("`end`"));
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat_keyword(Keyword::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            TokenKind::Keyword(k @ (Keyword::Case | Keyword::Casez | Keyword::Casex)) => {
+                self.bump();
+                // `casex` is treated as `casez` (documented subset deviation).
+                let kind = if k == Keyword::Case {
+                    CaseKind::Case
+                } else {
+                    CaseKind::Casez
+                };
+                self.expect_punct("(")?;
+                let expr = self.expr()?;
+                self.expect_punct(")")?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                loop {
+                    if self.eat_keyword(Keyword::Endcase) {
+                        break;
+                    }
+                    if self.at_eof() {
+                        return Err(self.unexpected("`endcase`"));
+                    }
+                    if self.eat_keyword(Keyword::Default) {
+                        self.eat_punct(":");
+                        default = Some(Box::new(self.stmt()?));
+                        continue;
+                    }
+                    let mut labels = vec![self.expr()?];
+                    while self.eat_punct(",") {
+                        labels.push(self.expr()?);
+                    }
+                    self.expect_punct(":")?;
+                    let body = self.stmt()?;
+                    arms.push(CaseArm { labels, body });
+                }
+                Ok(Stmt::Case {
+                    kind,
+                    expr,
+                    arms,
+                    default,
+                })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let var = self.expect_ident()?;
+                self.expect_punct("=")?;
+                let init = self.expr()?;
+                self.expect_punct(";")?;
+                let cond = self.expr()?;
+                self.expect_punct(";")?;
+                let var2 = self.expect_ident()?;
+                if var2 != var {
+                    return Err(ParseError::new(
+                        self.pos(),
+                        "for-loop step must assign the loop variable",
+                    ));
+                }
+                self.expect_punct("=")?;
+                let step = self.expr()?;
+                self.expect_punct(")")?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            TokenKind::Punct(";") => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            _ => {
+                let lhs = self.lvalue()?;
+                let nonblocking = if self.eat_punct("<=") {
+                    true
+                } else if self.eat_punct("=") {
+                    false
+                } else {
+                    return Err(self.unexpected("`=` or `<=`"));
+                };
+                let rhs = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(if nonblocking {
+                    Stmt::NonBlocking { lhs, rhs }
+                } else {
+                    Stmt::Blocking { lhs, rhs }
+                })
+            }
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, ParseError> {
+        if self.eat_punct("{") {
+            let mut parts = Vec::new();
+            loop {
+                parts.push(self.lvalue()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct("}")?;
+            return Ok(LValue::Concat(parts));
+        }
+        let name = self.expect_ident()?;
+        if self.eat_punct("[") {
+            let first = self.expr()?;
+            if self.eat_punct(":") {
+                let lsb = self.expr()?;
+                self.expect_punct("]")?;
+                Ok(LValue::Part(name, first, lsb))
+            } else {
+                self.expect_punct("]")?;
+                Ok(LValue::Bit(name, first))
+            }
+        } else {
+            Ok(LValue::Ident(name))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(1)?;
+        if self.eat_punct("?") {
+            let then_expr = Box::new(self.ternary()?);
+            self.expect_punct(":")?;
+            let else_expr = Box::new(self.ternary()?);
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr,
+                else_expr,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_op(&self) -> Option<BinaryOp> {
+        let p = match self.peek() {
+            TokenKind::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            "+" => BinaryOp::Add,
+            "-" => BinaryOp::Sub,
+            "*" => BinaryOp::Mul,
+            "/" => BinaryOp::Div,
+            "%" => BinaryOp::Mod,
+            "&" => BinaryOp::And,
+            "|" => BinaryOp::Or,
+            "^" => BinaryOp::Xor,
+            "~^" | "^~" => BinaryOp::Xnor,
+            "&&" => BinaryOp::LogicAnd,
+            "||" => BinaryOp::LogicOr,
+            "==" => BinaryOp::Eq,
+            "!=" => BinaryOp::Neq,
+            "===" => BinaryOp::CaseEq,
+            "!==" => BinaryOp::CaseNeq,
+            "<" => BinaryOp::Lt,
+            "<=" => BinaryOp::Le,
+            ">" => BinaryOp::Gt,
+            ">=" => BinaryOp::Ge,
+            "<<" | "<<<" => BinaryOp::Shl,
+            ">>" | ">>>" => BinaryOp::Shr,
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while let Some(op) = self.binary_op() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            // All subset binary operators are left-associative.
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            TokenKind::Punct("~") => Some(UnaryOp::Not),
+            TokenKind::Punct("!") => Some(UnaryOp::LogicNot),
+            TokenKind::Punct("-") => Some(UnaryOp::Neg),
+            TokenKind::Punct("+") => Some(UnaryOp::Plus),
+            TokenKind::Punct("&") => Some(UnaryOp::ReduceAnd),
+            TokenKind::Punct("|") => Some(UnaryOp::ReduceOr),
+            TokenKind::Punct("^") => Some(UnaryOp::ReduceXor),
+            TokenKind::Punct("~&") => Some(UnaryOp::ReduceNand),
+            TokenKind::Punct("~|") => Some(UnaryOp::ReduceNor),
+            TokenKind::Punct("~^") | TokenKind::Punct("^~") => Some(UnaryOp::ReduceXnor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = Box::new(self.unary()?);
+            return Ok(Expr::Unary { op, operand });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Number(text) => {
+                self.bump();
+                let lit = parse_literal(&text)
+                    .map_err(|e| ParseError::new(self.pos(), e.to_string()))?;
+                Ok(Expr::Literal {
+                    value: lit.value,
+                    form: if lit.sized {
+                        LiteralForm::Sized
+                    } else {
+                        LiteralForm::Unsized
+                    },
+                })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat_punct("[") {
+                    let first = self.expr()?;
+                    if self.eat_punct(":") {
+                        let lsb = self.expr()?;
+                        self.expect_punct("]")?;
+                        Ok(Expr::Part {
+                            base: name,
+                            msb: Box::new(first),
+                            lsb: Box::new(lsb),
+                        })
+                    } else if matches!(self.peek(), TokenKind::Punct("+:") | TokenKind::Punct("-:"))
+                    {
+                        Err(ParseError::new(
+                            self.pos(),
+                            "indexed part-selects are outside the MAGE subset",
+                        ))
+                    } else {
+                        self.expect_punct("]")?;
+                        Ok(Expr::Bit {
+                            base: name,
+                            index: Box::new(first),
+                        })
+                    }
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Punct("{") => {
+                self.bump();
+                let first = self.expr()?;
+                if matches!(self.peek(), TokenKind::Punct("{")) {
+                    // Replication {n{v, …}} — the inner braces hold a list.
+                    self.bump();
+                    let mut inner = vec![self.expr()?];
+                    while self.eat_punct(",") {
+                        inner.push(self.expr()?);
+                    }
+                    self.expect_punct("}")?;
+                    self.expect_punct("}")?;
+                    let value = if inner.len() == 1 {
+                        inner.into_iter().next().expect("one element")
+                    } else {
+                        Expr::Concat(inner)
+                    };
+                    return Ok(Expr::Repl {
+                        count: Box::new(first),
+                        value: Box::new(value),
+                    });
+                }
+                let mut parts = vec![first];
+                while self.eat_punct(",") {
+                    parts.push(self.expr()?);
+                }
+                self.expect_punct("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_module() {
+        let m = parse_module(
+            "module top(input a, input b, output y);\n assign y = a & b;\nendmodule",
+        )
+        .unwrap();
+        assert_eq!(m.name, "top");
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.items.len(), 1);
+        assert!(matches!(m.items[0], Item::Assign { .. }));
+    }
+
+    #[test]
+    fn parses_vector_ports_with_inherited_direction() {
+        let m = parse_module(
+            "module top(input [3:0] a, b, output reg [7:0] y); always @(*) y = {a, b}; endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.ports[1].name, "b");
+        assert_eq!(m.ports[1].dir, Direction::Input);
+        assert!(m.ports[1].range.is_some());
+        assert_eq!(m.ports[2].kind, NetKind::Reg);
+    }
+
+    #[test]
+    fn parses_non_ansi_ports() {
+        let m = parse_module(
+            "module top(a, y);\ninput [1:0] a;\noutput y;\nassign y = a[0];\nendmodule",
+        )
+        .unwrap();
+        assert_eq!(m.ports[0].name, "a");
+        assert_eq!(m.ports[0].dir, Direction::Input);
+        assert_eq!(m.ports[1].dir, Direction::Output);
+    }
+
+    #[test]
+    fn parses_always_ff_with_reset() {
+        let m = parse_module(
+            "module d(input clk, input rst, input d, output reg q);
+               always @(posedge clk or negedge rst)
+                 if (!rst) q <= 1'b0; else q <= d;
+             endmodule",
+        )
+        .unwrap();
+        let Item::Always { sens, body } = &m.items[0] else {
+            panic!("expected always")
+        };
+        let Sensitivity::Edges(e) = sens else {
+            panic!("expected edges")
+        };
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[1].edge, Edge::Neg);
+        assert!(matches!(body, Stmt::If { .. }));
+    }
+
+    #[test]
+    fn old_style_sensitivity_is_comb() {
+        let m = parse_module(
+            "module c(input a, input b, output reg y); always @(a or b) y = a | b; endmodule",
+        )
+        .unwrap();
+        let Item::Always { sens, .. } = &m.items[0] else {
+            panic!()
+        };
+        assert_eq!(*sens, Sensitivity::Comb);
+    }
+
+    #[test]
+    fn parses_case_with_default_and_multi_labels() {
+        let m = parse_module(
+            "module c(input [1:0] s, output reg y);
+               always @(*) case (s)
+                 2'b00, 2'b11: y = 1'b1;
+                 2'b01: y = 1'b0;
+                 default: y = 1'bx;
+               endcase
+             endmodule",
+        )
+        .unwrap();
+        let Item::Always { body, .. } = &m.items[0] else {
+            panic!()
+        };
+        let Stmt::Case { arms, default, .. } = body else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].labels.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let m = parse_module(
+            "module f(input [7:0] a, output reg [7:0] y);
+               integer i;
+               always @(*) begin
+                 for (i = 0; i < 8; i = i + 1) y[i] = a[7 - i];
+               end
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.items.len(), 2);
+    }
+
+    #[test]
+    fn parses_instance_named_and_ordered() {
+        let f = parse(
+            "module half(input a, input b, output s, output c);
+               assign s = a ^ b; assign c = a & b;
+             endmodule
+             module top(input x, input y, output s, output c);
+               half h0 (.a(x), .b(y), .s(s), .c(c));
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(f.modules.len(), 2);
+        let Item::Instance { conns, .. } = &f.modules[1].items[0] else {
+            panic!()
+        };
+        assert!(matches!(conns, Connections::Named(n) if n.len() == 4));
+    }
+
+    #[test]
+    fn parses_parameter_override() {
+        let f = parse(
+            "module w #(parameter N = 4)(input [N-1:0] a, output [N-1:0] y);
+               assign y = ~a;
+             endmodule
+             module top(input [7:0] a, output [7:0] y);
+               w #(.N(8)) u (.a(a), .y(y));
+             endmodule",
+        )
+        .unwrap();
+        let Item::Instance { params, .. } = &f.modules[1].items[0] else {
+            panic!()
+        };
+        assert_eq!(params.len(), 1);
+        assert_eq!(params[0].0, "N");
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        let m = parse_module("module p(input a, input b, input c, output y); assign y = a | b & c; endmodule").unwrap();
+        let Item::Assign { rhs, .. } = &m.items[0] else {
+            panic!()
+        };
+        // | is looser than &, so the top node is Or.
+        let Expr::Binary { op, rhs: r, .. } = rhs else {
+            panic!()
+        };
+        assert_eq!(*op, BinaryOp::Or);
+        assert!(matches!(**r, Expr::Binary { op: BinaryOp::And, .. }));
+    }
+
+    #[test]
+    fn ternary_is_right_associative() {
+        let m = parse_module(
+            "module t(input a, input b, output y); assign y = a ? b : a ? 1'b0 : 1'b1; endmodule",
+        )
+        .unwrap();
+        let Item::Assign { rhs, .. } = &m.items[0] else {
+            panic!()
+        };
+        let Expr::Ternary { else_expr, .. } = rhs else {
+            panic!()
+        };
+        assert!(matches!(**else_expr, Expr::Ternary { .. }));
+    }
+
+    #[test]
+    fn replication_and_concat() {
+        let m = parse_module(
+            "module r(input [1:0] a, output [7:0] y); assign y = {2{a, 2'b01}}; endmodule",
+        )
+        .unwrap();
+        let Item::Assign { rhs, .. } = &m.items[0] else {
+            panic!()
+        };
+        let Expr::Repl { value, .. } = rhs else {
+            panic!("expected replication")
+        };
+        assert!(matches!(**value, Expr::Concat(_)));
+    }
+
+    #[test]
+    fn lvalue_concat_and_part() {
+        let m = parse_module(
+            "module l(input [3:0] a, output [1:0] hi, output c);
+               assign {c, hi} = a[3:1];
+             endmodule",
+        )
+        .unwrap();
+        let Item::Assign { lhs, .. } = &m.items[0] else {
+            panic!()
+        };
+        assert!(matches!(lhs, LValue::Concat(p) if p.len() == 2));
+    }
+
+    #[test]
+    fn rejects_out_of_subset() {
+        assert!(parse_module("module m(inout a); endmodule").is_err());
+        assert!(parse_module("module m(input a); initial a = 0; endmodule").is_err());
+        assert!(
+            parse_module("module m(input signed [3:0] a, output y); assign y = a[0]; endmodule")
+                .is_err()
+        );
+        assert!(parse_module("module m(input a, output y); assign y = a[1+:2]; endmodule").is_err());
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let err = parse_module("module m(input a output y); endmodule").unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn nonblocking_vs_le_disambiguation() {
+        let m = parse_module(
+            "module d(input clk, input [3:0] a, output reg q);
+               always @(posedge clk) q <= a <= 4'd5;
+             endmodule",
+        )
+        .unwrap();
+        let Item::Always { body, .. } = &m.items[0] else {
+            panic!()
+        };
+        let Stmt::NonBlocking { rhs, .. } = body else {
+            panic!("expected nonblocking assign")
+        };
+        assert!(matches!(rhs, Expr::Binary { op: BinaryOp::Le, .. }));
+    }
+
+    #[test]
+    fn casex_maps_to_casez() {
+        let m = parse_module(
+            "module c(input [1:0] s, output reg y);
+               always @(*) casex (s) 2'b1?: y = 1; default: y = 0; endcase
+             endmodule",
+        )
+        .unwrap();
+        let Item::Always { body, .. } = &m.items[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            body,
+            Stmt::Case {
+                kind: CaseKind::Casez,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,646 @@
+//! Pretty-printer emitting canonical Verilog source from the AST.
+//!
+//! The printer is the inverse of the parser on the subset:
+//! `parse(print(m)) == m` structurally for any module the parser can
+//! produce (verified by property tests). The RTL agents use it to turn
+//! mutated ASTs back into the Verilog text that flows through the rest of
+//! the MAGE pipeline.
+
+use crate::ast::*;
+
+/// Render a source file as Verilog text.
+pub fn print_file(file: &SourceFile) -> String {
+    let mut out = String::new();
+    for (i, m) in file.modules.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_module(m));
+    }
+    out
+}
+
+/// Render one module as Verilog text (ANSI port style).
+pub fn print_module(m: &Module) -> String {
+    let mut p = Printer::new();
+    p.module(m);
+    p.out
+}
+
+/// Render a single expression (used in logs and error messages).
+pub fn print_expr(e: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(e, 0);
+    p.out
+}
+
+/// Render a single statement at indent level zero.
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(s);
+    p.out
+}
+
+/// Render an lvalue.
+pub fn print_lvalue(l: &LValue) -> String {
+    let mut p = Printer::new();
+    p.lvalue(l);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn nl(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn module(&mut self, m: &Module) {
+        self.out.push_str("module ");
+        self.out.push_str(&m.name);
+        // Header parameters: the ones not declared in the body.
+        let body_params: Vec<&str> = m
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Param(p) => Some(p.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        let header: Vec<&Param> = m
+            .params
+            .iter()
+            .filter(|p| !body_params.contains(&p.name.as_str()))
+            .collect();
+        if !header.is_empty() {
+            self.out.push_str(" #(");
+            for (i, p) in header.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.out.push_str("parameter ");
+                self.out.push_str(&p.name);
+                self.out.push_str(" = ");
+                self.expr(&p.default, 0);
+            }
+            self.out.push(')');
+        }
+        self.out.push_str(" (");
+        self.indent += 1;
+        for (i, port) in m.ports.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.nl();
+            self.out.push_str(match port.dir {
+                Direction::Input => "input",
+                Direction::Output => "output",
+            });
+            if port.kind == NetKind::Reg {
+                self.out.push_str(" reg");
+            } else {
+                self.out.push_str(" wire");
+            }
+            if let Some(r) = &port.range {
+                self.out.push_str(" [");
+                self.expr(&r.msb, 0);
+                self.out.push(':');
+                self.expr(&r.lsb, 0);
+                self.out.push(']');
+            }
+            self.out.push(' ');
+            self.out.push_str(&port.name);
+        }
+        self.indent -= 1;
+        self.nl();
+        self.out.push_str(");");
+        self.indent += 1;
+        for item in &m.items {
+            self.nl();
+            self.item(item);
+        }
+        self.indent -= 1;
+        self.nl();
+        self.out.push_str("endmodule\n");
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Net { kind, range, names } => {
+                self.out.push_str(match kind {
+                    NetKind::Wire => "wire",
+                    NetKind::Reg => "reg",
+                });
+                if let Some(r) = range {
+                    self.out.push_str(" [");
+                    self.expr(&r.msb, 0);
+                    self.out.push(':');
+                    self.expr(&r.lsb, 0);
+                    self.out.push(']');
+                }
+                self.out.push(' ');
+                self.out.push_str(&names.join(", "));
+                self.out.push(';');
+            }
+            Item::Param(p) => {
+                self.out
+                    .push_str(if p.local { "localparam " } else { "parameter " });
+                self.out.push_str(&p.name);
+                self.out.push_str(" = ");
+                self.expr(&p.default, 0);
+                self.out.push(';');
+            }
+            Item::Assign { lhs, rhs } => {
+                self.out.push_str("assign ");
+                self.lvalue(lhs);
+                self.out.push_str(" = ");
+                self.expr(rhs, 0);
+                self.out.push(';');
+            }
+            Item::Always { sens, body } => {
+                self.out.push_str("always @");
+                match sens {
+                    Sensitivity::Comb => self.out.push_str("(*)"),
+                    Sensitivity::Edges(events) => {
+                        self.out.push('(');
+                        for (i, e) in events.iter().enumerate() {
+                            if i > 0 {
+                                self.out.push_str(" or ");
+                            }
+                            self.out.push_str(match e.edge {
+                                Edge::Pos => "posedge ",
+                                Edge::Neg => "negedge ",
+                            });
+                            self.out.push_str(&e.signal);
+                        }
+                        self.out.push(')');
+                    }
+                }
+                self.out.push(' ');
+                self.stmt(body);
+            }
+            Item::Instance {
+                module,
+                name,
+                params,
+                conns,
+            } => {
+                self.out.push_str(module);
+                if !params.is_empty() {
+                    self.out.push_str(" #(");
+                    for (i, (p, v)) in params.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.out.push('.');
+                        self.out.push_str(p);
+                        self.out.push('(');
+                        self.expr(v, 0);
+                        self.out.push(')');
+                    }
+                    self.out.push(')');
+                }
+                self.out.push(' ');
+                self.out.push_str(name);
+                self.out.push_str(" (");
+                match conns {
+                    Connections::Named(named) => {
+                        for (i, (port, expr)) in named.iter().enumerate() {
+                            if i > 0 {
+                                self.out.push_str(", ");
+                            }
+                            self.out.push('.');
+                            self.out.push_str(port);
+                            self.out.push('(');
+                            if let Some(e) = expr {
+                                self.expr(e, 0);
+                            }
+                            self.out.push(')');
+                        }
+                    }
+                    Connections::Ordered(exprs) => {
+                        for (i, e) in exprs.iter().enumerate() {
+                            if i > 0 {
+                                self.out.push_str(", ");
+                            }
+                            self.expr(e, 0);
+                        }
+                    }
+                }
+                self.out.push_str(");");
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Block(stmts) => {
+                self.out.push_str("begin");
+                self.indent += 1;
+                for st in stmts {
+                    self.nl();
+                    self.stmt(st);
+                }
+                self.indent -= 1;
+                self.nl();
+                self.out.push_str("end");
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.out.push_str("if (");
+                self.expr(cond, 0);
+                self.out.push_str(") ");
+                // An un-braced `if` directly inside another `if`'s then-arm
+                // would re-attach the `else`; wrap to keep structure.
+                let needs_block = else_branch.is_some()
+                    && matches!(
+                        **then_branch,
+                        Stmt::If {
+                            else_branch: None,
+                            ..
+                        } | Stmt::For { .. }
+                    );
+                if needs_block {
+                    self.stmt(&Stmt::Block(vec![(**then_branch).clone()]));
+                } else {
+                    self.stmt(then_branch);
+                }
+                if let Some(e) = else_branch {
+                    self.nl();
+                    self.out.push_str("else ");
+                    self.stmt(e);
+                }
+            }
+            Stmt::Case {
+                kind,
+                expr,
+                arms,
+                default,
+            } => {
+                self.out.push_str(match kind {
+                    CaseKind::Case => "case (",
+                    CaseKind::Casez => "casez (",
+                });
+                self.expr(expr, 0);
+                self.out.push(')');
+                self.indent += 1;
+                for arm in arms {
+                    self.nl();
+                    for (i, l) in arm.labels.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.expr(l, 0);
+                    }
+                    self.out.push_str(": ");
+                    self.stmt(&arm.body);
+                }
+                if let Some(d) = default {
+                    self.nl();
+                    self.out.push_str("default: ");
+                    self.stmt(d);
+                }
+                self.indent -= 1;
+                self.nl();
+                self.out.push_str("endcase");
+            }
+            Stmt::Blocking { lhs, rhs } => {
+                self.lvalue(lhs);
+                self.out.push_str(" = ");
+                self.expr(rhs, 0);
+                self.out.push(';');
+            }
+            Stmt::NonBlocking { lhs, rhs } => {
+                self.lvalue(lhs);
+                self.out.push_str(" <= ");
+                self.expr(rhs, 0);
+                self.out.push(';');
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.out.push_str("for (");
+                self.out.push_str(var);
+                self.out.push_str(" = ");
+                self.expr(init, 0);
+                self.out.push_str("; ");
+                self.expr(cond, 0);
+                self.out.push_str("; ");
+                self.out.push_str(var);
+                self.out.push_str(" = ");
+                self.expr(step, 0);
+                self.out.push_str(") ");
+                self.stmt(body);
+            }
+            Stmt::Empty => self.out.push(';'),
+        }
+    }
+
+    fn lvalue(&mut self, l: &LValue) {
+        match l {
+            LValue::Ident(n) => self.out.push_str(n),
+            LValue::Bit(n, i) => {
+                self.out.push_str(n);
+                self.out.push('[');
+                self.expr(i, 0);
+                self.out.push(']');
+            }
+            LValue::Part(n, msb, lsb) => {
+                self.out.push_str(n);
+                self.out.push('[');
+                self.expr(msb, 0);
+                self.out.push(':');
+                self.expr(lsb, 0);
+                self.out.push(']');
+            }
+            LValue::Concat(parts) => {
+                self.out.push('{');
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.lvalue(p);
+                }
+                self.out.push('}');
+            }
+        }
+    }
+
+    /// Print `e`; parenthesize unless the expression binds at least as
+    /// tightly as `min_prec` requires.
+    fn expr(&mut self, e: &Expr, min_prec: u8) {
+        match e {
+            Expr::Literal { value, form } => match form {
+                LiteralForm::Sized => {
+                    self.out.push_str(&value.to_string());
+                }
+                LiteralForm::Unsized => match value.to_u128() {
+                    Some(v) => self.out.push_str(&v.to_string()),
+                    None => {
+                        self.out.push_str("'b");
+                        self.out.push_str(&value.to_binary_string());
+                    }
+                },
+            },
+            Expr::Ident(n) => self.out.push_str(n),
+            Expr::Unary { op, operand } => {
+                // Unary binds tightest (precedence 12).
+                if min_prec > 12 {
+                    self.out.push('(');
+                }
+                self.out.push_str(op.symbol());
+                // Avoid `--a` lexing hazards and keep operand atomic.
+                match **operand {
+                    Expr::Literal { .. } | Expr::Ident(_) | Expr::Bit { .. }
+                    | Expr::Part { .. } | Expr::Concat(_) | Expr::Repl { .. } => {
+                        self.expr(operand, 13);
+                    }
+                    Expr::Unary { .. } => {
+                        self.out.push('(');
+                        self.expr(operand, 0);
+                        self.out.push(')');
+                    }
+                    _ => {
+                        self.out.push('(');
+                        self.expr(operand, 0);
+                        self.out.push(')');
+                    }
+                }
+                if min_prec > 12 {
+                    self.out.push(')');
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let prec = op.precedence();
+                let paren = prec < min_prec;
+                if paren {
+                    self.out.push('(');
+                }
+                self.expr(lhs, prec);
+                self.out.push(' ');
+                self.out.push_str(op.symbol());
+                self.out.push(' ');
+                // Left-associative: the rhs needs strictly tighter binding.
+                self.expr(rhs, prec + 1);
+                if paren {
+                    self.out.push(')');
+                }
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let paren = min_prec > 1;
+                if paren {
+                    self.out.push('(');
+                }
+                self.expr(cond, 2);
+                self.out.push_str(" ? ");
+                self.expr(then_expr, 1);
+                self.out.push_str(" : ");
+                self.expr(else_expr, 1);
+                if paren {
+                    self.out.push(')');
+                }
+            }
+            Expr::Concat(parts) => {
+                self.out.push('{');
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(p, 0);
+                }
+                self.out.push('}');
+            }
+            Expr::Repl { count, value } => {
+                self.out.push('{');
+                self.expr(count, 13);
+                self.out.push('{');
+                match &**value {
+                    Expr::Concat(parts) => {
+                        for (i, p) in parts.iter().enumerate() {
+                            if i > 0 {
+                                self.out.push_str(", ");
+                            }
+                            self.expr(p, 0);
+                        }
+                    }
+                    other => self.expr(other, 0),
+                }
+                self.out.push_str("}}");
+            }
+            Expr::Bit { base, index } => {
+                self.out.push_str(base);
+                self.out.push('[');
+                self.expr(index, 0);
+                self.out.push(']');
+            }
+            Expr::Part { base, msb, lsb } => {
+                self.out.push_str(base);
+                self.out.push('[');
+                self.expr(msb, 0);
+                self.out.push(':');
+                self.expr(lsb, 0);
+                self.out.push(']');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_module};
+
+    fn roundtrip(src: &str) {
+        let m1 = parse_module(src).unwrap();
+        let printed = print_module(&m1);
+        let m2 = parse_module(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(m1, m2, "roundtrip mismatch\n--- printed ---\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_combinational() {
+        roundtrip(
+            "module top(input a, input b, input c, output y);
+               assign y = (a | b) & ~c;
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn roundtrip_precedence_preserved() {
+        roundtrip(
+            "module p(input a, input b, input c, output y, output z);
+               assign y = a | b & c;
+               assign z = (a | b) & c;
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn roundtrip_sequential_with_case() {
+        roundtrip(
+            "module fsm(input clk, input rst, input x, output reg [1:0] s);
+               always @(posedge clk or posedge rst) begin
+                 if (rst) s <= 2'b00;
+                 else case (s)
+                   2'b00: s <= x ? 2'b01 : 2'b00;
+                   2'b01: s <= 2'b10;
+                   default: s <= 2'b00;
+                 endcase
+               end
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn roundtrip_hierarchy() {
+        let src = "module half(input a, input b, output s, output c);
+               assign s = a ^ b;
+               assign c = a & b;
+             endmodule
+             module top #(parameter W = 2) (input [W-1:0] x, output [W-1:0] s);
+               half h0 (.a(x[0]), .b(x[1]), .s(s[0]), .c(s[1]));
+             endmodule";
+        let f1 = parse(src).unwrap();
+        let printed = print_file(&f1);
+        let f2 = parse(&printed).unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn roundtrip_dangling_else_protection() {
+        roundtrip(
+            "module d(input a, input b, output reg y);
+               always @(*) begin
+                 if (a) begin
+                   if (b) y = 1'b1;
+                 end
+                 else y = 1'b0;
+               end
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn roundtrip_unsized_literals() {
+        roundtrip(
+            "module u(input [31:0] a, output [31:0] y);
+               assign y = a + 42;
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn roundtrip_replication() {
+        roundtrip(
+            "module r(input [1:0] a, output [7:0] y);
+               assign y = {2{a, 2'b01}};
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn roundtrip_for_loop() {
+        roundtrip(
+            "module f(input [7:0] a, output reg [7:0] y);
+               integer i;
+               always @(*) for (i = 0; i < 8; i = i + 1) y[i] = a[7 - i];
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn roundtrip_unary_nesting() {
+        roundtrip(
+            "module n(input [3:0] a, input [3:0] b, output y);
+               assign y = !(~&a) & ^(a ^ b) | ~(~(a[0]));
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn roundtrip_body_params() {
+        roundtrip(
+            "module bp(input [7:0] a, output [7:0] y);
+               localparam MASK = 8'h0F;
+               assign y = a & MASK;
+             endmodule",
+        );
+    }
+
+    #[test]
+    fn expr_printer_parenthesizes_minimally() {
+        let m =
+            parse_module("module p(input a, input b, input c, output y); assign y = a | b & c; endmodule")
+                .unwrap();
+        let Item::Assign { rhs, .. } = &m.items[0] else {
+            panic!()
+        };
+        assert_eq!(print_expr(rhs), "a | b & c");
+    }
+}

@@ -1,0 +1,125 @@
+//! Tokens produced by the lexer.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or escaped identifier.
+    Ident(String),
+    /// Number literal, raw text (e.g. `8'hFF`, `42`).
+    Number(String),
+    /// Keyword (reserved word).
+    Keyword(Keyword),
+    /// Operator or punctuation, raw text (e.g. `<=`, `&&`, `(`).
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(s) => write!(f, "number `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it started.
+    pub pos: Pos,
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Reserved words recognized by the subset.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($variant),+
+        }
+
+        impl Keyword {
+            /// Look up a keyword from its source text.
+            pub fn from_str(s: &str) -> Option<Keyword> {
+                match s {
+                    $($text => Some(Keyword::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// The keyword's source text.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text),+
+                }
+            }
+        }
+    };
+}
+
+keywords! {
+    Module => "module",
+    Endmodule => "endmodule",
+    Input => "input",
+    Output => "output",
+    Inout => "inout",
+    Wire => "wire",
+    Reg => "reg",
+    Integer => "integer",
+    Assign => "assign",
+    Always => "always",
+    Posedge => "posedge",
+    Negedge => "negedge",
+    Or => "or",
+    If => "if",
+    Else => "else",
+    Case => "case",
+    Casez => "casez",
+    Casex => "casex",
+    Endcase => "endcase",
+    Default => "default",
+    Begin => "begin",
+    End => "end",
+    For => "for",
+    Parameter => "parameter",
+    Localparam => "localparam",
+    Initial => "initial",
+    Generate => "generate",
+    Endgenerate => "endgenerate",
+    Genvar => "genvar",
+    Function => "function",
+    Endfunction => "endfunction",
+    Task => "task",
+    Endtask => "endtask",
+    Signed => "signed",
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}

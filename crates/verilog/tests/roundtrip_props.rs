@@ -1,0 +1,219 @@
+//! Property tests: `parse(print(m)) == m` for generated ASTs, and parser
+//! robustness (never panics) on printed-then-perturbed source.
+
+use mage_verilog::ast::*;
+use mage_verilog::{parse_module, print_module};
+use proptest::prelude::*;
+
+const SIGNALS: &[&str] = &["a", "b", "c", "sel", "q", "t0", "t1"];
+
+fn ident() -> impl Strategy<Value = String> {
+    proptest::sample::select(SIGNALS).prop_map(str::to_string)
+}
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (1usize..9, any::<u64>()).prop_map(|(w, v)| Expr::sized(w, v)),
+        (0u64..1000).prop_map(Expr::number),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal(),
+        ident().prop_map(Expr::Ident),
+        (ident(), 0usize..8).prop_map(|(b, i)| Expr::Bit {
+            base: b,
+            index: Box::new(Expr::number(i as u64)),
+        }),
+        (ident(), 1usize..7).prop_map(|(b, m)| Expr::Part {
+            base: b,
+            msb: Box::new(Expr::number(m as u64)),
+            lsb: Box::new(Expr::number(0)),
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (unary_op(), inner.clone()).prop_map(|(op, e)| Expr::Unary {
+                op,
+                operand: Box::new(e),
+            }),
+            (binary_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Ternary {
+                cond: Box::new(c),
+                then_expr: Box::new(t),
+                else_expr: Box::new(e),
+            }),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Concat),
+            (2u64..4, inner).prop_map(|(n, v)| Expr::Repl {
+                count: Box::new(Expr::number(n)),
+                value: Box::new(v),
+            }),
+        ]
+    })
+}
+
+fn unary_op() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![
+        Just(UnaryOp::Not),
+        Just(UnaryOp::LogicNot),
+        Just(UnaryOp::Neg),
+        Just(UnaryOp::ReduceAnd),
+        Just(UnaryOp::ReduceOr),
+        Just(UnaryOp::ReduceXor),
+        Just(UnaryOp::ReduceNand),
+        Just(UnaryOp::ReduceNor),
+        Just(UnaryOp::ReduceXnor),
+    ]
+}
+
+fn binary_op() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+        Just(BinaryOp::Xor),
+        Just(BinaryOp::Xnor),
+        Just(BinaryOp::LogicAnd),
+        Just(BinaryOp::LogicOr),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::Neq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::Le),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::Ge),
+        Just(BinaryOp::Shl),
+        Just(BinaryOp::Shr),
+    ]
+}
+
+fn lvalue() -> impl Strategy<Value = LValue> {
+    prop_oneof![
+        ident().prop_map(LValue::Ident),
+        (ident(), 0usize..8).prop_map(|(b, i)| LValue::Bit(b, Expr::number(i as u64))),
+        (ident(), 1usize..7)
+            .prop_map(|(b, m)| LValue::Part(b, Expr::number(m as u64), Expr::number(0))),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let assign = prop_oneof![
+        (lvalue(), expr()).prop_map(|(l, r)| Stmt::Blocking { lhs: l, rhs: r }),
+        (lvalue(), expr()).prop_map(|(l, r)| Stmt::NonBlocking { lhs: l, rhs: r }),
+    ];
+    assign.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Stmt::Block),
+            (expr(), inner.clone(), proptest::option::of(inner.clone())).prop_map(
+                |(c, t, e)| Stmt::If {
+                    cond: c,
+                    then_branch: Box::new(t),
+                    else_branch: e.map(Box::new),
+                }
+            ),
+            (
+                expr(),
+                proptest::collection::vec((proptest::collection::vec(literal(), 1..3), inner.clone()), 1..3),
+                proptest::option::of(inner.clone())
+            )
+                .prop_map(|(sel, arm_data, def)| Stmt::Case {
+                    kind: CaseKind::Case,
+                    expr: sel,
+                    arms: arm_data
+                        .into_iter()
+                        .map(|(labels, body)| CaseArm { labels, body })
+                        .collect(),
+                    default: def.map(Box::new),
+                }),
+        ]
+    })
+}
+
+fn module() -> impl Strategy<Value = Module> {
+    (
+        proptest::collection::vec(stmt(), 1..4),
+        proptest::collection::vec((lvalue(), expr()), 0..3),
+    )
+        .prop_map(|(stmts, assigns)| {
+            // Fixed interface so generated bodies always have signals to
+            // reference; all SIGNALS are declared 8-bit regs/wires.
+            let ports = vec![
+                Port {
+                    dir: Direction::Input,
+                    kind: NetKind::Wire,
+                    name: "clk".into(),
+                    range: None,
+                },
+                Port {
+                    dir: Direction::Output,
+                    kind: NetKind::Reg,
+                    name: "out".into(),
+                    range: Some(Range {
+                        msb: Expr::number(7),
+                        lsb: Expr::number(0),
+                    }),
+                },
+            ];
+            let mut items = vec![Item::Net {
+                kind: NetKind::Reg,
+                range: Some(Range {
+                    msb: Expr::number(7),
+                    lsb: Expr::number(0),
+                }),
+                names: SIGNALS.iter().map(|s| s.to_string()).collect(),
+            }];
+            items.extend(
+                assigns
+                    .into_iter()
+                    .map(|(l, r)| Item::Assign { lhs: l, rhs: r }),
+            );
+            items.push(Item::Always {
+                sens: Sensitivity::Edges(vec![EdgeEvent {
+                    edge: Edge::Pos,
+                    signal: "clk".into(),
+                }]),
+                body: Stmt::Block(stmts),
+            });
+            Module {
+                name: "generated".into(),
+                params: vec![],
+                ports,
+                items,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `parse ∘ print` normalizes at most once (dangling-else protection
+    /// may wrap a bare `if` in a block) and is then a fixpoint; and the
+    /// normalized form re-prints to byte-identical source.
+    #[test]
+    fn print_parse_roundtrip(m in module()) {
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n--- printed ---\n{printed}")))?;
+        let printed2 = print_module(&m2);
+        let m3 = parse_module(&printed2)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n--- printed2 ---\n{printed2}")))?;
+        prop_assert_eq!(&m3, &m2, "print/parse not idempotent\n--- printed2 ---\n{}", printed2);
+        prop_assert_eq!(print_module(&m3), printed2);
+    }
+
+    /// Parsing never panics on arbitrary byte soup near valid source.
+    #[test]
+    fn parser_never_panics(m in module(), cut in 0usize..400, junk in "[ -~]{0,12}") {
+        let printed = print_module(&m);
+        let cut = cut.min(printed.len());
+        // Char-boundary safe: printed source is pure ASCII by construction.
+        let mangled = format!("{}{}{}", &printed[..cut], junk, &printed[cut..]);
+        let _ = parse_module(&mangled); // must not panic
+    }
+}

@@ -1,0 +1,21 @@
+//! Table III: the agent task-distribution ablation — vanilla one-pass vs
+//! a single shared-context agent vs the full multi-agent MAGE, all under
+//! the identical synthetic channel at the Low-Temperature setting.
+//!
+//! ```text
+//! cargo run --release --example ablation [runs]
+//! ```
+
+use mage::core::experiments::table3;
+use mage::core::tables::render_table3;
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    println!("Running Table III ablation with {runs} evaluation runs per config…\n");
+    let t = table3(runs, 0xAB1A);
+    println!("{}", render_table3(&t));
+    println!("Paper:  Vanilla 72.4 | Single-Agent 83.9 (+11.5) | Multi-Agent 93.6 (+21.2)");
+}

@@ -1,0 +1,27 @@
+//! Table II: the full systems comparison — every re-implementable
+//! protocol baseline (vanilla, AIVRIL-style two-agent, merged
+//! single-agent, full MAGE) under the identical synthetic channel, best
+//! temperature configuration per system. Also prints Fig. 4's sampling
+//! and debugging score-improvement data.
+//!
+//! ```text
+//! cargo run --release --example full_eval [runs_high]
+//! ```
+
+use mage::core::experiments::{fig4, table2};
+use mage::core::tables::{render_fig4, render_table2};
+
+fn main() {
+    let runs_high: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    println!("Full systems evaluation (runs_high = {runs_high}); this sweeps");
+    println!("4 systems x 2 suites x 2 temperature configs and takes a few minutes…\n");
+
+    let t = table2(runs_high, 0xFEED);
+    println!("{}", render_table2(&t));
+
+    let f = fig4(runs_high, 0xFEED);
+    println!("{}", render_fig4(&f));
+}
