@@ -1,0 +1,21 @@
+// The bench-kernel ALU: the corpus `prob029_alu4` design plus a small
+// registered accumulator stage, so the kernel exercises combinational
+// settle, case dispatch, shifts, comparisons and an edge-triggered
+// process in one DUT.
+module top_module(input clk, input [3:0] a, input [3:0] b, input [2:0] op,
+                  output reg [3:0] r, output zero, output reg [7:0] acc);
+  always @(*) begin
+    case (op)
+      3'd0: r = a + b;
+      3'd1: r = a - b;
+      3'd2: r = a & b;
+      3'd3: r = a | b;
+      3'd4: r = a ^ b;
+      3'd5: r = {3'b000, a < b};
+      3'd6: r = a << b[1:0];
+      default: r = a >> b[1:0];
+    endcase
+  end
+  assign zero = r == 4'd0;
+  always @(posedge clk) acc <= acc + {4'b0000, r};
+endmodule

@@ -124,8 +124,29 @@ pub fn grade(problem: &Problem, source: &str) -> bool {
         .unwrap_or(false)
 }
 
+/// The deterministic seed of one `(run, problem)` evaluation unit.
+///
+/// Each run's seed derives from the master seed exactly as the serial
+/// evaluator derived it, decorrelated per problem with a stable FNV-1a
+/// hash of the problem id. Because every unit owns its model and RNG,
+/// scores and pass@k are **bit-identical** however the units are
+/// scheduled — the parallel evaluation below matches a serial
+/// `(run, problem)` loop result-for-result.
+fn unit_seed(master: u64, run: usize, problem_id: &str) -> u64 {
+    let run_seed = master.wrapping_add(run as u64).wrapping_mul(0x9E37_79B9);
+    run_seed ^ mage_logic::fnv1a(problem_id.as_bytes())
+}
+
 /// Evaluate one suite under the given options.
+///
+/// The `(run, problem)` grid is evaluated in parallel (one independent
+/// engine + synthetic model per unit, each with a derived seed); results
+/// are folded back in deterministic `(run, problem)` order. Set
+/// `RAYON_NUM_THREADS=1` to force serial execution — scores are
+/// identical either way.
 pub fn evaluate_suite(opts: &EvalOptions) -> SuiteEval {
+    use rayon::prelude::*;
+
     let problems = suite(opts.suite);
     let mut evals: Vec<ProblemEval> = problems
         .iter()
@@ -137,26 +158,34 @@ pub fn evaluate_suite(opts: &EvalOptions) -> SuiteEval {
             traces: Vec::new(),
         })
         .collect();
-    let mut usage = TokenUsage::default();
 
-    for run in 0..opts.runs {
-        let run_seed = opts.seed.wrapping_add(run as u64).wrapping_mul(0x9E37_79B9);
-        let mut model = SyntheticModel::new(opts.model.clone(), run_seed);
-        for p in &problems {
-            model.register(p.id, p.oracle(run_seed));
-        }
-        for (p, eval) in problems.iter().zip(evals.iter_mut()) {
+    let units: Vec<(usize, usize)> = (0..opts.runs)
+        .flat_map(|run| (0..problems.len()).map(move |pix| (run, pix)))
+        .collect();
+    let results: Vec<(usize, SolveTrace, bool)> = units
+        .into_par_iter()
+        .map(|(run, pix)| {
+            let p = &problems[pix];
+            let seed = unit_seed(opts.seed, run, p.id);
+            let mut model = SyntheticModel::new(opts.model.clone(), seed);
+            model.register(p.id, p.oracle(seed));
             let mut engine = Mage::new(&mut model, opts.engine.clone());
             let trace = engine.solve(&Task {
                 id: p.id,
                 spec: p.spec,
             });
-            usage += trace.usage;
-            if grade(p, &trace.final_source) {
-                eval.passing += 1;
-            }
-            eval.traces.push(trace);
+            let passed = grade(p, &trace.final_source);
+            (pix, trace, passed)
+        })
+        .collect();
+
+    let mut usage = TokenUsage::default();
+    for (pix, trace, passed) in results {
+        usage += trace.usage;
+        if passed {
+            evals[pix].passing += 1;
         }
+        evals[pix].traces.push(trace);
     }
 
     for e in &mut evals {
@@ -485,6 +514,26 @@ mod tests {
         assert!(eval.pass_at_1 > 0.2, "vanilla should solve some problems");
         assert!(eval.pass_at_1 < 1.0, "vanilla must not be perfect");
         assert!(eval.usage.total() > 0);
+    }
+
+    #[test]
+    fn evaluation_is_schedule_deterministic() {
+        // Every (run, problem) unit is independently seeded, so two
+        // evaluations — whatever the thread interleaving — must agree
+        // bit-for-bit on scores, pass counts and token usage.
+        let opts = EvalOptions::low(SuiteId::V1Human, SystemKind::Mage)
+            .with_runs(2)
+            .with_seed(11);
+        let a = evaluate_suite(&opts);
+        let b = evaluate_suite(&opts);
+        assert_eq!(a.pass_at_1, b.pass_at_1);
+        assert_eq!(a.usage.total(), b.usage.total());
+        for (pa, pb) in a.problems.iter().zip(b.problems.iter()) {
+            assert_eq!(pa.passing, pb.passing, "{}", pa.id);
+            let fa: Vec<f64> = pa.traces.iter().map(|t| t.final_score).collect();
+            let fb: Vec<f64> = pb.traces.iter().map(|t| t.final_score).collect();
+            assert_eq!(fa, fb, "{}", pa.id);
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use crate::api::*;
 use crate::mutate::{apply_mutation, enumerate_mutations, sample_mutations, Mutation};
+use mage_logic::fnv1a;
 use mage_sim::{elaborate, Design};
 use mage_tb::{run_testbench, synthesize_testbench, Check, CheckDensity, Stimulus, Testbench};
 use mage_verilog::ast::{Item, LValue, Module, SourceFile, Stmt};
@@ -312,15 +313,6 @@ impl SyntheticModel {
     }
 }
 
-/// FNV-1a hash (stable across runs, unlike `DefaultHasher`).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
 
 // ----------------------------------------------------------------------
 // Feedback-text parsing (the debugger reads ONLY the log text)
@@ -746,8 +738,16 @@ fn corrupt_testbench<R: Rng>(tb: &mut Testbench, rng: &mut R) {
         return;
     }
     let n = rng.gen_range(1..=3usize.min(total));
-    for _ in 0..n {
-        let target = rng.gen_range(0..total);
+    // Distinct targets: flipping the same check twice would silently
+    // restore it and leave the bench uncorrupted.
+    let mut targets: Vec<usize> = Vec::with_capacity(n);
+    while targets.len() < n {
+        let t = rng.gen_range(0..total);
+        if !targets.contains(&t) {
+            targets.push(t);
+        }
+    }
+    for target in targets {
         let mut seen = 0usize;
         'outer: for step in &mut tb.steps {
             for check in &mut step.checks {
@@ -869,7 +869,7 @@ mod tests {
 
     #[test]
     fn testbench_generation_usually_correct() {
-        let mut m = model_with(1.0, 3);
+        let mut m = model_with(1.0, 6);
         let conv = Conversation::new();
         let mut correct = 0;
         for i in 0..40 {

@@ -31,9 +31,10 @@ pub enum LogicBit {
 }
 
 impl LogicBit {
-    /// Encode as the `(aval, bval)` bit pair used by [`crate::LogicVec`].
+    /// Encode as the `(aval, bval)` bit pair used by [`crate::LogicVec`]
+    /// (and by `mage-sim`'s narrow interpreter registers).
     #[inline]
-    pub(crate) fn to_planes(self) -> (bool, bool) {
+    pub fn to_planes(self) -> (bool, bool) {
         match self {
             LogicBit::Zero => (false, false),
             LogicBit::One => (true, false),
@@ -44,7 +45,7 @@ impl LogicBit {
 
     /// Decode from the `(aval, bval)` bit pair.
     #[inline]
-    pub(crate) fn from_planes(aval: bool, bval: bool) -> Self {
+    pub fn from_planes(aval: bool, bval: bool) -> Self {
         match (aval, bval) {
             (false, false) => LogicBit::Zero,
             (true, false) => LogicBit::One,

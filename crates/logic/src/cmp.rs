@@ -10,15 +10,19 @@ impl LogicVec {
     /// bits agree but either side has unknowns, `1` when fully defined and
     /// equal. Operands are zero-extended to equal widths first.
     pub fn logic_eq(&self, rhs: &LogicVec) -> LogicBit {
-        let w = self.width().max(rhs.width());
-        let (a, b) = (self.resized(w), rhs.resized(w));
+        // Word-parallel over the zero-extended planes, no clones.
+        let (aa, ab) = (self.aval(), self.bval());
+        let (ba, bb) = (rhs.aval(), rhs.bval());
+        let n = aa.len().max(ba.len());
         let mut unknown = false;
-        for i in 0..a.aval().len() {
-            let defined = !a.bval()[i] & !b.bval()[i];
-            if (a.aval()[i] ^ b.aval()[i]) & defined != 0 {
+        for i in 0..n {
+            let (wa, xa) = (word(aa, i), word(ab, i));
+            let (wb, xb) = (word(ba, i), word(bb, i));
+            let defined = !xa & !xb;
+            if (wa ^ wb) & defined != 0 {
                 return LogicBit::Zero;
             }
-            if (a.bval()[i] | b.bval()[i]) != 0 {
+            if (xa | xb) != 0 {
                 unknown = true;
             }
         }
@@ -39,8 +43,24 @@ impl LogicVec {
     /// Operands are zero-extended to equal widths first, so
     /// `2'b01 === 4'b0001`.
     pub fn case_eq(&self, rhs: &LogicVec) -> bool {
-        let w = self.width().max(rhs.width());
-        self.resized(w) == rhs.resized(w)
+        if self.width() == rhs.width() {
+            // Canonical storage (top bits masked) makes this a plain
+            // plane compare — the hottest path in grading loops.
+            return self.aval() == rhs.aval() && self.bval() == rhs.bval();
+        }
+        // Zero-extended compare: shared words equal, excess words zero.
+        let (long, short) = if self.width() >= rhs.width() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let (la, lb) = (long.aval(), long.bval());
+        let (sa, sb) = (short.aval(), short.bval());
+        let n = sa.len();
+        la[..n] == sa[..]
+            && lb[..n] == sb[..]
+            && la[n..].iter().all(|&w| w == 0)
+            && lb[n..].iter().all(|&w| w == 0)
     }
 
     /// Unsigned comparison used by `<`, `<=`, `>`, `>=`.
@@ -51,10 +71,10 @@ impl LogicVec {
         if self.has_unknown() || rhs.has_unknown() {
             return None;
         }
-        let w = self.width().max(rhs.width());
-        let (a, b) = (self.resized(w), rhs.resized(w));
-        for i in (0..a.aval().len()).rev() {
-            match a.aval()[i].cmp(&b.aval()[i]) {
+        let (aa, ba) = (self.aval(), rhs.aval());
+        let n = aa.len().max(ba.len());
+        for i in (0..n).rev() {
+            match word(aa, i).cmp(&word(ba, i)) {
                 Ordering::Equal => continue,
                 other => return Some(other),
             }
@@ -99,19 +119,27 @@ impl LogicVec {
     /// `X` bits in the selector that meet non-wildcard pattern bits make the
     /// match fail (conservative, like simulation of a fully-driven selector).
     pub fn matches_casez(&self, pattern: &LogicVec) -> bool {
-        let w = self.width().max(pattern.width());
-        let (a, p) = (self.resized(w), pattern.resized(w));
-        for i in 0..w {
-            let pb = p.bit(i);
-            if pb == LogicBit::Z {
-                continue; // wildcard
-            }
-            if a.bit(i) != pb {
+        // Word-parallel: Z pattern bits (a=0, b=1) are wildcards; every
+        // other position must match four-state exactly.
+        let (sa, sb) = (self.aval(), self.bval());
+        let (pa, pb) = (pattern.aval(), pattern.bval());
+        let n = sa.len().max(pa.len());
+        for i in 0..n {
+            let (wsa, wsb) = (word(sa, i), word(sb, i));
+            let (wpa, wpb) = (word(pa, i), word(pb, i));
+            let wild = wpb & !wpa;
+            if ((wsa ^ wpa) | (wsb ^ wpb)) & !wild != 0 {
                 return false;
             }
         }
         true
     }
+}
+
+/// The `i`-th plane word of a zero-extended vector.
+#[inline]
+fn word(plane: &[u64], i: usize) -> u64 {
+    plane.get(i).copied().unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! This crate implements the value substrate of the MAGE reproduction: the
 //! IEEE-1364 four-state logic domain (`0`, `1`, `X`, `Z`) over
 //! arbitrary-width bit vectors, together with every operator the
-//! synthesizable subset in [`mage-verilog`] can produce.
+//! synthesizable subset in `mage-verilog` can produce.
 //!
 //! The central type is [`LogicVec`], an arbitrary-width vector stored in the
 //! classic *aval/bval* two-plane encoding (the same encoding the VPI uses):
@@ -44,6 +44,7 @@
 mod bit;
 mod cmp;
 mod fmt;
+mod inplace;
 mod literal;
 mod ops;
 mod truth;
@@ -53,6 +54,21 @@ pub use bit::LogicBit;
 pub use literal::{parse_literal, LiteralError, ParsedLiteral};
 pub use truth::Truth;
 pub use vec::LogicVec;
+
+/// FNV-1a hash of a byte string.
+///
+/// Stable across runs and platforms (unlike `DefaultHasher`), which is
+/// why the workspace uses it everywhere a hash feeds a deterministic
+/// seed or index: synthetic-model seeding, per-problem stimulus seeds,
+/// the evaluation grid's unit seeds, and `mage-sim`'s signal-name index.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
 
 /// Number of 64-bit words needed to store `width` bits.
 pub(crate) fn words_for(width: usize) -> usize {

@@ -26,10 +26,34 @@ use crate::{top_word_mask, words_for, LogicBit, Truth};
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LogicVec {
     width: usize,
-    /// "a" plane: 1-bits of the value (X and 1 both set this plane).
-    aval: Vec<u64>,
-    /// "b" plane: unknown-ness (X and Z set this plane).
-    bval: Vec<u64>,
+    repr: Repr,
+}
+
+/// Storage behind a [`LogicVec`].
+///
+/// Widths up to 64 bits — the overwhelmingly common case in the benchmark
+/// corpus — live inline as a single aval/bval word pair, so cloning,
+/// operator evaluation and interpreter slot writes do **zero** heap
+/// allocation. Wider vectors spill to heap word vectors.
+///
+/// The variant is a pure function of `width` (`Small` iff `width <= 64`),
+/// so the derived `PartialEq`/`Hash` remain canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Inline single-word planes (`width <= 64`).
+    Small {
+        /// "a" plane: 1-bits of the value (X and 1 both set this plane).
+        aval: u64,
+        /// "b" plane: unknown-ness (X and Z set this plane).
+        bval: u64,
+    },
+    /// Heap word vectors (`width > 64`), lengths `words_for(width)`.
+    Heap {
+        /// "a" plane words, LSB word first.
+        aval: Vec<u64>,
+        /// "b" plane words, LSB word first.
+        bval: Vec<u64>,
+    },
 }
 
 impl LogicVec {
@@ -44,12 +68,22 @@ impl LogicVec {
     /// Panics if `width` is zero.
     pub fn new(width: usize) -> Self {
         assert!(width > 0, "LogicVec width must be non-zero");
-        let n = words_for(width);
-        LogicVec {
-            width,
-            aval: vec![0; n],
-            bval: vec![0; n],
-        }
+        let repr = if width <= 64 {
+            Repr::Small { aval: 0, bval: 0 }
+        } else {
+            let n = words_for(width);
+            Repr::Heap {
+                aval: vec![0; n],
+                bval: vec![0; n],
+            }
+        };
+        LogicVec { width, repr }
+    }
+
+    /// `true` when the value is stored inline (width ≤ 64, no heap).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Small { .. })
     }
 
     /// A vector with every bit set to `fill`.
@@ -59,16 +93,17 @@ impl LogicVec {
     /// Panics if `width` is zero.
     pub fn filled(width: usize, fill: LogicBit) -> Self {
         let mut v = Self::new(width);
-        let (a, b) = fill.to_planes();
+        let (fa, fb) = fill.to_planes();
         let mask = top_word_mask(width);
-        let n = v.aval.len();
+        let (a, b) = v.planes_mut();
+        let n = a.len();
         for i in 0..n {
             let m = if i + 1 == n { mask } else { u64::MAX };
-            if a {
-                v.aval[i] = m;
+            if fa {
+                a[i] = m;
             }
-            if b {
-                v.bval[i] = m;
+            if fb {
+                b[i] = m;
             }
         }
         v
@@ -96,7 +131,7 @@ impl LogicVec {
     /// Panics if `width` is zero.
     pub fn from_u64(width: usize, value: u64) -> Self {
         let mut v = Self::new(width);
-        v.aval[0] = value;
+        v.planes_mut().0[0] = value;
         v.mask_top();
         v
     }
@@ -108,9 +143,12 @@ impl LogicVec {
     /// Panics if `width` is zero.
     pub fn from_u128(width: usize, value: u128) -> Self {
         let mut v = Self::new(width);
-        v.aval[0] = value as u64;
-        if v.aval.len() > 1 {
-            v.aval[1] = (value >> 64) as u64;
+        {
+            let (a, _) = v.planes_mut();
+            a[0] = value as u64;
+            if a.len() > 1 {
+                a[1] = (value >> 64) as u64;
+            }
         }
         v.mask_top();
         v
@@ -119,6 +157,41 @@ impl LogicVec {
     /// A 1-bit vector holding `0` or `1`.
     pub fn from_bool(b: bool) -> Self {
         Self::from_u64(1, b as u64)
+    }
+
+    /// Build an inline (≤ 64-bit) vector directly from its aval/bval
+    /// plane words (bits above `width` are masked off). This is the
+    /// bridge out of `mage-sim`'s narrow interpreter registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    pub fn from_planes_u64(width: usize, aval: u64, bval: u64) -> Self {
+        assert!(
+            width > 0 && width <= 64,
+            "from_planes_u64 width must be in 1..=64"
+        );
+        let mask = top_word_mask(width);
+        LogicVec {
+            width,
+            repr: Repr::Small {
+                aval: aval & mask,
+                bval: bval & mask,
+            },
+        }
+    }
+
+    /// The aval/bval plane words of an inline (≤ 64-bit) vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is wider than 64 bits.
+    #[inline]
+    pub fn planes_u64(&self) -> (u64, u64) {
+        match &self.repr {
+            Repr::Small { aval, bval } => (*aval, *bval),
+            Repr::Heap { .. } => panic!("planes_u64 on a wide vector"),
+        }
     }
 
     /// A 1-bit vector holding the given bit.
@@ -179,7 +252,10 @@ impl LogicVec {
         assert!(index < self.width, "bit index {index} out of range");
         let w = index / 64;
         let b = index % 64;
-        LogicBit::from_planes((self.aval[w] >> b) & 1 == 1, (self.bval[w] >> b) & 1 == 1)
+        LogicBit::from_planes(
+            (self.aval()[w] >> b) & 1 == 1,
+            (self.bval()[w] >> b) & 1 == 1,
+        )
     }
 
     /// The bit at `index`, or `None` when out of range.
@@ -200,16 +276,17 @@ impl LogicVec {
         assert!(index < self.width, "bit index {index} out of range");
         let w = index / 64;
         let m = 1u64 << (index % 64);
-        let (a, b) = bit.to_planes();
-        if a {
-            self.aval[w] |= m;
+        let (ba, bb) = bit.to_planes();
+        let (a, b) = self.planes_mut();
+        if ba {
+            a[w] |= m;
         } else {
-            self.aval[w] &= !m;
+            a[w] &= !m;
         }
-        if b {
-            self.bval[w] |= m;
+        if bb {
+            b[w] |= m;
         } else {
-            self.bval[w] &= !m;
+            b[w] &= !m;
         }
     }
 
@@ -220,7 +297,10 @@ impl LogicVec {
 
     /// `true` when no bit is `X` or `Z`.
     pub fn is_fully_defined(&self) -> bool {
-        self.bval.iter().all(|&w| w == 0)
+        match &self.repr {
+            Repr::Small { bval, .. } => *bval == 0,
+            Repr::Heap { bval, .. } => bval.iter().all(|&w| w == 0),
+        }
     }
 
     /// `true` when at least one bit is `X` or `Z`.
@@ -236,7 +316,7 @@ impl LogicVec {
 
     /// `true` when every bit is `0`.
     pub fn is_all_zero(&self) -> bool {
-        self.is_fully_defined() && self.aval.iter().all(|&w| w == 0)
+        self.is_fully_defined() && self.aval().iter().all(|&w| w == 0)
     }
 
     /// The value as `u64` when fully defined; `None` otherwise.
@@ -255,11 +335,12 @@ impl LogicVec {
         if !self.is_fully_defined() {
             return None;
         }
-        let mut v: u128 = self.aval[0] as u128;
-        if self.aval.len() > 1 {
-            v |= (self.aval[1] as u128) << 64;
+        let a = self.aval();
+        let mut v: u128 = a[0] as u128;
+        if a.len() > 1 {
+            v |= (a[1] as u128) << 64;
         }
-        if self.aval.iter().skip(2).any(|&w| w != 0) {
+        if a.iter().skip(2).any(|&w| w != 0) {
             return None;
         }
         Some(v)
@@ -270,13 +351,14 @@ impl LogicVec {
     /// `True` when any bit is a definite `1`; `Unknown` when no bit is `1`
     /// but some bit is `X`/`Z`; `False` otherwise.
     pub fn truth(&self) -> Truth {
+        let (a, b) = (self.aval(), self.bval());
         let mut any_unknown = false;
-        for i in 0..self.aval.len() {
-            let definite_one = self.aval[i] & !self.bval[i];
+        for i in 0..a.len() {
+            let definite_one = a[i] & !b[i];
             if definite_one != 0 {
                 return Truth::True;
             }
-            if self.bval[i] != 0 {
+            if b[i] != 0 {
                 any_unknown = true;
             }
         }
@@ -316,10 +398,17 @@ impl LogicVec {
     /// Panics if `new_width` is zero.
     pub fn resized(&self, new_width: usize) -> Self {
         assert!(new_width > 0, "LogicVec width must be non-zero");
+        if new_width == self.width {
+            return self.clone();
+        }
         let mut out = Self::new(new_width);
-        let n = out.aval.len().min(self.aval.len());
-        out.aval[..n].copy_from_slice(&self.aval[..n]);
-        out.bval[..n].copy_from_slice(&self.bval[..n]);
+        {
+            let (sa, sb) = (self.aval(), self.bval());
+            let (oa, ob) = out.planes_mut();
+            let n = oa.len().min(sa.len());
+            oa[..n].copy_from_slice(&sa[..n]);
+            ob[..n].copy_from_slice(&sb[..n]);
+        }
         out.mask_top();
         out
     }
@@ -402,18 +491,18 @@ impl LogicVec {
     /// Collapse all `Z` bits to `X` (expression-input normalization).
     pub fn normalized(&self) -> Self {
         let mut out = self.clone();
-        for i in 0..out.aval.len() {
+        let (a, b) = out.planes_mut();
+        for i in 0..a.len() {
             // Z is (a=0,b=1) -> becomes X (a=1,b=1).
-            out.aval[i] |= out.bval[i];
+            a[i] |= b[i];
         }
         out
     }
 
     /// Count of bits equal to definite `1`.
     pub fn count_ones(&self) -> u32 {
-        (0..self.aval.len())
-            .map(|i| (self.aval[i] & !self.bval[i]).count_ones())
-            .sum()
+        let (a, b) = (self.aval(), self.bval());
+        (0..a.len()).map(|i| (a[i] & !b[i]).count_ones()).sum()
     }
 
     // ------------------------------------------------------------------
@@ -421,24 +510,36 @@ impl LogicVec {
     // ------------------------------------------------------------------
 
     pub(crate) fn aval(&self) -> &[u64] {
-        &self.aval
+        match &self.repr {
+            Repr::Small { aval, .. } => std::slice::from_ref(aval),
+            Repr::Heap { aval, .. } => aval,
+        }
     }
 
     pub(crate) fn bval(&self) -> &[u64] {
-        &self.bval
+        match &self.repr {
+            Repr::Small { bval, .. } => std::slice::from_ref(bval),
+            Repr::Heap { bval, .. } => bval,
+        }
     }
 
     pub(crate) fn planes_mut(&mut self) -> (&mut [u64], &mut [u64]) {
-        (&mut self.aval, &mut self.bval)
+        match &mut self.repr {
+            Repr::Small { aval, bval } => {
+                (std::slice::from_mut(aval), std::slice::from_mut(bval))
+            }
+            Repr::Heap { aval, bval } => (aval, bval),
+        }
     }
 
     /// Clear storage bits above `width` to keep the encoding canonical.
     pub(crate) fn mask_top(&mut self) {
         let mask = top_word_mask(self.width);
-        if let Some(last) = self.aval.last_mut() {
+        let (a, b) = self.planes_mut();
+        if let Some(last) = a.last_mut() {
             *last &= mask;
         }
-        if let Some(last) = self.bval.last_mut() {
+        if let Some(last) = b.last_mut() {
             *last &= mask;
         }
     }

@@ -1,0 +1,136 @@
+//! Property tests for the inline-vs-heap `LogicVec` representations.
+//!
+//! Widths ≤ 64 store their planes inline (no heap); wider vectors spill
+//! to word vectors. These properties hammer the boundary: every
+//! operation must behave identically whichever representation its
+//! operands or result land in, and resizing across the boundary must be
+//! lossless in both directions.
+
+use mage_logic::{LogicBit, LogicVec};
+use proptest::prelude::*;
+
+/// Widths clustered tightly around the inline/heap boundary, plus the
+/// extremes.
+fn boundary_widths() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        56usize..=72,
+        Just(127usize),
+        Just(128usize),
+        Just(129usize),
+    ]
+}
+
+fn any_vec_of(w: usize) -> impl Strategy<Value = LogicVec> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(LogicBit::Zero),
+            Just(LogicBit::One),
+            Just(LogicBit::X),
+            Just(LogicBit::Z)
+        ],
+        w,
+    )
+    .prop_map(LogicVec::from_bits_lsb_first)
+}
+
+fn boundary_vec() -> impl Strategy<Value = LogicVec> {
+    boundary_widths().prop_flat_map(any_vec_of)
+}
+
+proptest! {
+    #[test]
+    fn repr_is_a_function_of_width(v in boundary_vec()) {
+        prop_assert_eq!(v.is_inline(), v.width() <= 64);
+        // Clones and resizes keep the invariant.
+        prop_assert_eq!(v.clone().is_inline(), v.is_inline());
+        let grown = v.resized(v.width() + 1);
+        prop_assert_eq!(grown.is_inline(), grown.width() <= 64);
+    }
+
+    #[test]
+    fn resize_across_boundary_roundtrips(v in any_vec_of(64)) {
+        // Inline → heap → inline must be lossless.
+        let heap = v.resized(65);
+        prop_assert!(!heap.is_inline());
+        prop_assert_eq!(heap.bit(64), LogicBit::Zero);
+        let back = heap.resized(64);
+        prop_assert!(back.is_inline());
+        prop_assert!(back.case_eq(&v));
+        // And through a much wider detour.
+        let far = v.resized(200).resized(64);
+        prop_assert!(far.case_eq(&v));
+    }
+
+    #[test]
+    fn ops_agree_across_mixed_reprs(a in any_vec_of(60), b in any_vec_of(70)) {
+        // A mixed-width op extends the inline operand into heap territory;
+        // the result must equal the both-heap evaluation.
+        let a_wide = a.resized(70);
+        prop_assert!(a.bit_and(&b).case_eq(&a_wide.bit_and(&b)));
+        prop_assert!(a.bit_or(&b).case_eq(&a_wide.bit_or(&b)));
+        prop_assert!(a.bit_xor(&b).case_eq(&a_wide.bit_xor(&b)));
+        prop_assert!(a.add(&b).case_eq(&a_wide.add(&b)));
+        prop_assert!(a.sub(&b).case_eq(&a_wide.sub(&b)));
+        prop_assert_eq!(a.logic_eq(&b), a_wide.logic_eq(&b));
+        prop_assert_eq!(a.lt(&b), a_wide.lt(&b));
+        prop_assert_eq!(a.case_eq(&b), a_wide.case_eq(&b));
+    }
+
+    #[test]
+    fn inplace_ops_agree_across_boundary(w in 60usize..70, bits in proptest::collection::vec(0u8..4, 70)) {
+        let decode = |k: &u8| match k {
+            0 => LogicBit::Zero,
+            1 => LogicBit::One,
+            2 => LogicBit::X,
+            _ => LogicBit::Z,
+        };
+        let a = LogicVec::from_bits_lsb_first(bits.iter().take(w).map(decode));
+        let b = LogicVec::from_bits_lsb_first(bits.iter().rev().take(w).map(decode));
+        let mut dst = LogicVec::new(w);
+        dst.set_and(&a, &b);
+        prop_assert!(dst.case_eq(&a.bit_and(&b)));
+        dst.set_xor(&a, &b);
+        prop_assert!(dst.case_eq(&a.bit_xor(&b)));
+        dst.set_add(&a, &b);
+        prop_assert!(dst.case_eq(&a.add(&b)));
+        dst.set_not(&a);
+        prop_assert!(dst.case_eq(&a.bit_not()));
+    }
+
+    #[test]
+    fn concat_and_slice_across_boundary(a in any_vec_of(40), b in any_vec_of(40)) {
+        // 40 + 40 = 80: two inline parts concatenate into a heap vector.
+        let c = LogicVec::concat_msb_first(&[&a, &b]);
+        prop_assert!(!c.is_inline());
+        prop_assert!(c.slice(0, 40).case_eq(&b));
+        prop_assert!(c.slice(40, 40).case_eq(&a));
+        let back = c.slice(0, 80);
+        prop_assert!(back.case_eq(&c));
+    }
+
+    #[test]
+    fn write_slice_changed_across_boundary(base in boundary_vec(), patch in any_vec_of(17)) {
+        let mut target = base.clone();
+        let lsb = (base.width() / 2) as isize;
+        let changed = target.write_slice_changed(lsb, &patch);
+        // Reference: clone-and-compare semantics.
+        let mut reference = base.clone();
+        reference.write_slice(lsb, &patch);
+        prop_assert!(target.case_eq(&reference));
+        prop_assert_eq!(changed, !reference.case_eq(&base));
+        // Re-applying the same patch is now a no-op.
+        prop_assert!(!target.write_slice_changed(lsb, &patch));
+    }
+
+    #[test]
+    fn u64_u128_conversions_respect_repr(x in any::<u64>()) {
+        for w in [64usize, 65, 128] {
+            let v = LogicVec::from_u64(w, x);
+            prop_assert_eq!(v.is_inline(), w <= 64);
+            prop_assert_eq!(v.to_u64(), Some(x));
+            let wide = LogicVec::from_u128(w.max(65), (x as u128) << 1);
+            prop_assert_eq!(wide.to_u128(), Some((x as u128) << 1));
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! The benchmark problem type and stimulus derivation.
 
 use mage_llm::ProblemOracle;
-use mage_logic::LogicVec;
+use mage_logic::{fnv1a, LogicVec};
 use mage_tb::Stimulus;
 use mage_verilog::ast::Direction;
 use mage_verilog::{parse, SourceFile};
@@ -228,11 +228,19 @@ impl Problem {
 }
 
 fn random_vec<R: Rng>(width: usize, rng: &mut R) -> LogicVec {
-    let mut v = LogicVec::new(width);
-    for i in 0..width {
-        v.set_bit(i, mage_logic::LogicBit::from(rng.gen::<bool>()));
+    // Word-at-a-time: stimulus generation is on the oracle-construction
+    // hot path, and bit-by-bit drawing dominated it.
+    if width <= 64 {
+        LogicVec::from_u64(width, rng.gen())
+    } else if width <= 128 {
+        LogicVec::from_u128(width, rng.gen())
+    } else {
+        let mut v = LogicVec::new(width);
+        for i in 0..width {
+            v.set_bit(i, mage_logic::LogicBit::from(rng.gen::<bool>()));
+        }
+        v
     }
-    v
 }
 
 fn random_comb<R: Rng>(inputs: &[(String, usize)], vectors: usize, rng: &mut R) -> Stimulus {
@@ -247,14 +255,6 @@ fn random_comb<R: Rng>(inputs: &[(String, usize)], vectors: usize, rng: &mut R) 
     Stimulus::combinational(steps)
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the MAGE bench targets use — [`Criterion`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — with
+//! a simple median-of-samples timer instead of criterion's full
+//! statistical pipeline. Each `bench_function` prints one line:
+//!
+//! ```text
+//! bench <name>  median 1.234 ms/iter  (40 samples)
+//! ```
+//!
+//! Results are also recorded in memory (see [`Criterion::results`]) so
+//! harnesses can export machine-readable baselines (`BENCH_sim.json`).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, criterion-style.
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id.
+    pub name: String,
+    /// Median wall-clock per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be non-zero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure `f` under `id`, printing a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        // Warm-up pass (also discovers a per-sample iteration count that
+        // keeps each sample above ~1ms so short kernels time stably).
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        let iters = ((1e-3 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = samples[samples.len() / 2];
+        println!(
+            "bench {id}  median {}  ({} samples)",
+            format_time(median),
+            self.sample_size
+        );
+        self.results.push(BenchResult {
+            name: id.to_string(),
+            median_ns: median * 1e9,
+            samples: self.sample_size,
+        });
+        self
+    }
+
+    /// All results measured so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Passed to the closure of [`Criterion::bench_function`]; its
+/// [`iter`](Bencher::iter) method times the kernel.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called in a batch sized by the driver.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declare a bench group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].name, "noop");
+        assert!(c.results()[0].median_ns >= 0.0);
+    }
+}

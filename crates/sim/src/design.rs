@@ -181,15 +181,67 @@ pub struct Design {
     pub outputs: Vec<SignalId>,
     /// Compiled processes in elaboration order.
     pub processes: Vec<Process>,
+    /// Name → id index backing [`Design::signal`] (testbenches poke and
+    /// peek by name on every step; a linear scan here was a measurable
+    /// slice of simulation wall-clock). FNV-hashed: keys are short
+    /// identifiers, for which SipHash overhead is pure loss.
+    name_index: std::collections::HashMap<String, u32, FnvBuild>,
+}
+
+/// Minimal FNV-1a `BuildHasher` for the short-string name index.
+#[derive(Debug, Clone, Default)]
+struct FnvBuild;
+
+struct FnvHasher(u64);
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Continues the running FNV-1a state; `mage_logic::fnv1a` is the
+        // one-shot form of the same hash.
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
 }
 
 impl Design {
+    /// Assemble a design, building the name lookup index.
+    pub fn new(
+        top: String,
+        signals: Vec<SignalDecl>,
+        inputs: Vec<SignalId>,
+        outputs: Vec<SignalId>,
+        processes: Vec<Process>,
+    ) -> Self {
+        let name_index = signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i as u32))
+            .collect();
+        Design {
+            top,
+            signals,
+            inputs,
+            outputs,
+            processes,
+            name_index,
+        }
+    }
+
     /// Look up a signal id by (hierarchical) name.
     pub fn signal(&self, name: &str) -> Option<SignalId> {
-        self.signals
-            .iter()
-            .position(|s| s.name == name)
-            .map(|i| SignalId(i as u32))
+        self.name_index.get(name).map(|&i| SignalId(i))
     }
 
     /// The declaration for `id`.

@@ -55,13 +55,13 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, ElabError> {
             Direction::Output => outputs.push(id),
         }
     }
-    Ok(Design {
-        top: top.to_string(),
-        signals: e.signals,
+    Ok(Design::new(
+        top.to_string(),
+        e.signals,
         inputs,
         outputs,
-        processes: e.processes,
-    })
+        e.processes,
+    ))
 }
 
 type Scope = HashMap<String, SignalId>;

@@ -296,7 +296,7 @@ pub fn exec(
                         value: slice_v,
                     });
                 } else {
-                    apply_write(design, store, sig, lsb, width, &slice_v, changed);
+                    apply_write(store, sig, lsb, width, &slice_v, changed);
                 }
             }
         }
@@ -306,8 +306,11 @@ pub fn exec(
 
 /// Apply one slice write to the store, recording a change when the stored
 /// value actually differs.
+///
+/// Writes in place and compares only the affected slice — a 1-bit write
+/// to a wide signal touches one bit, instead of cloning the whole vector
+/// and case-comparing every word (the pre-bytecode behaviour).
 pub fn apply_write(
-    design: &Design,
     store: &mut Store,
     sig: SignalId,
     lsb: i64,
@@ -315,12 +318,13 @@ pub fn apply_write(
     value: &LogicVec,
     changed: &mut Vec<SignalId>,
 ) {
-    let _ = design;
-    let cur = &store[sig.index()];
-    let mut next = cur.clone();
-    next.write_slice(lsb as isize, &value.resized(width));
-    if !next.case_eq(cur) {
-        store[sig.index()] = next;
+    let cur = &mut store[sig.index()];
+    let wrote = if value.width() == width {
+        cur.write_slice_changed(lsb as isize, value)
+    } else {
+        cur.write_slice_changed(lsb as isize, &value.resized(width))
+    };
+    if wrote {
         changed.push(sig);
     }
 }

@@ -7,9 +7,19 @@
 //! with full `X`/`Z` propagation.
 //!
 //! The intended cycle-level usage mirrors a Verilog testbench: drive
-//! inputs with [`Simulator::poke`], toggle the clock input, and read
+//! inputs with [`Simulator::poke`] (or a whole step's drives at once
+//! with [`Simulator::poke_many`]), toggle the clock input, and read
 //! outputs with [`Simulator::peek`]. The `mage-tb` crate builds the
 //! paper's checkpointed testbench protocol on top of this interface.
+//!
+//! Process bodies execute on a compile-once bytecode core: at
+//! [`Simulator::new`] time every body is lowered ([`compile`]) to a flat
+//! width-annotated instruction stream that the interpreter ([`interp`])
+//! runs over pre-sized register files — with a narrow fast path on raw
+//! plane words when every value fits in 64 bits. The original
+//! tree-walking evaluator ([`eval`]/[`exec`]) remains available as the
+//! differential-testing oracle via [`ExecMode::Legacy`] (or the
+//! `MAGE_SIM_EXEC=legacy` environment hook).
 //!
 //! # Example
 //!
@@ -41,16 +51,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 mod design;
 mod elab;
 mod error;
 mod eval;
+pub mod interp;
 mod sim;
 mod vcd;
 
+pub use compile::{compile_design, compile_process, CompiledDesign, CompiledProcess};
 pub use design::{CExpr, CLValue, CStmt, Design, Process, SignalDecl, SignalId};
 pub use elab::{elaborate, fold_const_expr};
 pub use error::{ElabError, SimError};
 pub use eval::{eval, exec, PendingWrite, Store};
-pub use sim::Simulator;
+pub use sim::{ExecMode, Simulator};
 pub use vcd::VcdRecorder;

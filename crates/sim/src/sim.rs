@@ -1,11 +1,12 @@
 //! The four-state cycle/event simulator.
 
+use crate::compile::{compile_design, CompiledDesign};
 use crate::design::{Design, Process, SignalId};
 use crate::error::SimError;
 use crate::eval::{apply_write, exec, PendingWrite, Store};
+use crate::interp;
 use mage_logic::{LogicBit, LogicVec};
 use mage_verilog::ast::Edge;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Upper bound on combinational fixpoint iterations per settle.
@@ -56,58 +57,153 @@ fn is_edge(edge: Edge, old: LogicBit, new: LogicBit) -> bool {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     design: Arc<Design>,
+    /// Per-process bytecode, shared by clones of this simulator.
+    compiled: Arc<CompiledDesign>,
+    /// Per-process register files, reused across executions.
+    regs: Vec<interp::RegFile>,
     store: Store,
     time: u64,
-    /// signal -> comb process indices reading it
-    comb_deps: HashMap<SignalId, Vec<usize>>,
-    /// signal -> seq process indices with an edge on it
-    edge_deps: HashMap<SignalId, Vec<usize>>,
+    mode: ExecMode,
+    /// signal index -> comb process indices reading it
+    comb_deps: Vec<Vec<usize>>,
+    /// signal index -> seq process indices with an edge on it
+    edge_deps: Vec<Vec<usize>>,
+    /// Pooled worklist scratch — pokes arrive thousands of times per
+    /// grading run, so the settle loop must not allocate per call.
+    wl: Worklist,
+}
+
+/// Reusable scratch buffers of the settle/cascade loops. All buffers are
+/// empty (or all-false) between calls; `take`/restore keeps the borrow
+/// checker happy around `run_body`.
+#[derive(Debug, Clone, Default)]
+struct Worklist {
+    queue: std::collections::VecDeque<usize>,
+    in_queue: Vec<bool>,
+    before: Vec<LogicVec>,
+    nba: Vec<PendingWrite>,
+    scratch: Vec<SignalId>,
+    init: Vec<usize>,
+    /// Cascade dedup flags (all-false between calls).
+    in_triggered: Vec<bool>,
+    /// Cascade pre-commit LSB snapshots (all-`None` between calls).
+    olds: Vec<Option<LogicBit>>,
+}
+
+/// Which executor runs process bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Compile-once bytecode interpreter (the default).
+    #[default]
+    Compiled,
+    /// Legacy tree-walking interpreter, kept as the differential-testing
+    /// oracle.
+    Legacy,
 }
 
 impl Simulator {
-    /// Create a simulator with every signal at `X` and time 0.
+    /// Create a simulator with every signal at `X` and time 0, using the
+    /// bytecode executor (or the legacy tree-walker when the
+    /// `MAGE_SIM_EXEC=legacy` environment variable is set — the hook the
+    /// perf harness uses to measure the pre-bytecode baseline
+    /// end-to-end).
     ///
     /// Call [`Simulator::settle`] before reading combinational outputs.
     pub fn new(design: Arc<Design>) -> Self {
+        let mode = match std::env::var("MAGE_SIM_EXEC") {
+            Ok(v) if v.eq_ignore_ascii_case("legacy") => ExecMode::Legacy,
+            _ => ExecMode::Compiled,
+        };
+        Self::with_mode(design, mode)
+    }
+
+    /// Create a simulator with an explicit executor choice.
+    pub fn with_mode(design: Arc<Design>, mode: ExecMode) -> Self {
         let store: Store = design
             .signals
             .iter()
             .map(|s| LogicVec::all_x(s.width))
             .collect();
-        let mut comb_deps: HashMap<SignalId, Vec<usize>> = HashMap::new();
-        let mut edge_deps: HashMap<SignalId, Vec<usize>> = HashMap::new();
+        // Dense dependency tables indexed by `SignalId::index()`, deduped
+        // with a per-process stamp (the HashMap predecessor deduped with
+        // an O(n²) `contains` scan).
+        let nsig = design.signals.len();
+        let mut comb_deps: Vec<Vec<usize>> = vec![Vec::new(); nsig];
+        let mut edge_deps: Vec<Vec<usize>> = vec![Vec::new(); nsig];
+        let mut stamp: Vec<usize> = vec![usize::MAX; nsig];
         for (i, p) in design.processes.iter().enumerate() {
             match p {
                 Process::Comb { reads, .. } => {
                     for &r in reads {
-                        let v = comb_deps.entry(r).or_default();
-                        if !v.contains(&i) {
-                            v.push(i);
+                        if stamp[r.index()] != i {
+                            stamp[r.index()] = i;
+                            comb_deps[r.index()].push(i);
                         }
                     }
                 }
                 Process::Seq { edges, .. } => {
                     for &(_, s) in edges {
-                        let v = edge_deps.entry(s).or_default();
-                        if !v.contains(&i) {
-                            v.push(i);
+                        if stamp[s.index()] != i {
+                            stamp[s.index()] = i;
+                            edge_deps[s.index()].push(i);
                         }
                     }
                 }
             }
         }
+        let compiled = Arc::new(compile_design(&design));
+        let regs: Vec<interp::RegFile> = compiled
+            .procs
+            .iter()
+            .map(interp::RegFile::for_process)
+            .collect();
         Simulator {
             design,
+            compiled,
+            regs,
             store,
             time: 0,
+            mode,
             comb_deps,
             edge_deps,
+            wl: Worklist::default(),
         }
     }
 
     /// The design being simulated.
     pub fn design(&self) -> &Design {
         &self.design
+    }
+
+    /// The executor currently in use.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Run process `pi`'s body with the configured executor.
+    fn run_body(
+        &mut self,
+        pi: usize,
+        nba: &mut Vec<PendingWrite>,
+        changed: &mut Vec<SignalId>,
+    ) {
+        match self.mode {
+            ExecMode::Compiled => interp::execute(
+                &self.compiled.procs[pi],
+                &mut self.regs[pi],
+                &mut self.store,
+                nba,
+                changed,
+            ),
+            ExecMode::Legacy => {
+                let design = self.design.clone();
+                let body = match &design.processes[pi] {
+                    Process::Comb { body, .. } => body,
+                    Process::Seq { body, .. } => body,
+                };
+                exec(&design, &mut self.store, body, nba, changed);
+            }
+        }
     }
 
     /// Current simulation time (advanced only by [`Simulator::advance`]).
@@ -146,6 +242,60 @@ impl Simulator {
         self.poke_id(id, value)
     }
 
+    /// Drive several top-level inputs at once, then propagate: all
+    /// stores update first, every edge those updates produce triggers
+    /// once, and the combinational fanout settles a single time.
+    ///
+    /// This is the testbench fast path — poking a step's drives one by
+    /// one re-settles the entire fanout per input, multiplying process
+    /// activations by the drive count.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownInput`] if any name is not a top-level input
+    /// (earlier drives of the batch stay applied); propagation errors as
+    /// in [`Simulator::settle`].
+    pub fn poke_many<'d>(
+        &mut self,
+        drives: impl IntoIterator<Item = (&'d str, LogicVec)>,
+    ) -> Result<(), SimError> {
+        let mut changed: Vec<SignalId> = Vec::new();
+        let mut triggered: Vec<usize> = Vec::new();
+        for (name, value) in drives {
+            let id = self
+                .design
+                .signal(name)
+                .filter(|id| self.design.inputs.contains(id))
+                .ok_or_else(|| SimError::UnknownInput(name.to_string()))?;
+            let width = self.design.width(id);
+            let value = value.resized(width);
+            let old = &self.store[id.index()];
+            if old.case_eq(&value) {
+                continue;
+            }
+            let old_bit = old.get(0).unwrap_or(LogicBit::X);
+            let new_bit = value.get(0).unwrap_or(LogicBit::X);
+            self.store[id.index()] = value;
+            for &pi in &self.edge_deps[id.index()] {
+                if let Process::Seq { edges, .. } = &self.design.processes[pi] {
+                    if edges
+                        .iter()
+                        .any(|&(e, s)| s == id && is_edge(e, old_bit, new_bit))
+                        && !triggered.contains(&pi)
+                    {
+                        triggered.push(pi);
+                    }
+                }
+            }
+            changed.push(id);
+        }
+        if changed.is_empty() {
+            return Ok(());
+        }
+        self.run_seq_cascade(triggered, &mut changed)?;
+        self.settle_from(changed)
+    }
+
     /// Drive a signal by id (testbenches use this for clocks and data).
     ///
     /// # Errors
@@ -164,15 +314,13 @@ impl Simulator {
         let old_bit = old.get(0).unwrap_or(LogicBit::X);
         let new_bit = value.get(0).unwrap_or(LogicBit::X);
         let mut triggered: Vec<usize> = Vec::new();
-        if let Some(procs) = self.edge_deps.get(&id) {
-            for &pi in procs {
-                if let Process::Seq { edges, .. } = &self.design.processes[pi] {
-                    if edges
-                        .iter()
-                        .any(|&(e, s)| s == id && is_edge(e, old_bit, new_bit))
-                    {
-                        triggered.push(pi);
-                    }
+        for &pi in &self.edge_deps[id.index()] {
+            if let Process::Seq { edges, .. } = &self.design.processes[pi] {
+                if edges
+                    .iter()
+                    .any(|&(e, s)| s == id && is_edge(e, old_bit, new_bit))
+                {
+                    triggered.push(pi);
                 }
             }
         }
@@ -191,35 +339,41 @@ impl Simulator {
         mut triggered: Vec<usize>,
         changed: &mut Vec<SignalId>,
     ) -> Result<(), SimError> {
+        if triggered.is_empty() {
+            return Ok(());
+        }
         let design = self.design.clone();
         let mut rounds = 0usize;
+        // Dense dedup of the next round's trigger list (the predecessor
+        // used an O(n²) `contains` scan per candidate) and pre-commit
+        // LSB snapshots — both pooled, since this runs per poke.
+        let mut in_triggered = std::mem::take(&mut self.wl.in_triggered);
+        in_triggered.resize(design.processes.len(), false);
+        let mut olds = std::mem::take(&mut self.wl.olds);
+        olds.resize(design.signals.len(), None);
+        let mut result = Ok(());
         while !triggered.is_empty() {
             rounds += 1;
             if rounds > CASCADE_LIMIT {
-                return Err(SimError::EdgeCascade { rounds });
+                result = Err(SimError::EdgeCascade { rounds });
+                break;
             }
             let mut nba: Vec<PendingWrite> = Vec::new();
             for pi in triggered.drain(..) {
-                if let Process::Seq { body, .. } = &design.processes[pi] {
-                    // Blocking writes inside sequential bodies write
-                    // through (standard Verilog), tracked in `changed`.
-                    exec(&design, &mut self.store, body, &mut nba, changed);
-                }
+                // Blocking writes inside sequential bodies write
+                // through (standard Verilog), tracked in `changed`.
+                self.run_body(pi, &mut nba, changed);
             }
             // Commit NBAs, detecting new edges.
             let mut nba_changed: Vec<SignalId> = Vec::new();
-            let olds: HashMap<SignalId, LogicBit> = nba
-                .iter()
-                .map(|w| {
-                    (
-                        w.signal,
-                        self.store[w.signal.index()].get(0).unwrap_or(LogicBit::X),
-                    )
-                })
-                .collect();
+            for w in &nba {
+                let slot = &mut olds[w.signal.index()];
+                if slot.is_none() {
+                    *slot = Some(self.store[w.signal.index()].get(0).unwrap_or(LogicBit::X));
+                }
+            }
             for w in &nba {
                 apply_write(
-                    &design,
                     &mut self.store,
                     w.signal,
                     w.lsb,
@@ -229,25 +383,34 @@ impl Simulator {
                 );
             }
             for &sig in &nba_changed {
-                let old_bit = olds.get(&sig).copied().unwrap_or(LogicBit::X);
+                let old_bit = olds[sig.index()].unwrap_or(LogicBit::X);
                 let new_bit = self.store[sig.index()].get(0).unwrap_or(LogicBit::X);
-                if let Some(procs) = self.edge_deps.get(&sig) {
-                    for &pi in procs {
-                        if let Process::Seq { edges, .. } = &design.processes[pi] {
-                            if edges
-                                .iter()
-                                .any(|&(e, s)| s == sig && is_edge(e, old_bit, new_bit))
-                                && !triggered.contains(&pi)
-                            {
-                                triggered.push(pi);
-                            }
+                for &pi in &self.edge_deps[sig.index()] {
+                    if let Process::Seq { edges, .. } = &design.processes[pi] {
+                        if edges
+                            .iter()
+                            .any(|&(e, s)| s == sig && is_edge(e, old_bit, new_bit))
+                            && !in_triggered[pi]
+                        {
+                            in_triggered[pi] = true;
+                            triggered.push(pi);
                         }
                     }
                 }
             }
+            for &pi in &triggered {
+                in_triggered[pi] = false;
+            }
+            for w in &nba {
+                olds[w.signal.index()] = None;
+            }
             changed.extend(nba_changed);
         }
-        Ok(())
+        // Buffers are all-false/all-None again (maintained per round);
+        // pool them for the next cascade.
+        self.wl.in_triggered = in_triggered;
+        self.wl.olds = olds;
+        result
     }
 
     /// Evaluate every combinational process to a fixpoint.
@@ -261,57 +424,70 @@ impl Simulator {
         let all: Vec<usize> = (0..self.design.processes.len())
             .filter(|&i| matches!(self.design.processes[i], Process::Comb { .. }))
             .collect();
-        self.run_comb_worklist(all)
+        self.run_comb_worklist(&all)
     }
 
     /// Settle starting from the processes sensitive to `changed` signals.
     fn settle_from(&mut self, changed: Vec<SignalId>) -> Result<(), SimError> {
-        let mut init: Vec<usize> = Vec::new();
+        let mut init = std::mem::take(&mut self.wl.init);
+        init.clear();
+        let mut in_queue = std::mem::take(&mut self.wl.in_queue);
+        in_queue.resize(self.design.processes.len(), false);
         for sig in changed {
-            if let Some(procs) = self.comb_deps.get(&sig) {
-                for &p in procs {
-                    if !init.contains(&p) {
-                        init.push(p);
-                    }
+            for &p in &self.comb_deps[sig.index()] {
+                if !in_queue[p] {
+                    in_queue[p] = true;
+                    init.push(p);
                 }
             }
         }
-        self.run_comb_worklist(init)
+        for &p in &init {
+            in_queue[p] = false;
+        }
+        self.wl.in_queue = in_queue;
+        let r = self.run_comb_worklist(&init);
+        self.wl.init = init;
+        r
     }
 
-    fn run_comb_worklist(&mut self, init: Vec<usize>) -> Result<(), SimError> {
+    fn run_comb_worklist(&mut self, init: &[usize]) -> Result<(), SimError> {
         let design = self.design.clone();
-        let mut queue: std::collections::VecDeque<usize> = init.into();
-        let mut in_queue: Vec<bool> = vec![false; design.processes.len()];
-        for &p in &queue {
+        let mut queue = std::mem::take(&mut self.wl.queue);
+        let mut in_queue = std::mem::take(&mut self.wl.in_queue);
+        queue.clear();
+        queue.extend(init.iter().copied());
+        in_queue.resize(design.processes.len(), false);
+        for &p in init {
             in_queue[p] = true;
         }
         let limit = SETTLE_LIMIT_FACTOR * design.processes.len().max(4) + 64;
         let mut iterations = 0usize;
+        let mut result = Ok(());
         while let Some(pi) = queue.pop_front() {
             in_queue[pi] = false;
             iterations += 1;
             if iterations > limit {
-                return Err(SimError::CombinationalLoop { iterations });
+                result = Err(SimError::CombinationalLoop { iterations });
+                break;
             }
-            let Process::Comb { body, writes, .. } = &design.processes[pi] else {
+            let Process::Comb { writes, .. } = &design.processes[pi] else {
                 continue;
             };
             // Snapshot the write set so a process that reads what it
             // writes (an accumulation chain) only reports *net* changes;
             // intermediate blocking-write glitches must not re-trigger it.
-            let before: Vec<LogicVec> = writes
-                .iter()
-                .map(|id| self.store[id.index()].clone())
-                .collect();
-            let mut nba: Vec<PendingWrite> = Vec::new();
-            let mut scratch: Vec<SignalId> = Vec::new();
-            exec(&design, &mut self.store, body, &mut nba, &mut scratch);
+            let mut before = std::mem::take(&mut self.wl.before);
+            before.clear();
+            before.extend(writes.iter().map(|id| self.store[id.index()].clone()));
+            let mut nba = std::mem::take(&mut self.wl.nba);
+            let mut scratch = std::mem::take(&mut self.wl.scratch);
+            nba.clear();
+            scratch.clear();
+            self.run_body(pi, &mut nba, &mut scratch);
             // NBAs inside comb always blocks commit immediately at the end
             // of the process (simplified @* semantics).
             for w in &nba {
                 apply_write(
-                    &design,
                     &mut self.store,
                     w.signal,
                     w.lsb,
@@ -320,28 +496,33 @@ impl Simulator {
                     &mut scratch,
                 );
             }
-            let changed: Vec<SignalId> = writes
-                .iter()
-                .zip(before.iter())
-                .filter(|(id, old)| !self.store[id.index()].case_eq(old))
-                .map(|(id, _)| *id)
-                .collect();
             // Sequential processes must not be edge-triggered by
             // combinational glitches in this model; only real pokes and
             // NBA commits produce edges. (Clock gating through logic is
             // outside the benchmark subset.)
-            for sig in changed {
-                if let Some(procs) = self.comb_deps.get(&sig) {
-                    for &p in procs {
-                        if !in_queue[p] {
-                            in_queue[p] = true;
-                            queue.push_back(p);
-                        }
+            for (id, old) in writes.iter().zip(before.iter()) {
+                if self.store[id.index()].case_eq(old) {
+                    continue;
+                }
+                for &p in &self.comb_deps[id.index()] {
+                    if !in_queue[p] {
+                        in_queue[p] = true;
+                        queue.push_back(p);
                     }
                 }
             }
+            self.wl.before = before;
+            self.wl.nba = nba;
+            self.wl.scratch = scratch;
         }
-        Ok(())
+        // Restore the all-false/empty invariant before pooling the
+        // buffers (the error path leaves entries queued).
+        for p in queue.drain(..) {
+            in_queue[p] = false;
+        }
+        self.wl.queue = queue;
+        self.wl.in_queue = in_queue;
+        result
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::stimulus::Drive;
 use mage_logic::LogicVec;
+use std::sync::Arc;
 
 /// One state-checkpoint observation: a check at a clock edge (or settle
 /// point), with the input snapshot that produced it.
@@ -20,8 +21,10 @@ pub struct CheckRecord {
     pub expected: LogicVec,
     /// `true` when `got` case-equals `expected`.
     pub pass: bool,
-    /// Input snapshot at the step (accumulated drives).
-    pub inputs: Vec<Drive>,
+    /// Input snapshot at the step (accumulated drives). Shared: every
+    /// check of a step points at the same snapshot, so recording a check
+    /// costs a refcount bump instead of cloning the drive list.
+    pub inputs: Arc<Vec<Drive>>,
 }
 
 /// The result of running a [`crate::Testbench`] against a DUT.
@@ -147,7 +150,7 @@ mod tests {
             got: LogicVec::from_u64(1, pass as u64),
             expected: LogicVec::from_u64(1, 1),
             pass,
-            inputs: vec![],
+            inputs: Arc::new(vec![]),
         }
     }
 

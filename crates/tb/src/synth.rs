@@ -11,7 +11,7 @@
 
 use crate::report::TbReport;
 use crate::stimulus::Stimulus;
-use crate::tb::{run_testbench, Check, TbStep, Testbench};
+use crate::tb::{Check, TbStep, Testbench};
 use mage_sim::Design;
 use std::sync::Arc;
 
@@ -39,30 +39,73 @@ pub fn synthesize_testbench(
     stim: &Stimulus,
     density: CheckDensity,
 ) -> Testbench {
-    let outputs = reference.output_ports();
-    // Run the reference via a probe bench with no checks, capturing
-    // values at each step.
-    let probe = Testbench {
-        name: "probe".into(),
-        clock: stim.clock.clone(),
-        steps: stim
-            .steps
-            .iter()
-            .map(|drives| TbStep {
-                drives: drives.clone(),
-                checks: outputs
-                    .iter()
-                    .map(|(n, w)| Check {
+    // Drive the reference directly — one pass, no probe bench or report
+    // to allocate. Timing mirrors `run_testbench`: drives land while the
+    // clock is low, outputs are sampled after the rising edge settles.
+    let outputs: Vec<(String, mage_sim::SignalId)> = reference
+        .output_ports()
+        .into_iter()
+        .map(|(n, _)| {
+            let id = reference.signal(&n).expect("output port resolves");
+            (n, id)
+        })
+        .collect();
+    let mut sim = mage_sim::Simulator::new(Arc::clone(reference));
+    let mut faulted = sim.settle().is_err();
+    if !faulted {
+        if let Some(clk) = &stim.clock {
+            faulted = sim
+                .poke(clk, mage_logic::LogicVec::from_bool(false))
+                .is_err();
+        }
+    }
+    let mut steps: Vec<TbStep> = Vec::with_capacity(stim.steps.len());
+    for (i, drives) in stim.steps.iter().enumerate() {
+        if !faulted {
+            faulted = sim
+                .poke_many(drives.iter().map(|(n, v)| (n.as_str(), v.clone())))
+                .is_err();
+        }
+        if !faulted {
+            if let Some(clk) = &stim.clock {
+                faulted = sim.poke(clk, mage_logic::LogicVec::from_bool(true)).is_err();
+            }
+        }
+        let keep = match density {
+            CheckDensity::EveryStep => true,
+            CheckDensity::EveryN(n) => n != 0 && (i + 1) % n == 0,
+        };
+        let mut checks = Vec::new();
+        if keep && !faulted {
+            for (n, id) in &outputs {
+                let got = sim.peek(*id);
+                // A reference that outputs X (before reset, say) produces
+                // no check there.
+                if got.is_fully_defined() {
+                    checks.push(Check {
                         signal: n.clone(),
-                        expected: mage_logic::LogicVec::all_x(*w),
-                    })
-                    .collect(),
-            })
-            .collect(),
-    };
-    let report = run_testbench(&probe, reference)
-        .expect("reference design must match its own interface");
-    build_from_reference_report(name, stim, &report, density)
+                        expected: got.clone(),
+                    });
+                }
+            }
+        }
+        steps.push(TbStep {
+            drives: drives.clone(),
+            checks,
+        });
+        if !faulted {
+            if let Some(clk) = &stim.clock {
+                faulted = sim
+                    .poke(clk, mage_logic::LogicVec::from_bool(false))
+                    .is_err();
+            }
+        }
+    }
+    Testbench {
+        name: name.into(),
+        clock: stim.clock.clone(),
+        steps,
+    }
 }
 
 /// Build a bench from an already-captured reference report (the `got`
@@ -106,6 +149,7 @@ pub fn build_from_reference_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tb::run_testbench;
     use mage_logic::LogicVec;
     use mage_sim::elaborate;
 

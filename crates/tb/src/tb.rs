@@ -138,6 +138,9 @@ pub fn run_testbench(tb: &Testbench, design: &Arc<Design>) -> Result<TbReport, T
     }
 
     let mut inputs_now: Vec<Drive> = Vec::new();
+    // Shared per-step snapshot: checks of one step all point at the same
+    // drive list (rebuilt only when drives actually change).
+    let mut inputs_snapshot: Arc<Vec<Drive>> = Arc::new(Vec::new());
     for (i, step) in tb.steps.iter().enumerate() {
         let time = (i as u64 + 1) * TIME_PER_STEP;
         if sim_fault.is_none() {
@@ -156,6 +159,9 @@ pub fn run_testbench(tb: &Testbench, design: &Arc<Design>) -> Result<TbReport, T
                         } else {
                             inputs_now.push((n.clone(), v.clone()));
                         }
+                    }
+                    if !step.drives.is_empty() {
+                        inputs_snapshot = Arc::new(inputs_now.clone());
                     }
                 }
                 Err(e) => sim_fault = Some(e.to_string()),
@@ -177,7 +183,7 @@ pub fn run_testbench(tb: &Testbench, design: &Arc<Design>) -> Result<TbReport, T
                 got,
                 expected: check.expected.clone(),
                 pass,
-                inputs: inputs_now.clone(),
+                inputs: Arc::clone(&inputs_snapshot),
             });
         }
         // Complete the clock cycle after the checkpoints are sampled.
@@ -198,9 +204,9 @@ fn exec_step_rise(
     clock: Option<&str>,
     drives: &[Drive],
 ) -> Result<(), SimError> {
-    for (name, value) in drives {
-        sim.poke(name, value.clone())?;
-    }
+    // Batched: stores update first, edges fire once, fanout settles once
+    // — instead of a full re-settle per driven input.
+    sim.poke_many(drives.iter().map(|(n, v)| (n.as_str(), v.clone())))?;
     match clock {
         Some(clk) => {
             sim.advance(TIME_PER_STEP / 2);

@@ -146,10 +146,10 @@ mod tests {
             got: LogicVec::from_u64(4, got),
             expected: LogicVec::from_u64(4, exp),
             pass,
-            inputs: vec![
+            inputs: std::sync::Arc::new(vec![
                 ("c".into(), LogicVec::from_u64(1, 1)),
                 ("d".into(), LogicVec::from_u64(1, (step % 2) as u64)),
-            ],
+            ]),
         };
         TbReport::new(
             "prob".into(),

@@ -13,7 +13,7 @@ fn record(step: usize, signal: &str, pass: bool) -> CheckRecord {
         got: LogicVec::from_u64(4, if pass { 5 } else { 6 }),
         expected: LogicVec::from_u64(4, 5),
         pass,
-        inputs: vec![("a".into(), LogicVec::from_u64(2, step as u64 & 3))],
+        inputs: std::sync::Arc::new(vec![("a".into(), LogicVec::from_u64(2, step as u64 & 3))]),
     }
 }
 

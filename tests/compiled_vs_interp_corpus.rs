@@ -1,0 +1,108 @@
+//! Corpus-wide differential test: every benchmark problem — and mutated
+//! candidates of each — runs through both the bytecode interpreter and
+//! the legacy tree-walking oracle in lockstep, asserting bit-identical
+//! stores (every signal, four-state exact) after every poke.
+//!
+//! This is the guarantee that lets the compiled executor replace the
+//! tree-walker as the default grading path: on the full corpus the two
+//! are observationally indistinguishable, including simulation faults.
+
+use mage::llm::mutate::{apply_mutation, sample_mutations};
+use mage::logic::LogicVec;
+use mage::problems::all_problems;
+use mage::sim::{elaborate, Design, ExecMode, Simulator};
+use mage::tb::Stimulus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Drive both executors through `stim` in testbench order (drives, then
+/// a full clock cycle for clocked designs), comparing the full store
+/// after every poke. Stops (without failing) at the first simulation
+/// fault, after asserting both executors report the same fault.
+fn lockstep(design: &Arc<Design>, stim: &Stimulus, label: &str) {
+    let mut fast = Simulator::with_mode(Arc::clone(design), ExecMode::Compiled);
+    let mut slow = Simulator::with_mode(Arc::clone(design), ExecMode::Legacy);
+    let rf = fast.settle();
+    let rs = slow.settle();
+    assert_eq!(rf, rs, "{label}: settle diverged");
+    compare_stores(design, &fast, &slow, label, "boot");
+    if rf.is_err() {
+        return;
+    }
+    let poke_both = |name: &str, v: LogicVec, fast: &mut Simulator, slow: &mut Simulator, at: &str| -> bool {
+        let rf = fast.poke(name, v.clone());
+        let rs = slow.poke(name, v);
+        assert_eq!(rf, rs, "{label}: poke {name} at {at} diverged");
+        compare_stores(design, fast, slow, label, at);
+        rf.is_ok()
+    };
+    if let Some(clk) = &stim.clock {
+        if !poke_both(clk, LogicVec::from_bool(false), &mut fast, &mut slow, "clk boot") {
+            return;
+        }
+    }
+    for (i, step) in stim.steps.iter().enumerate() {
+        for (name, v) in step {
+            if !poke_both(name, v.clone(), &mut fast, &mut slow, &format!("step {i}")) {
+                return;
+            }
+        }
+        if let Some(clk) = &stim.clock {
+            if !poke_both(clk, LogicVec::from_bool(true), &mut fast, &mut slow, &format!("step {i} rise")) {
+                return;
+            }
+            if !poke_both(clk, LogicVec::from_bool(false), &mut fast, &mut slow, &format!("step {i} fall")) {
+                return;
+            }
+        }
+    }
+}
+
+fn compare_stores(design: &Design, fast: &Simulator, slow: &Simulator, label: &str, at: &str) {
+    for decl in &design.signals {
+        let id = design.signal(&decl.name).expect("name resolves");
+        let (f, s) = (fast.peek(id), slow.peek(id));
+        assert!(
+            f.case_eq(s),
+            "{label} at {at}: signal `{}` diverged\n  compiled: {}\n  legacy:   {}",
+            decl.name,
+            f.to_binary_string(),
+            s.to_binary_string(),
+        );
+    }
+}
+
+#[test]
+fn full_corpus_golden_designs_match() {
+    for p in all_problems() {
+        let oracle = p.oracle(0xD1FF);
+        lockstep(&oracle.golden_design, &oracle.stimulus, p.id);
+    }
+}
+
+#[test]
+fn full_corpus_mutated_candidates_match() {
+    for (pi, p) in all_problems().iter().enumerate() {
+        let oracle = p.oracle(0xD1FF);
+        for k in 1..=2usize {
+            let mut rng = StdRng::seed_from_u64(0xBADC_0DE ^ (pi as u64) << 8 ^ k as u64);
+            let mut file = oracle.golden.clone();
+            let top_ix = file
+                .modules
+                .iter()
+                .position(|m| m.name == oracle.top)
+                .expect("top module present");
+            for m in sample_mutations(&file.modules[top_ix].clone(), k, &mut rng) {
+                apply_mutation(&mut file.modules[top_ix], &m);
+            }
+            // Mutations keep the source parseable; elaboration can still
+            // fail (e.g. a select pushed out of a parameterized range) —
+            // such candidates never reach the simulator in the pipeline.
+            let Ok(design) = elaborate(&file, &oracle.top) else {
+                continue;
+            };
+            lockstep(&Arc::new(design), &oracle.stimulus, &format!("{} (k={k})", p.id));
+        }
+    }
+}
