@@ -57,6 +57,13 @@ pub struct MageConfig {
     pub window_lw: usize,
     /// Maximum testbench regenerations after judge rejections (Step 3).
     pub tb_regen_limit: usize,
+    /// Per-agent conversation budget in approximate tokens. When set,
+    /// each agent's history is compacted (oldest messages elided into a
+    /// summary stub) whenever it grows past the budget, bounding the
+    /// memory a long debug loop holds — essential when hundreds of
+    /// solves are in flight at once. `None` (the default) keeps full
+    /// transcripts, preserving the paper-faithful behaviour.
+    pub context_budget: Option<usize>,
 }
 
 impl MageConfig {
@@ -81,6 +88,12 @@ impl MageConfig {
         self.system = system;
         self
     }
+
+    /// Same config with a per-agent conversation token budget.
+    pub fn with_context_budget(mut self, budget: usize) -> Self {
+        self.context_budget = Some(budget);
+        self
+    }
 }
 
 impl Default for MageConfig {
@@ -94,6 +107,7 @@ impl Default for MageConfig {
             syntax_retries: 5,
             window_lw: 5,
             tb_regen_limit: 2,
+            context_budget: None,
         }
     }
 }

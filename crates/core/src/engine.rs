@@ -41,7 +41,7 @@ pub struct Task<'a> {
 
 /// Agent roles; the protocol maps each to a conversation context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AgentRole {
+pub(crate) enum AgentRole {
     Testbench,
     Rtl,
     Judge,
@@ -49,14 +49,22 @@ enum AgentRole {
 }
 
 /// The conversation contexts of one solve, shaped by the protocol.
+///
+/// Conversations live behind `Arc` so a request snapshot is one
+/// refcount bump; [`Contexts::record`] clones-on-write only when a
+/// still-held snapshot would otherwise see the mutation.
 #[derive(Debug, Clone)]
-struct Contexts {
+pub(crate) struct Contexts {
     kind: SystemKind,
-    convs: Vec<Conversation>,
+    convs: Vec<Arc<Conversation>>,
+    /// Per-conversation token budget ([`MageConfig::context_budget`]).
+    budget: Option<usize>,
+    /// Largest single-conversation token count seen (post-compaction).
+    pub(crate) peak_tokens: usize,
 }
 
 impl Contexts {
-    fn new(kind: SystemKind) -> Self {
+    pub(crate) fn new(kind: SystemKind, budget: Option<usize>) -> Self {
         let n = match kind {
             SystemKind::Vanilla | SystemKind::SingleAgent => 1,
             SystemKind::TwoAgent => 2,
@@ -64,7 +72,9 @@ impl Contexts {
         };
         Contexts {
             kind,
-            convs: vec![Conversation::new(); n],
+            convs: (0..n).map(|_| Arc::new(Conversation::new())).collect(),
+            budget,
+            peak_tokens: 0,
         }
     }
 
@@ -85,14 +95,27 @@ impl Contexts {
         }
     }
 
-    fn conv(&self, role: AgentRole) -> &Conversation {
-        &self.convs[self.index(role)]
+    pub(crate) fn conv(&self, role: AgentRole) -> &Conversation {
+        self.convs[self.index(role)].as_ref()
     }
 
-    fn record(&mut self, role: AgentRole, task: TaskKind, prompt: &str, reply: &str) {
+    /// An `Arc` snapshot of a role's conversation (what owned requests
+    /// carry).
+    pub(crate) fn conv_arc(&self, role: AgentRole) -> Arc<Conversation> {
+        Arc::clone(&self.convs[self.index(role)])
+    }
+
+    pub(crate) fn record(&mut self, role: AgentRole, task: TaskKind, prompt: &str, reply: &str) {
         let ix = self.index(role);
-        self.convs[ix].push(Role::User, task, prompt);
-        self.convs[ix].push(Role::Assistant, task, reply);
+        let conv = Arc::make_mut(&mut self.convs[ix]);
+        conv.push(Role::User, task, prompt);
+        conv.push(Role::Assistant, task, reply);
+        if let Some(budget) = self.budget {
+            conv.compact_to(budget);
+        }
+        // Peak of what is actually *held* (post-compaction): the memory
+        // bound a budget buys is exactly what this metric verifies.
+        self.peak_tokens = self.peak_tokens.max(self.convs[ix].total_tokens());
     }
 }
 
@@ -110,7 +133,10 @@ pub struct Candidate {
 }
 
 /// The full trace of one engine run on one task (feeds every figure).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bit-for-bit — the differential and
+/// determinism suites rely on it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveTrace {
     /// Problem id.
     pub problem_id: String,
@@ -136,6 +162,10 @@ pub struct SolveTrace {
     pub syntax_failures: usize,
     /// Total token usage of the run.
     pub usage: TokenUsage,
+    /// Largest per-agent conversation (approximate tokens) held at any
+    /// point of the run, after any [`MageConfig::context_budget`]
+    /// compaction. The memory-accounting metric of long debug loops.
+    pub peak_context_tokens: usize,
 }
 
 /// The MAGE engine, generic over the language-model backend.
@@ -176,8 +206,47 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
     }
 
     /// Run the workflow on one task.
+    ///
+    /// This drives the resumable state machine ([`crate::SolveJob`])
+    /// to completion with scalar model calls and an inline simulation
+    /// executor — the single-job view of exactly what `mage-serve`
+    /// schedules across many jobs. [`Mage::solve_blocking`] keeps the
+    /// original straight-line loop as the differential oracle; the two
+    /// produce bit-identical traces (see `tests/solvejob_differential.rs`).
     pub fn solve(&mut self, task: &Task<'_>) -> SolveTrace {
-        let mut ctx = Contexts::new(self.config.system);
+        let mut job = crate::solvejob::SolveJob::new(
+            task.id,
+            task.spec,
+            self.config.clone(),
+        );
+        let mut step = job.advance(crate::solvejob::StepInput::Start);
+        loop {
+            step = match step {
+                crate::solvejob::SolveStep::NeedLlm(req) => {
+                    let resp = self.model.dispatch(&req);
+                    // Release the request's conversation snapshot before
+                    // advancing, so the job's contexts stay uniquely
+                    // owned and record() never needs a copy-on-write
+                    // clone of the transcript.
+                    drop(req);
+                    job.advance(crate::solvejob::StepInput::Llm(resp))
+                }
+                crate::solvejob::SolveStep::NeedSim(req) => {
+                    let outcome = crate::solvejob::execute_sim(&req);
+                    job.advance(crate::solvejob::StepInput::Sim(outcome))
+                }
+                crate::solvejob::SolveStep::Done(trace) => return *trace,
+            };
+        }
+    }
+
+    /// Run the workflow on one task as one blocking loop.
+    ///
+    /// This is the pre-state-machine implementation, kept verbatim as
+    /// the differential oracle for [`Mage::solve`]: every refactor of
+    /// the resumable engine must keep `solve` bit-identical to this.
+    pub fn solve_blocking(&mut self, task: &Task<'_>) -> SolveTrace {
+        let mut ctx = Contexts::new(self.config.system, self.config.context_budget);
         let mut usage = TokenUsage::default();
         let mut trace = SolveTrace {
             problem_id: task.id.to_string(),
@@ -192,6 +261,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
             tb_regens: 0,
             syntax_failures: 0,
             usage,
+            peak_context_tokens: 0,
         };
 
         // --- Vanilla baseline: one pass, nothing else. ---
@@ -209,6 +279,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
             ctx.record(AgentRole::Rtl, TaskKind::GenerateRtl, &prompt, &out.value);
             trace.final_source = out.value;
             trace.usage = usage;
+            trace.peak_context_tokens = ctx.peak_tokens;
             return trace;
         }
 
@@ -225,7 +296,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
         let mut best = initial.clone();
         if best.score >= 1.0 {
             trace.solved_pre_sampling = true;
-            return self.finish(trace, best, usage);
+            return self.finish(trace, best, usage, ctx.peak_tokens);
         }
 
         // --- Step 3: judge the bench; regenerate when deemed faulty. ---
@@ -263,7 +334,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
             if best.score >= 1.0 {
                 trace.solved_pre_sampling = true;
                 trace.initial_score = Some(best.score);
-                return self.finish(trace, best, usage);
+                return self.finish(trace, best, usage, ctx.peak_tokens);
             }
         }
 
@@ -282,7 +353,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
         let mut seen: Vec<u64> = Vec::new();
         let mut selected: Vec<Candidate> = Vec::new();
         for c in pool {
-            let h = fnv1a(c.source.as_bytes());
+            let h = mage_logic::fnv1a(c.source.as_bytes());
             if !seen.contains(&h) {
                 seen.push(h);
                 selected.push(c);
@@ -298,7 +369,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
             .unwrap_or(false)
         {
             let best = selected.swap_remove(0);
-            return self.finish(trace, best, usage);
+            return self.finish(trace, best, usage, ctx.peak_tokens);
         }
 
         // --- Step 5: debugging with state checkpoints (Eq. 4). ---
@@ -354,13 +425,20 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
         }
 
         let best = selected.into_iter().next().unwrap_or(best);
-        self.finish(trace, best, usage)
+        self.finish(trace, best, usage, ctx.peak_tokens)
     }
 
-    fn finish(&self, mut trace: SolveTrace, best: Candidate, usage: TokenUsage) -> SolveTrace {
+    fn finish(
+        &self,
+        mut trace: SolveTrace,
+        best: Candidate,
+        usage: TokenUsage,
+        peak: usize,
+    ) -> SolveTrace {
         trace.final_source = best.source;
         trace.final_score = best.score;
         trace.usage = usage;
+        trace.peak_context_tokens = peak;
         trace
     }
 
@@ -469,7 +547,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
         tb: &Testbench,
         cache: &mut HashMap<u64, Candidate>,
     ) -> Candidate {
-        let key = fnv1a(cand.source.as_bytes());
+        let key = mage_logic::fnv1a(cand.source.as_bytes());
         if let Some(hit) = cache.get(&key) {
             return hit.clone();
         }
@@ -511,7 +589,7 @@ pub fn compile(source: &str) -> Result<Arc<Design>, String> {
         .map_err(|e| e.to_string())
 }
 
-fn bench_digest(tb: &Testbench) -> String {
+pub(crate) fn bench_digest(tb: &Testbench) -> String {
     format!(
         "optimized testbench `{}`: {} steps, {} state checkpoints{}",
         tb.name,
@@ -524,21 +602,12 @@ fn bench_digest(tb: &Testbench) -> String {
     )
 }
 
-fn strip_scoring(c: Candidate) -> Candidate {
+pub(crate) fn strip_scoring(c: Candidate) -> Candidate {
     Candidate {
         score: 0.0,
         report: None,
         ..c
     }
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
 }
 
 #[cfg(test)]
@@ -641,11 +710,11 @@ mod tests {
 
     #[test]
     fn contexts_follow_protocol() {
-        let mage = Contexts::new(SystemKind::Mage);
+        let mage = Contexts::new(SystemKind::Mage, None);
         assert_eq!(mage.convs.len(), 4);
-        let single = Contexts::new(SystemKind::SingleAgent);
+        let single = Contexts::new(SystemKind::SingleAgent, None);
         assert_eq!(single.convs.len(), 1);
-        let two = Contexts::new(SystemKind::TwoAgent);
+        let two = Contexts::new(SystemKind::TwoAgent, None);
         assert_eq!(two.index(AgentRole::Rtl), two.index(AgentRole::Testbench));
         assert_eq!(two.index(AgentRole::Judge), two.index(AgentRole::Debug));
         assert_ne!(two.index(AgentRole::Rtl), two.index(AgentRole::Debug));

@@ -11,6 +11,8 @@ use crate::metrics::{mean, pass_at_k, Summary};
 use mage_llm::{SyntheticModel, SyntheticModelConfig, TokenUsage};
 use mage_problems::{suite, Problem, SuiteId};
 use mage_tb::{run_testbench, synthesize_testbench, CheckDensity, Testbench};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Stimulus seed of the grading benches (never used for engine-side
 /// stimulus).
@@ -113,12 +115,46 @@ pub fn grading_bench(problem: &Problem) -> Testbench {
     )
 }
 
+/// Process-wide grading-bench cache: one synthesis per problem, shared
+/// by every `(problem, run)` evaluation unit and every grade call.
+static GRADING_BENCH_CACHE: OnceLock<Mutex<HashMap<String, Arc<Testbench>>>> = OnceLock::new();
+
+/// The cached grading bench of a problem. The bench is a pure function
+/// of the problem (the stimulus seed is the fixed [`GRADE_STIM_SEED`]),
+/// so caching cannot change any result — it only removes the per-run
+/// re-synthesis the serial evaluator paid.
+pub fn grading_bench_shared(problem: &Problem) -> Arc<Testbench> {
+    let cache = GRADING_BENCH_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("grading cache poisoned").get(problem.id) {
+        return Arc::clone(hit);
+    }
+    // Synthesize outside the lock: benches are thousands of simulated
+    // steps, and parallel eval units would serialize on a held lock.
+    let bench = Arc::new(grading_bench(problem));
+    Arc::clone(
+        cache
+            .lock()
+            .expect("grading cache poisoned")
+            .entry(problem.id.to_string())
+            .or_insert(bench),
+    )
+}
+
+/// Number of problems with a cached grading bench (test hook).
+#[doc(hidden)]
+pub fn grading_bench_cache_size() -> usize {
+    GRADING_BENCH_CACHE
+        .get()
+        .map(|c| c.lock().expect("grading cache poisoned").len())
+        .unwrap_or(0)
+}
+
 /// Grade a final answer against the benchmark bench.
 pub fn grade(problem: &Problem, source: &str) -> bool {
     let Ok(design) = compile(source) else {
         return false;
     };
-    let bench = grading_bench(problem);
+    let bench = grading_bench_shared(problem);
     run_testbench(&bench, &design)
         .map(|r| r.passed())
         .unwrap_or(false)
@@ -132,7 +168,11 @@ pub fn grade(problem: &Problem, source: &str) -> bool {
 /// scores and pass@k are **bit-identical** however the units are
 /// scheduled — the parallel evaluation below matches a serial
 /// `(run, problem)` loop result-for-result.
-fn unit_seed(master: u64, run: usize, problem_id: &str) -> u64 {
+///
+/// Public because the `mage-serve` and `bench_engine` job streams seed
+/// their per-job models with the *same* scheme, keeping cross-harness
+/// results comparable unit-for-unit.
+pub fn unit_seed(master: u64, run: usize, problem_id: &str) -> u64 {
     let run_seed = master.wrapping_add(run as u64).wrapping_mul(0x9E37_79B9);
     run_seed ^ mage_logic::fnv1a(problem_id.as_bytes())
 }
@@ -503,6 +543,22 @@ mod tests {
             "module top_module(input a, input b, output y); assign y = a | b; endmodule"
         ));
         assert!(!grade(p, "not even verilog"));
+    }
+
+    #[test]
+    fn grading_bench_is_synthesized_once_per_problem() {
+        // NB: the cache is process-global and sibling tests insert into
+        // it concurrently, so assert only on this problem's entry.
+        let p = mage_problems::by_id("prob010_mux2").unwrap();
+        let first = grading_bench_shared(p);
+        // Repeat grades and bench fetches reuse the same allocation.
+        assert!(grade(p, p.golden));
+        assert!(grade(p, p.golden));
+        let again = grading_bench_shared(p);
+        assert!(Arc::ptr_eq(&first, &again), "bench must be cached");
+        assert!(grading_bench_cache_size() >= 1);
+        // And the cached bench equals a fresh synthesis (purity).
+        assert_eq!(*first, grading_bench(p));
     }
 
     #[test]

@@ -41,7 +41,11 @@ mod config;
 mod engine;
 pub mod experiments;
 pub mod metrics;
+pub mod solvejob;
 pub mod tables;
 
 pub use config::{MageConfig, SystemKind};
 pub use engine::{compile, Candidate, Mage, SolveTrace, Task};
+pub use solvejob::{
+    execute_sim, execute_sim_with, SimOutcome, SimRequest, SolveJob, SolveStep, StepInput,
+};

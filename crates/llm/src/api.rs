@@ -98,6 +98,15 @@ pub fn approx_tokens(text: &str) -> usize {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Conversation {
     messages: Vec<ChatMessage>,
+    /// Running total of `approx_tokens` over `messages` — kept in sync
+    /// by `push`/`compact_to` so accounting never rescans the
+    /// transcript.
+    tokens: usize,
+    /// Messages elided by compaction (the summary stub at index 0
+    /// stands in for them when non-zero).
+    elided: usize,
+    /// Approximate tokens of the elided messages.
+    elided_tokens: usize,
 }
 
 impl Conversation {
@@ -108,9 +117,11 @@ impl Conversation {
 
     /// Append a message.
     pub fn push(&mut self, role: Role, task: TaskKind, content: impl Into<String>) {
+        let content = content.into();
+        self.tokens += approx_tokens(&content);
         self.messages.push(ChatMessage {
             role,
-            content: content.into(),
+            content,
             task,
         });
     }
@@ -141,9 +152,74 @@ impl Conversation {
         kinds.len()
     }
 
-    /// Total (approximate) tokens across the history.
+    /// Total (approximate) tokens across the history. O(1): the count
+    /// is maintained incrementally.
     pub fn total_tokens(&self) -> usize {
-        self.messages.iter().map(|m| approx_tokens(&m.content)).sum()
+        debug_assert_eq!(
+            self.tokens,
+            self.messages.iter().map(|m| approx_tokens(&m.content)).sum::<usize>(),
+            "token counter out of sync with messages"
+        );
+        self.tokens
+    }
+
+    /// Messages elided by [`Conversation::compact_to`] over the
+    /// conversation's lifetime.
+    pub fn elided(&self) -> usize {
+        self.elided
+    }
+
+    /// Bound the history to roughly `budget` tokens by eliding the
+    /// oldest messages into a single summary stub, the way a production
+    /// agent summarizes an overlong context instead of holding the full
+    /// transcript. The two most recent messages (the last exchange) are
+    /// always kept, so the effective floor is their size plus the stub.
+    ///
+    /// Returns the number of messages elided by this call. A no-op when
+    /// the history is already within budget.
+    pub fn compact_to(&mut self, budget: usize) -> usize {
+        if self.total_tokens() <= budget {
+            return 0;
+        }
+        // Peel off any existing stub; it is rebuilt with updated counts.
+        let mut task = None;
+        if self.elided > 0 && !self.messages.is_empty() {
+            let stub = self.messages.remove(0);
+            self.tokens -= approx_tokens(&stub.content);
+            task = Some(stub.task);
+        }
+        let mut dropped = 0usize;
+        while self.over_budget_without_stub(budget) && self.messages.len() > 2 {
+            let m = self.messages.remove(0);
+            let t = approx_tokens(&m.content);
+            self.tokens -= t;
+            task.get_or_insert(m.task);
+            dropped += 1;
+            self.elided += 1;
+            self.elided_tokens += t;
+        }
+        if self.elided > 0 {
+            let content = format!(
+                "[context summary: {} earlier messages (~{} tokens) elided]",
+                self.elided, self.elided_tokens
+            );
+            self.tokens += approx_tokens(&content);
+            self.messages.insert(
+                0,
+                ChatMessage {
+                    role: Role::System,
+                    task: task.expect("at least one message was elided"),
+                    content,
+                },
+            );
+        }
+        dropped
+    }
+
+    /// Would the history still exceed `budget` once the (re-inserted)
+    /// summary stub is accounted for? The stub costs ~20 tokens.
+    fn over_budget_without_stub(&self, budget: usize) -> bool {
+        self.total_tokens() + 20 > budget
     }
 }
 
@@ -373,6 +449,34 @@ pub trait RtlLanguageModel {
 
     /// Repair a syntax error.
     fn fix_syntax(&mut self, req: &SyntaxFixRequest<'_>) -> ModelOutput<String>;
+
+    /// Resolve one owned request against the matching scalar method.
+    ///
+    /// This is the bridge between the owned envelopes a scheduler queues
+    /// ([`crate::LlmRequest`]) and the borrowed request structs the
+    /// scalar methods consume; backends normally keep the default.
+    fn dispatch(&mut self, req: &crate::LlmRequest) -> crate::LlmResponse {
+        use crate::{LlmRequest, LlmResponse};
+        match req {
+            LlmRequest::RtlGen(c) => LlmResponse::Rtl(self.generate_rtl(&c.view())),
+            LlmRequest::TbGen(c) => LlmResponse::Tb(self.generate_testbench(&c.view())),
+            LlmRequest::JudgeTb(c) => LlmResponse::Judge(self.judge_testbench(&c.view())),
+            LlmRequest::DebugRtl(c) => LlmResponse::Debug(self.debug_rtl(&c.view())),
+            LlmRequest::FixSyntax(c) => LlmResponse::Syntax(self.fix_syntax(&c.view())),
+        }
+    }
+
+    /// Resolve a batch of requests; `out[i]` answers `batch[i]`.
+    ///
+    /// The default implementation is a scalar loop in batch order, so
+    /// every backend gets the batched surface for free. Backends with a
+    /// genuinely batched transport (one API call serving the whole
+    /// batch, one padded forward pass) override this — the scheduler in
+    /// `mage-serve` coalesces pending requests across concurrent jobs
+    /// into exactly one `generate_batch` call per dispatch cycle.
+    fn generate_batch(&mut self, batch: &[crate::LlmRequest]) -> Vec<crate::LlmResponse> {
+        batch.iter().map(|req| self.dispatch(req)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +493,47 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert_eq!(c.distinct_tasks(), 2);
         assert_eq!(c.total_tokens(), 30);
+    }
+
+    #[test]
+    fn compaction_bounds_tokens_and_keeps_last_exchange() {
+        let mut c = Conversation::new();
+        for i in 0..40 {
+            c.push(Role::User, TaskKind::DebugRtl, format!("prompt {i} {}", "p".repeat(400)));
+            c.push(Role::Assistant, TaskKind::DebugRtl, format!("reply {i} {}", "r".repeat(400)));
+        }
+        let before = c.total_tokens();
+        assert!(before > 4000);
+        let dropped = c.compact_to(1000);
+        assert!(dropped > 0);
+        assert!(c.total_tokens() <= 1000, "over budget: {}", c.total_tokens());
+        assert_eq!(c.elided(), dropped);
+        // The stub heads the history; the newest exchange survives.
+        assert!(c.messages()[0].content.contains("context summary"));
+        assert!(c.messages().last().unwrap().content.starts_with("reply 39"));
+        // Compacting again after more growth keeps exactly one stub.
+        for i in 40..60 {
+            c.push(Role::User, TaskKind::DebugRtl, format!("prompt {i} {}", "p".repeat(400)));
+            c.push(Role::Assistant, TaskKind::DebugRtl, format!("reply {i} {}", "r".repeat(400)));
+        }
+        c.compact_to(1000);
+        assert!(c.total_tokens() <= 1000);
+        let stubs = c
+            .messages()
+            .iter()
+            .filter(|m| m.content.contains("context summary"))
+            .count();
+        assert_eq!(stubs, 1);
+        assert!(c.elided() > dropped);
+    }
+
+    #[test]
+    fn compaction_is_a_noop_within_budget() {
+        let mut c = Conversation::new();
+        c.push(Role::User, TaskKind::GenerateRtl, "small");
+        let before = c.clone();
+        assert_eq!(c.compact_to(10_000), 0);
+        assert_eq!(c, before);
     }
 
     #[test]

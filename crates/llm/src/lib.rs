@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod api;
+mod batch;
 pub mod mutate;
 mod synthetic;
 
@@ -51,6 +52,9 @@ pub use api::{
     approx_tokens, ChatMessage, Conversation, DebugRequest, JudgeTbRequest, ModelOutput, Role,
     RtlGenRequest, RtlLanguageModel, SamplingParams, SyntaxFixRequest, TaskKind, TbGenRequest,
     TokenUsage,
+};
+pub use batch::{
+    DebugCall, JudgeTbCall, LlmRequest, LlmResponse, RtlGenCall, SyntaxFixCall, TbGenCall,
 };
 pub use synthetic::{
     corrupt_testbench_for_test, parse_feedback, ParsedFeedback, ProblemOracle, SyntheticModel,

@@ -447,7 +447,9 @@ impl LogicVec {
     /// Extract `width` bits starting at LSB-first offset `lsb`.
     ///
     /// Bits that fall outside the vector read as `X`, matching Verilog
-    /// out-of-range part-select semantics.
+    /// out-of-range part-select semantics. Runs word-parallel: each
+    /// output word is gathered with two shifts per plane, so wide-vector
+    /// part-selects cost `O(width/64)` instead of `O(width)`.
     ///
     /// # Panics
     ///
@@ -455,15 +457,20 @@ impl LogicVec {
     pub fn slice(&self, lsb: isize, width: usize) -> Self {
         assert!(width > 0, "slice width must be non-zero");
         let mut out = Self::new(width);
-        for i in 0..width {
-            let src = lsb + i as isize;
-            let bit = if src >= 0 {
-                self.get(src as usize).unwrap_or(LogicBit::X)
-            } else {
-                LogicBit::X
-            };
-            out.set_bit(i, bit);
+        {
+            let nbits = self.width;
+            let (sa, sb) = (self.aval(), self.bval());
+            let (oa, ob) = out.planes_mut();
+            for w in 0..oa.len() {
+                let start = lsb + (w as isize) * 64;
+                let (abits, valid) = extract_word(sa, nbits, start);
+                let (bbits, _) = extract_word(sb, nbits, start);
+                // Out-of-range bits read X, i.e. both planes set.
+                oa[w] = abits | !valid;
+                ob[w] = bbits | !valid;
+            }
         }
+        out.mask_top();
         out
     }
 
@@ -478,13 +485,27 @@ impl LogicVec {
 
     /// Overwrite `width` bits starting at `lsb` with bits from `value`
     /// (LSB-aligned). Bits outside the target range are ignored, matching a
-    /// Verilog out-of-range indexed store.
+    /// Verilog out-of-range indexed store. Word-parallel, like
+    /// [`LogicVec::slice`]: each touched destination word is merged with
+    /// one gather + mask per plane.
     pub fn write_slice(&mut self, lsb: isize, value: &LogicVec) {
-        for i in 0..value.width {
-            let dst = lsb + i as isize;
-            if dst >= 0 && (dst as usize) < self.width {
-                self.set_bit(dst as usize, value.bit(i));
+        let dwidth = self.width;
+        let vbits = value.width;
+        let (va, vb) = (value.aval(), value.bval());
+        let (da, db) = self.planes_mut();
+        for w in 0..da.len() {
+            // The value bit that lands at bit 0 of destination word `w`.
+            let start = (w as isize) * 64 - lsb;
+            let (abits, mut valid) = extract_word(va, vbits, start);
+            let (bbits, _) = extract_word(vb, vbits, start);
+            if (w + 1) * 64 > dwidth {
+                valid &= top_word_mask(dwidth);
             }
+            if valid == 0 {
+                continue;
+            }
+            da[w] = (da[w] & !valid) | (abits & valid);
+            db[w] = (db[w] & !valid) | (bbits & valid);
         }
     }
 
@@ -542,6 +563,46 @@ impl LogicVec {
         if let Some(last) = b.last_mut() {
             *last &= mask;
         }
+    }
+}
+
+/// Gather 64 bits of a plane (`words`, `nbits` significant bits)
+/// starting at bit offset `start` (may be negative). Returns the
+/// gathered bits (zeroed outside validity) and the mask of gathered
+/// positions that landed inside `[0, nbits)` — the word-parallel
+/// primitive behind [`LogicVec::slice`] and [`LogicVec::write_slice`].
+fn extract_word(words: &[u64], nbits: usize, start: isize) -> (u64, u64) {
+    let lo = (-start).clamp(0, 64) as usize;
+    let hi = (nbits as isize - start).clamp(0, 64) as usize;
+    if hi <= lo {
+        return (0, 0);
+    }
+    let valid = mask_range(lo, hi);
+    let bits = if start >= 0 {
+        let s = start as usize;
+        let w0 = s / 64;
+        let sh = s % 64;
+        let mut v = words.get(w0).copied().unwrap_or(0) >> sh;
+        if sh > 0 {
+            v |= words.get(w0 + 1).copied().unwrap_or(0) << (64 - sh);
+        }
+        v
+    } else {
+        // `start` in [-63, -1]: the gather begins left of the plane
+        // (starts further left were rejected by the validity check).
+        words[0] << ((-start) as usize)
+    };
+    (bits & valid, valid)
+}
+
+/// Ones at bit positions `[lo, hi)`; requires `lo < hi <= 64`.
+fn mask_range(lo: usize, hi: usize) -> u64 {
+    debug_assert!(lo < hi && hi <= 64);
+    let span = hi - lo;
+    if span == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << span) - 1) << lo
     }
 }
 

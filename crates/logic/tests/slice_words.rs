@@ -1,0 +1,121 @@
+//! Differential tests for the word-parallel `slice` / `write_slice`
+//! against an independent bit-by-bit reference, across word-boundary
+//! widths, negative offsets and out-of-range windows.
+
+use mage_logic::{LogicBit, LogicVec};
+use proptest::prelude::*;
+
+/// The naive per-bit semantics `slice` must preserve.
+fn slice_reference(v: &LogicVec, lsb: isize, width: usize) -> LogicVec {
+    let mut out = LogicVec::all_x(width);
+    for i in 0..width {
+        let src = lsb + i as isize;
+        let bit = if src >= 0 {
+            v.get(src as usize).unwrap_or(LogicBit::X)
+        } else {
+            LogicBit::X
+        };
+        out.set_bit(i, bit);
+    }
+    out
+}
+
+/// The naive per-bit semantics `write_slice` must preserve.
+fn write_slice_reference(dst: &LogicVec, lsb: isize, value: &LogicVec) -> LogicVec {
+    let mut out = dst.clone();
+    for i in 0..value.width() {
+        let d = lsb + i as isize;
+        if d >= 0 && (d as usize) < out.width() {
+            out.set_bit(d as usize, value.bit(i));
+        }
+    }
+    out
+}
+
+/// A four-state vector of the given width from a byte seed.
+fn patterned(width: usize, seed: u8) -> LogicVec {
+    let bits = (0..width).map(|i| {
+        match (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ seed as u64) >> 62 {
+            0 => LogicBit::Zero,
+            1 => LogicBit::One,
+            2 => LogicBit::X,
+            _ => LogicBit::Z,
+        }
+    });
+    LogicVec::from_bits_lsb_first(bits)
+}
+
+#[test]
+fn slice_matches_reference_on_boundaries() {
+    for &width in &[1usize, 7, 63, 64, 65, 127, 128, 129, 200] {
+        let v = patterned(width, width as u8);
+        for &lsb in &[-130isize, -65, -64, -63, -1, 0, 1, 31, 63, 64, 65, 100, 200, 260] {
+            for &w in &[1usize, 2, 63, 64, 65, 128, 130] {
+                let fast = v.slice(lsb, w);
+                let slow = slice_reference(&v, lsb, w);
+                assert_eq!(fast, slow, "slice(width={width}, lsb={lsb}, w={w})");
+            }
+        }
+    }
+}
+
+#[test]
+fn write_slice_matches_reference_on_boundaries() {
+    for &dwidth in &[1usize, 63, 64, 65, 127, 128, 129, 200] {
+        let dst = patterned(dwidth, 3);
+        for &vwidth in &[1usize, 7, 64, 65, 128] {
+            let val = patterned(vwidth, 11);
+            for &lsb in &[-130isize, -65, -64, -63, -1, 0, 1, 32, 63, 64, 65, 127, 199, 250] {
+                let mut fast = dst.clone();
+                fast.write_slice(lsb, &val);
+                let slow = write_slice_reference(&dst, lsb, &val);
+                assert_eq!(
+                    fast, slow,
+                    "write_slice(dwidth={dwidth}, vwidth={vwidth}, lsb={lsb})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn slice_matches_reference_prop(
+        width in 1usize..260,
+        seed in any::<u8>(),
+        lsb in -300isize..300,
+        w in 1usize..200,
+    ) {
+        let v = patterned(width, seed);
+        prop_assert_eq!(v.slice(lsb, w), slice_reference(&v, lsb, w));
+    }
+
+    #[test]
+    fn write_slice_matches_reference_prop(
+        dwidth in 1usize..260,
+        vwidth in 1usize..200,
+        seed in any::<u8>(),
+        lsb in -300isize..300,
+    ) {
+        let dst = patterned(dwidth, seed);
+        let val = patterned(vwidth, seed.wrapping_add(31));
+        let mut fast = dst.clone();
+        fast.write_slice(lsb, &val);
+        prop_assert_eq!(fast, write_slice_reference(&dst, lsb, &val));
+    }
+
+    #[test]
+    fn roundtrip_write_then_slice(
+        dwidth in 1usize..200,
+        vwidth in 1usize..64,
+        lsb in 0isize..200,
+        seed in any::<u8>(),
+    ) {
+        // Any in-range window written then read back is identity.
+        prop_assume!((lsb as usize) + vwidth <= dwidth);
+        let mut dst = patterned(dwidth, seed);
+        let val = patterned(vwidth, seed.wrapping_mul(7).wrapping_add(1));
+        dst.write_slice(lsb, &val);
+        prop_assert_eq!(dst.slice(lsb, vwidth), val);
+    }
+}

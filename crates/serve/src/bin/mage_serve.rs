@@ -1,0 +1,184 @@
+//! `mage-serve`: drive the full problem registry as a concurrent job
+//! stream and report throughput, latency, token and batching stats.
+//!
+//! ```text
+//! Usage: mage-serve [options]
+//!   --suite v1|v2|all     problem suite to stream        [all]
+//!   --runs N              jobs per problem               [1]
+//!   --workers N           sim worker threads             [available]
+//!   --max-in-flight N     admission cap (0 = unlimited)  [32]
+//!   --seed S              master seed                    [0xCAFE]
+//!   --budget T            per-agent context token budget [4000]
+//!   --low                 low-temperature config (default high)
+//!   --scalar              disable LLM batching (one call per request)
+//!   --no-grade            skip grading final answers
+//! ```
+
+use mage_core::experiments::unit_seed;
+use mage_core::{MageConfig, SystemKind};
+use mage_problems::SuiteId;
+use mage_serve::{synthetic_service, JobSpec, ServeEngine, ServeOptions};
+
+struct Args {
+    suite: String,
+    runs: usize,
+    workers: usize,
+    max_in_flight: usize,
+    seed: u64,
+    budget: usize,
+    low: bool,
+    scalar: bool,
+    grade: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        suite: "all".to_string(),
+        runs: 1,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        max_in_flight: 32,
+        seed: 0xCAFE,
+        budget: 4000,
+        low: false,
+        scalar: false,
+        grade: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--suite" => args.suite = value("--suite"),
+            "--runs" => args.runs = value("--runs").parse().expect("--runs N"),
+            "--workers" => args.workers = value("--workers").parse().expect("--workers N"),
+            "--max-in-flight" => {
+                args.max_in_flight = value("--max-in-flight").parse().expect("--max-in-flight N")
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed S"),
+            "--budget" => args.budget = value("--budget").parse().expect("--budget T"),
+            "--low" => args.low = true,
+            "--scalar" => args.scalar = true,
+            "--no-grade" => args.grade = false,
+            "--help" | "-h" => {
+                println!("see module docs: cargo doc -p mage-serve --bin mage-serve");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag `{other}` (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let problems: Vec<&'static mage_problems::Problem> = match args.suite.as_str() {
+        "v1" => mage_problems::suite(SuiteId::V1Human),
+        "v2" => mage_problems::suite(SuiteId::V2),
+        "all" => mage_problems::all_problems(),
+        other => panic!("unknown suite `{other}` (v1|v2|all)"),
+    };
+
+    let mut config = if args.low {
+        MageConfig::low_temperature()
+    } else {
+        MageConfig::high_temperature()
+    }
+    .with_system(SystemKind::Mage);
+    if args.budget > 0 {
+        config = config.with_context_budget(args.budget);
+    }
+
+    // The job stream: runs × problems, in (run, problem) order.
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for run in 0..args.runs {
+        for p in &problems {
+            specs.push(JobSpec {
+                problem_id: p.id.to_string(),
+                spec: p.spec.to_string(),
+                config: config.clone(),
+                seed: unit_seed(args.seed, run, p.id),
+            });
+        }
+    }
+
+    let service = synthetic_service(&specs);
+
+    let opts = ServeOptions {
+        workers: args.workers,
+        batch_llm: !args.scalar,
+        max_in_flight: args.max_in_flight,
+    };
+    println!(
+        "mage-serve: {} jobs ({} problems x {} runs), {} workers, batching {}, cap {}",
+        specs.len(),
+        problems.len(),
+        args.runs,
+        opts.workers,
+        if opts.batch_llm { "on" } else { "off" },
+        if opts.max_in_flight == 0 {
+            "unlimited".to_string()
+        } else {
+            opts.max_in_flight.to_string()
+        },
+    );
+
+    let mut engine = ServeEngine::new(opts, service);
+    for spec in specs {
+        engine.push_job(spec);
+    }
+    engine.run();
+    let report = engine.report();
+
+    // Grade final answers against the (cached) benchmark benches.
+    let mut passed = 0usize;
+    let mut graded = 0usize;
+    let mut score_sum = 0.0f64;
+    if args.grade {
+        for (_, trace) in engine.traces() {
+            let p = mage_problems::by_id(&trace.problem_id).expect("registry problem");
+            graded += 1;
+            score_sum += trace.final_score;
+            if mage_core::experiments::grade(p, &trace.final_source) {
+                passed += 1;
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "jobs        {:>8} done / {} pushed in {} rounds",
+        report.done, report.jobs, report.stats.rounds
+    );
+    println!(
+        "throughput  {:>8.2} jobs/s   wall {:.2}s   latency mean {:.2}s max {:.2}s",
+        report.jobs_per_sec, report.wall_s, report.mean_latency_s, report.max_latency_s
+    );
+    println!(
+        "llm         {:>8} requests in {} dispatch calls ({:.1} avg/batch)",
+        report.stats.llm_requests,
+        report.stats.llm_batch_calls,
+        report.stats.llm_requests as f64 / report.stats.llm_batch_calls.max(1) as f64
+    );
+    println!(
+        "sim         {:>8} requests   design cache {} hits / {} misses ({:.1}% hit)",
+        report.stats.sim_requests,
+        report.cache_hits,
+        report.cache_misses,
+        100.0 * report.cache_hits as f64 / (report.cache_hits + report.cache_misses).max(1) as f64
+    );
+    println!(
+        "tokens      {:>8} prompt + {} completion",
+        report.stats.total_usage.prompt, report.stats.total_usage.completion
+    );
+    if args.grade && graded > 0 {
+        println!(
+            "grading     {:>8.3} pass rate ({passed}/{graded})   mean engine score {:.3}",
+            passed as f64 / graded as f64,
+            score_sum / graded as f64
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The shared elaboration cache.
+
+use mage_core::compile;
+use mage_sim::Design;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default entry bound: comfortably above any one round's working set,
+/// small enough that a day-long stream cannot grow without limit.
+pub const DEFAULT_CACHE_CAPACITY: usize = 8192;
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<u64, Result<Arc<Design>, String>>,
+    /// Insertion order, for FIFO eviction at capacity.
+    order: VecDeque<u64>,
+}
+
+/// A bounded map from candidate source text to its elaboration result,
+/// shared by every job (and every engine) holding the same
+/// `Arc<DesignCache>`.
+///
+/// Keying: `fnv1a(source bytes)` over the *full* source text.
+/// Elaboration ([`mage_core::compile`]) is a pure function of that
+/// text, so entries are schedule-independent facts — sharing them
+/// across jobs cannot leak state between solves, and evicting one only
+/// costs a recompile (the determinism suite verifies warmth changes
+/// nothing). Both successes (`Arc<Design>`) and failures (the
+/// diagnostic string fed to the syntax-repair loop) are cached; the
+/// syntax loop re-probes the same broken source often.
+///
+/// Capacity: at most `capacity` entries, evicted oldest-first — under
+/// high-temperature sampling most candidates are unique, so an
+/// unbounded cache would grow with the length of the job stream.
+#[derive(Debug)]
+pub struct DesignCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for DesignCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl DesignCache {
+    /// An empty cache with the [default capacity](DEFAULT_CACHE_CAPACITY).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache bounded to `capacity` entries (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        DesignCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Look up `source`, elaborating on a miss. Two workers racing on
+    /// the same new source may both compile; the results are identical
+    /// and the first insert wins, so callers observe one canonical
+    /// entry either way.
+    pub fn get_or_compile(&self, source: &str) -> Result<Arc<Design>, String> {
+        let key = mage_logic::fnv1a(source.as_bytes());
+        if let Some(hit) = self.inner.lock().expect("design cache poisoned").map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        // Compile outside the lock: elaboration is the expensive part,
+        // and serializing it would defeat the sim worker pool.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = compile(source);
+        let mut inner = self.inner.lock().expect("design cache poisoned");
+        if let Some(raced) = inner.map.get(&key) {
+            return raced.clone();
+        }
+        if self.capacity > 0 {
+            while inner.map.len() >= self.capacity {
+                match inner.order.pop_front() {
+                    Some(oldest) => {
+                        inner.map.remove(&oldest);
+                    }
+                    None => break,
+                }
+            }
+        }
+        inner.map.insert(key, result.clone());
+        inner.order.push_back(key);
+        result
+    }
+
+    /// Number of distinct sources cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("design cache poisoned").map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entry bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that compiled.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "module top_module(input a, output y); assign y = a; endmodule";
+    const BAD: &str = "module top_module(input a, output y assign y = a; endmodule";
+
+    #[test]
+    fn caches_successes_and_failures() {
+        let cache = DesignCache::new();
+        let d1 = cache.get_or_compile(GOOD).expect("elaborates");
+        let d2 = cache.get_or_compile(GOOD).expect("elaborates");
+        assert!(Arc::ptr_eq(&d1, &d2), "second lookup must reuse the design");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        let e1 = cache.get_or_compile(BAD).unwrap_err();
+        let e2 = cache.get_or_compile(BAD).unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_result_matches_direct_compile() {
+        let cache = DesignCache::new();
+        assert_eq!(cache.get_or_compile(GOOD).is_ok(), compile(GOOD).is_ok());
+        assert_eq!(
+            cache.get_or_compile(BAD).unwrap_err(),
+            compile(BAD).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = DesignCache::with_capacity(2);
+        let src = |name: &str| {
+            format!("module {name}(input a, output y); assign y = a; endmodule")
+        };
+        let (a, b, c) = (src("m_a"), src("m_b"), src("m_c"));
+        cache.get_or_compile(&a).unwrap();
+        cache.get_or_compile(&b).unwrap();
+        assert_eq!(cache.len(), 2);
+        cache.get_or_compile(&c).unwrap(); // evicts a
+        assert_eq!(cache.len(), 2);
+        // b and c still hit; a recompiles (a miss), with identical result.
+        let misses = cache.misses();
+        cache.get_or_compile(&b).unwrap();
+        cache.get_or_compile(&c).unwrap();
+        assert_eq!(cache.misses(), misses);
+        let again = cache.get_or_compile(&a).unwrap();
+        assert_eq!(cache.misses(), misses + 1);
+        // The recompile is a fresh but equivalent elaboration.
+        assert!(!Arc::ptr_eq(&again, &cache.get_or_compile(&b).unwrap()));
+        assert!(compile(&a).is_ok());
+    }
+}

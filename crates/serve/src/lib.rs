@@ -1,0 +1,70 @@
+//! `mage-serve`: a concurrent solve-job engine over the resumable MAGE
+//! state machine — many solves in flight, batched LLM dispatch, shared
+//! simulation results, deterministic answers.
+//!
+//! # The state-machine protocol
+//!
+//! A solve is a [`mage_core::SolveJob`]: a plain value that yields, one
+//! at a time, the external effects it needs —
+//!
+//! ```text
+//!   NeedLlm(LlmRequest)  — a model call (owned; queueable; batchable)
+//!   NeedSim(SimRequest)  — compile and/or score a candidate
+//!   Done(SolveTrace)     — terminal
+//! ```
+//!
+//! — and consumes their answers through `advance(StepInput)`. Because a
+//! job never blocks, the [`ServeEngine`] can interleave hundreds of
+//! them in **rounds** (bulk-synchronous style):
+//!
+//! 1. *Admit* queued jobs up to `max_in_flight`, in job order.
+//! 2. *Advance* every runnable job once with its resolved input; jobs
+//!    that finish retire with their [`mage_core::SolveTrace`].
+//! 3. *Dispatch LLM*: all `NeedLlm` requests of the round — across all
+//!    jobs — go to the [`LlmService`] as **one batch** (one
+//!    [`mage_llm::RtlLanguageModel::generate_batch`]-shaped call when
+//!    batching is on, scalar calls when off).
+//! 4. *Simulate*: all `NeedSim` requests run on a pool of `workers`
+//!    threads, compiling through the shared [`DesignCache`].
+//!
+//! # Determinism
+//!
+//! Rounds are barriers, so the *schedule* — which requests coalesce
+//! into which batch, and in which order — is a pure function of job
+//! states, never of thread timing. With per-job models
+//! ([`PerJobModels`], one independently seeded backend per job) every
+//! trace is bit-identical whether the engine runs with 1, 2 or 8
+//! workers, and identical to driving each job alone through
+//! [`mage_core::Mage::solve`]. The determinism suite sweeps exactly
+//! this.
+//!
+//! # Cache keying
+//!
+//! The [`DesignCache`] maps `fnv1a(source text) → elaboration result`.
+//! Elaboration is a pure function of the source, so a cache entry is
+//! valid for every job, ablation and bench — identical candidates
+//! (common under sampling: many jobs rediscover the golden design or
+//! the same near-miss) elaborate once per stream instead of once per
+//! encounter. Scores are **not** shared across jobs: they depend on the
+//! job's generated bench, and stay in the job's private score cache.
+//!
+//! # Checkpointing
+//!
+//! A running job can be [`ServeEngine::checkpoint`]ed — lifted out of
+//! the engine as a value (job state + pending input + its model state
+//! from the service) — held arbitrarily long, and
+//! [`ServeEngine::restore`]d into the same or another engine, resuming
+//! mid-solve with bit-identical results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod scheduler;
+mod service;
+
+pub use cache::DesignCache;
+pub use scheduler::{
+    JobCheckpoint, JobId, JobSpec, ServeEngine, ServeOptions, ServeReport, ServeStats,
+};
+pub use service::{synthetic_service, LlmService, PerJobModels, SharedModel};

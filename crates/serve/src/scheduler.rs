@@ -1,0 +1,483 @@
+//! The round-based job engine. See the crate docs for the protocol.
+
+use crate::cache::DesignCache;
+use crate::service::LlmService;
+use mage_core::solvejob::{execute_sim_with, SimRequest, SolveJob, SolveStep, StepInput};
+use mage_core::{MageConfig, SolveTrace};
+use mage_llm::{LlmRequest, TokenUsage};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifies a job within one [`ServeEngine`] (its index in push
+/// order; also the key the [`LlmService`] sees).
+pub type JobId = usize;
+
+/// Everything needed to start one solve.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Problem id (keys the model's oracle and the trace).
+    pub problem_id: String,
+    /// Natural-language specification.
+    pub spec: String,
+    /// Engine configuration for this job.
+    pub config: MageConfig,
+    /// Per-job model seed (consumed by the service's factory).
+    pub seed: u64,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Sim worker threads per round (≥ 1). Results are identical at any
+    /// value; this only sets how much simulation runs concurrently.
+    pub workers: usize,
+    /// Coalesce each round's LLM requests into one service batch. When
+    /// `false`, every request is its own dispatch call (the scalar
+    /// baseline `bench_engine` compares against).
+    pub batch_llm: bool,
+    /// Admission cap: at most this many jobs in flight (0 = unlimited).
+    /// Bounds memory on long streams and staggers job start times.
+    pub max_in_flight: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            batch_llm: true,
+            max_in_flight: 0,
+        }
+    }
+}
+
+/// Dispatch counters of one engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Rounds stepped.
+    pub rounds: usize,
+    /// Individual LLM requests resolved.
+    pub llm_requests: usize,
+    /// Dispatch calls made to the [`LlmService`]. With batching on this
+    /// is one per round that had requests — strictly fewer than
+    /// `llm_requests` whenever jobs overlap; with batching off the two
+    /// counters are equal.
+    pub llm_batch_calls: usize,
+    /// Simulation requests executed.
+    pub sim_requests: usize,
+    /// Jobs retired.
+    pub jobs_done: usize,
+    /// Token usage summed over retired jobs.
+    pub total_usage: TokenUsage,
+}
+
+/// Aggregated results of an engine run (see [`ServeEngine::report`]).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Jobs pushed.
+    pub jobs: usize,
+    /// Jobs retired.
+    pub done: usize,
+    /// Dispatch counters.
+    pub stats: ServeStats,
+    /// Design-cache hits at report time.
+    pub cache_hits: usize,
+    /// Design-cache misses at report time.
+    pub cache_misses: usize,
+    /// Wall-clock seconds spent inside [`ServeEngine::run`].
+    pub wall_s: f64,
+    /// Retired jobs per wall second (0 when nothing ran).
+    pub jobs_per_sec: f64,
+    /// Mean per-job latency (admission → retirement), seconds.
+    pub mean_latency_s: f64,
+    /// Slowest per-job latency, seconds.
+    pub max_latency_s: f64,
+}
+
+enum JobPhase {
+    /// Waiting for an admission slot.
+    Queued,
+    /// In flight.
+    Running(Box<SolveJob>),
+    /// Lifted out by [`ServeEngine::checkpoint`].
+    Parked,
+    /// Retired.
+    Done(Box<SolveTrace>),
+}
+
+struct JobSlot {
+    spec: JobSpec,
+    phase: JobPhase,
+    /// Resolved input awaiting the next advance.
+    input: Option<StepInput>,
+    paused: bool,
+    started_at: Option<Instant>,
+    /// Active time accrued before a checkpoint (restored jobs resume
+    /// their latency clock rather than restarting it).
+    accrued: Duration,
+    latency: Option<Duration>,
+}
+
+/// A mid-solve job lifted out of an engine: the state machine, its
+/// pending input, and the backend state the service held for it. A
+/// plain value — hold it, ship it, [`ServeEngine::restore`] it later.
+pub struct JobCheckpoint {
+    /// The job's spec (re-used on restore).
+    pub spec: JobSpec,
+    job: Box<SolveJob>,
+    input: Option<StepInput>,
+    model_state: Option<Box<dyn std::any::Any + Send>>,
+    /// Active time spent before the checkpoint (latency carries over).
+    accrued: Duration,
+}
+
+/// The concurrent solve engine. See the crate docs for the round
+/// protocol and determinism argument.
+pub struct ServeEngine<S: LlmService> {
+    opts: ServeOptions,
+    service: S,
+    cache: Arc<DesignCache>,
+    jobs: Vec<JobSlot>,
+    /// Ids of jobs still queued or running — what a round iterates, so
+    /// long streams do not rescan retired slots every round.
+    live: Vec<JobId>,
+    /// Count of slots currently in `JobPhase::Running`.
+    running: usize,
+    stats: ServeStats,
+    wall: Duration,
+}
+
+impl<S: LlmService> ServeEngine<S> {
+    /// An engine with a fresh private [`DesignCache`].
+    pub fn new(opts: ServeOptions, service: S) -> Self {
+        Self::with_cache(opts, service, Arc::new(DesignCache::new()))
+    }
+
+    /// An engine compiling through a shared cache (e.g. one cache
+    /// spanning several engines or a warm cache from a prior stream).
+    pub fn with_cache(opts: ServeOptions, service: S, cache: Arc<DesignCache>) -> Self {
+        assert!(opts.workers >= 1, "at least one sim worker");
+        ServeEngine {
+            opts,
+            service,
+            cache,
+            jobs: Vec::new(),
+            live: Vec::new(),
+            running: 0,
+            stats: ServeStats::default(),
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Queue a job; it is admitted in push order as slots free up.
+    pub fn push_job(&mut self, spec: JobSpec) -> JobId {
+        let id = self.jobs.len();
+        self.jobs.push(JobSlot {
+            spec,
+            phase: JobPhase::Queued,
+            input: None,
+            paused: false,
+            started_at: None,
+            accrued: Duration::ZERO,
+            latency: None,
+        });
+        self.live.push(id);
+        id
+    }
+
+    /// The shared design cache.
+    pub fn cache(&self) -> &Arc<DesignCache> {
+        &self.cache
+    }
+
+    /// Dispatch counters so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The service (e.g. to inspect live model count).
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// The trace of a retired job.
+    pub fn trace(&self, id: JobId) -> Option<&SolveTrace> {
+        match &self.jobs.get(id)?.phase {
+            JobPhase::Done(trace) => Some(trace),
+            _ => None,
+        }
+    }
+
+    /// Traces of all retired jobs, in job order.
+    pub fn traces(&self) -> Vec<(JobId, &SolveTrace)> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| match &slot.phase {
+                JobPhase::Done(trace) => Some((id, trace.as_ref())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Admission-to-retirement latency of a retired job.
+    pub fn job_latency(&self, id: JobId) -> Option<Duration> {
+        self.jobs.get(id)?.latency
+    }
+
+    /// Pause a job: it keeps its slot and state but is not advanced (a
+    /// queued job is also not admitted) until [`ServeEngine::resume_job`].
+    pub fn pause_job(&mut self, id: JobId) {
+        if let Some(slot) = self.jobs.get_mut(id) {
+            slot.paused = true;
+        }
+    }
+
+    /// Resume a paused job.
+    pub fn resume_job(&mut self, id: JobId) {
+        if let Some(slot) = self.jobs.get_mut(id) {
+            slot.paused = false;
+        }
+    }
+
+    /// Lift a running job out of the engine mid-solve. Its slot becomes
+    /// `Parked` (never advanced again); the returned checkpoint carries
+    /// the state machine, the pending input, and the model state the
+    /// service held for the job.
+    pub fn checkpoint(&mut self, id: JobId) -> Option<JobCheckpoint> {
+        let slot = self.jobs.get_mut(id)?;
+        if !matches!(slot.phase, JobPhase::Running(_)) {
+            return None;
+        }
+        let JobPhase::Running(job) = std::mem::replace(&mut slot.phase, JobPhase::Parked) else {
+            unreachable!("checked above");
+        };
+        self.live.retain(|&lid| lid != id);
+        self.running -= 1;
+        Some(JobCheckpoint {
+            spec: slot.spec.clone(),
+            job,
+            input: slot.input.take(),
+            model_state: self.service.export_job(id),
+            accrued: slot.accrued
+                + slot
+                    .started_at
+                    .map(|t| t.elapsed())
+                    .unwrap_or(Duration::ZERO),
+        })
+    }
+
+    /// Insert a checkpointed job (possibly from another engine) as a
+    /// new job of this one, resuming exactly where it left off. The
+    /// job's latency clock carries over from before the checkpoint.
+    ///
+    /// A restored job takes an in-flight slot immediately — it must
+    /// resume with its exact state, so it is never re-queued. This can
+    /// transiently exceed `max_in_flight`; the restored job counts
+    /// toward the cap, so further *admissions* stall until the stream
+    /// drains back below it.
+    ///
+    /// Service contract: for a *stateful* per-job service (e.g.
+    /// [`crate::PerJobModels`]) the checkpoint must carry the exported
+    /// model state — which it does whenever the source engine used the
+    /// same service type, since [`LlmService::export_job`] runs at
+    /// checkpoint time. Restoring a stateless-service checkpoint (e.g.
+    /// from [`crate::SharedModel`]) into a per-job service has no model
+    /// state to attach; the target's factory then decides — the
+    /// synthetic factory panics rather than seed a wrong model.
+    pub fn restore(&mut self, ck: JobCheckpoint) -> JobId {
+        let id = self.jobs.len();
+        if let Some(state) = ck.model_state {
+            self.service.import_job(id, state);
+        }
+        self.jobs.push(JobSlot {
+            spec: ck.spec,
+            phase: JobPhase::Running(ck.job),
+            input: ck.input,
+            paused: false,
+            started_at: Some(Instant::now()),
+            accrued: ck.accrued,
+            latency: None,
+        });
+        self.live.push(id);
+        self.running += 1;
+        id
+    }
+
+    fn admission_cap(&self) -> usize {
+        if self.opts.max_in_flight == 0 {
+            usize::MAX
+        } else {
+            self.opts.max_in_flight
+        }
+    }
+
+    /// Is there anything a further round could do?
+    fn progress_possible(&self) -> bool {
+        let can_advance = self.live.iter().any(|&id| {
+            let j = &self.jobs[id];
+            !j.paused && matches!(j.phase, JobPhase::Running(_)) && j.input.is_some()
+        });
+        if can_advance {
+            return true;
+        }
+        let can_admit = self.live.iter().any(|&id| {
+            let j = &self.jobs[id];
+            !j.paused && matches!(j.phase, JobPhase::Queued)
+        });
+        can_admit && self.running < self.admission_cap()
+    }
+
+    /// Execute one round (admit → advance → dispatch LLM batch → run
+    /// sims). Returns `true` while a further round could make progress —
+    /// `false` means every job is retired, parked or paused.
+    pub fn step_round(&mut self) -> bool {
+        // 1. Admission, in job order over the live set.
+        let cap = self.admission_cap();
+        for ix in 0..self.live.len() {
+            if self.running >= cap {
+                break;
+            }
+            let slot = &mut self.jobs[self.live[ix]];
+            if matches!(slot.phase, JobPhase::Queued) && !slot.paused {
+                let job = SolveJob::new(
+                    &slot.spec.problem_id,
+                    &slot.spec.spec,
+                    slot.spec.config.clone(),
+                );
+                slot.phase = JobPhase::Running(Box::new(job));
+                slot.input = Some(StepInput::Start);
+                slot.started_at = Some(Instant::now());
+                self.running += 1;
+            }
+        }
+
+        // 2. Advance every runnable job once, in job order.
+        let mut llm_needs: Vec<(JobId, LlmRequest)> = Vec::new();
+        let mut sim_needs: Vec<(JobId, SimRequest)> = Vec::new();
+        let mut retired: Vec<JobId> = Vec::new();
+        for ix in 0..self.live.len() {
+            let id = self.live[ix];
+            let slot = &mut self.jobs[id];
+            if slot.paused {
+                continue;
+            }
+            let JobPhase::Running(job) = &mut slot.phase else {
+                continue;
+            };
+            let Some(input) = slot.input.take() else {
+                continue;
+            };
+            match job.advance(input) {
+                SolveStep::NeedLlm(req) => llm_needs.push((id, req)),
+                SolveStep::NeedSim(req) => sim_needs.push((id, req)),
+                SolveStep::Done(trace) => {
+                    self.stats.jobs_done += 1;
+                    self.stats.total_usage += trace.usage;
+                    slot.latency = Some(
+                        slot.accrued
+                            + slot
+                                .started_at
+                                .map(|t| t.elapsed())
+                                .unwrap_or(Duration::ZERO),
+                    );
+                    slot.phase = JobPhase::Done(trace);
+                    retired.push(id);
+                }
+            }
+        }
+        if !retired.is_empty() {
+            self.running -= retired.len();
+            self.live.retain(|id| !retired.contains(id));
+            for id in retired {
+                self.service.finish_job(id);
+            }
+        }
+
+        // 3. LLM dispatch: the whole round's requests as one batch, or
+        //    scalar calls when batching is off.
+        if !llm_needs.is_empty() {
+            self.stats.llm_requests += llm_needs.len();
+            if self.opts.batch_llm {
+                self.stats.llm_batch_calls += 1;
+                let ids: Vec<JobId> = llm_needs.iter().map(|(id, _)| *id).collect();
+                let responses = self.service.run_batch(llm_needs);
+                assert_eq!(
+                    responses.len(),
+                    ids.len(),
+                    "LlmService returned a short batch"
+                );
+                for (id, resp) in ids.into_iter().zip(responses) {
+                    self.jobs[id].input = Some(StepInput::Llm(resp));
+                }
+            } else {
+                for (id, req) in llm_needs {
+                    self.stats.llm_batch_calls += 1;
+                    let resp = self
+                        .service
+                        .run_batch(vec![(id, req)])
+                        .pop()
+                        .expect("one response for one request");
+                    self.jobs[id].input = Some(StepInput::Llm(resp));
+                }
+            }
+        }
+
+        // 4. Simulation on the worker pool, through the shared cache.
+        if !sim_needs.is_empty() {
+            self.stats.sim_requests += sim_needs.len();
+            let cache = Arc::clone(&self.cache);
+            let outcomes = rayon::scoped_map(self.opts.workers, sim_needs, move |(id, req)| {
+                let outcome = execute_sim_with(&req, |src| cache.get_or_compile(src));
+                (id, outcome)
+            });
+            for (id, outcome) in outcomes {
+                self.jobs[id].input = Some(StepInput::Sim(outcome));
+            }
+        }
+
+        self.stats.rounds += 1;
+        self.progress_possible()
+    }
+
+    /// Run rounds until no further progress is possible (all jobs
+    /// retired, parked, or paused), returning the stats.
+    pub fn run(&mut self) -> &ServeStats {
+        let t0 = Instant::now();
+        while self.step_round() {}
+        self.wall += t0.elapsed();
+        &self.stats
+    }
+
+    /// Aggregate the engine's counters, cache statistics and latency
+    /// distribution into a [`ServeReport`].
+    pub fn report(&self) -> ServeReport {
+        let latencies: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.latency)
+            .map(|d| d.as_secs_f64())
+            .collect();
+        let wall_s = self.wall.as_secs_f64();
+        ServeReport {
+            jobs: self.jobs.len(),
+            done: self.stats.jobs_done,
+            stats: self.stats.clone(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            wall_s,
+            jobs_per_sec: if wall_s > 0.0 {
+                self.stats.jobs_done as f64 / wall_s
+            } else {
+                0.0
+            },
+            mean_latency_s: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            max_latency_s: latencies.iter().cloned().fold(0.0, f64::max),
+        }
+    }
+}

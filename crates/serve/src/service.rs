@@ -1,0 +1,152 @@
+//! LLM dispatch services: how a round's coalesced request batch reaches
+//! model backends.
+
+use crate::scheduler::{JobId, JobSpec};
+use mage_llm::{LlmRequest, LlmResponse, RtlLanguageModel, SyntheticModel, SyntheticModelConfig};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// The scheduler-facing dispatch surface. One call resolves one round's
+/// batch of `(job, request)` pairs; `out[i]` answers `batch[i]`.
+///
+/// Implementations decide how jobs map to backends:
+/// [`PerJobModels`] keeps one independently seeded model per job (full
+/// per-job determinism — the default for the synthetic channel);
+/// [`SharedModel`] forwards the whole batch to a single backend's
+/// [`RtlLanguageModel::generate_batch`] (the real-deployment shape,
+/// where batching amortizes one inference pass across jobs).
+pub trait LlmService {
+    /// Resolve a batch in order.
+    fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<LlmResponse>;
+
+    /// A job retired; drop any per-job state so a long stream's memory
+    /// stays bounded. Default: nothing to drop.
+    fn finish_job(&mut self, id: JobId) {
+        let _ = id;
+    }
+
+    /// Detach the per-job backend state for a checkpoint (paired with
+    /// [`LlmService::import_job`]). Default: stateless, nothing to move.
+    fn export_job(&mut self, id: JobId) -> Option<Box<dyn Any + Send>> {
+        let _ = id;
+        None
+    }
+
+    /// Re-attach backend state exported by another (or the same)
+    /// service instance. Default: drop it.
+    fn import_job(&mut self, id: JobId, state: Box<dyn Any + Send>) {
+        let _ = (id, state);
+    }
+}
+
+/// One model instance per job, created on first use by a factory —
+/// mirrors `evaluate_suite`'s per-unit seeding, so every job's stream
+/// of completions is independent of what other jobs are co-scheduled
+/// (and of worker count). Models of finished jobs are dropped.
+pub struct PerJobModels<M, F> {
+    factory: F,
+    models: HashMap<JobId, M>,
+}
+
+impl<M, F: Fn(JobId) -> M> PerJobModels<M, F> {
+    /// A service whose `factory` builds the (seeded) model of a job.
+    pub fn new(factory: F) -> Self {
+        PerJobModels {
+            factory,
+            models: HashMap::new(),
+        }
+    }
+
+    /// Models currently held (in-flight jobs only).
+    pub fn live_models(&self) -> usize {
+        self.models.len()
+    }
+}
+
+impl<M, F> LlmService for PerJobModels<M, F>
+where
+    M: RtlLanguageModel + Send + 'static,
+    F: Fn(JobId) -> M,
+{
+    fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<LlmResponse> {
+        batch
+            .into_iter()
+            .map(|(id, req)| {
+                if !self.models.contains_key(&id) {
+                    let model = (self.factory)(id);
+                    self.models.insert(id, model);
+                }
+                self.models
+                    .get_mut(&id)
+                    .expect("just inserted")
+                    .dispatch(&req)
+            })
+            .collect()
+    }
+
+    fn finish_job(&mut self, id: JobId) {
+        self.models.remove(&id);
+    }
+
+    fn export_job(&mut self, id: JobId) -> Option<Box<dyn Any + Send>> {
+        self.models
+            .remove(&id)
+            .map(|m| Box::new(m) as Box<dyn Any + Send>)
+    }
+
+    fn import_job(&mut self, id: JobId, state: Box<dyn Any + Send>) {
+        match state.downcast::<M>() {
+            Ok(model) => {
+                self.models.insert(id, *model);
+            }
+            Err(_) => panic!("imported job state is not this service's model type"),
+        }
+    }
+}
+
+/// The standard service for a synthetic-channel job stream: job `id`'s
+/// model is a fresh [`SyntheticModel`] seeded with `specs[id].seed` and
+/// registered with that problem's oracle (looked up in the registry by
+/// `specs[id].problem_id`). Shared by the `mage-serve` binary,
+/// `bench_engine`, and the determinism suite, so they all seed
+/// identically.
+pub fn synthetic_service(
+    specs: &[JobSpec],
+) -> PerJobModels<SyntheticModel, impl Fn(JobId) -> SyntheticModel> {
+    let keyed: Vec<(String, u64)> = specs
+        .iter()
+        .map(|s| (s.problem_id.clone(), s.seed))
+        .collect();
+    PerJobModels::new(move |id: JobId| {
+        // A lookup past the spec table means a job this service never
+        // knew about is asking for a model — typically a checkpoint
+        // restored from a service that did not export model state (see
+        // `ServeEngine::restore`). Fail loudly rather than fabricate a
+        // model for the wrong problem.
+        let (problem_id, seed) = keyed.get(id).unwrap_or_else(|| {
+            panic!(
+                "job {id} has no spec entry in this synthetic_service \
+                 (restored checkpoint without exported model state?)"
+            )
+        });
+        let p = mage_problems::by_id(problem_id).expect("problem registered in the registry");
+        let mut model = SyntheticModel::new(SyntheticModelConfig::default(), *seed);
+        model.register(p.id, p.oracle(*seed));
+        model
+    })
+}
+
+/// One shared backend serving every job: each round's coalesced batch
+/// becomes exactly one [`RtlLanguageModel::generate_batch`] call — the
+/// shape of a production deployment where the batch rides one inference
+/// pass. Deterministic for a fixed job stream (the round schedule is
+/// worker-count-independent), but unlike [`PerJobModels`] a stateful
+/// backend entangles co-scheduled jobs at high temperature.
+pub struct SharedModel<M>(pub M);
+
+impl<M: RtlLanguageModel> LlmService for SharedModel<M> {
+    fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<LlmResponse> {
+        let reqs: Vec<LlmRequest> = batch.into_iter().map(|(_, req)| req).collect();
+        self.0.generate_batch(&reqs)
+    }
+}

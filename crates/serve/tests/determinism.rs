@@ -1,0 +1,130 @@
+//! Scheduler determinism: the same job stream must produce bit-identical
+//! `SolveTrace`s whatever the worker count, batching mode, admission
+//! cap, or cache warmth — and must match the single-job engine exactly.
+
+use mage_core::{Mage, MageConfig, SolveTrace, Task};
+use mage_llm::{SyntheticModel, SyntheticModelConfig};
+use mage_serve::{synthetic_service, DesignCache, JobSpec, ServeEngine, ServeOptions};
+use std::sync::Arc;
+
+const PROBLEMS: [&str; 4] = [
+    "prob012_mux4_case",
+    "prob029_alu4",
+    "prob044_pipeline2",
+    "prob010_mux2",
+];
+
+fn specs(runs: usize) -> Vec<JobSpec> {
+    let mut out = Vec::new();
+    for run in 0..runs {
+        for (pix, id) in PROBLEMS.iter().enumerate() {
+            let p = mage_problems::by_id(id).expect("corpus problem");
+            out.push(JobSpec {
+                problem_id: p.id.to_string(),
+                spec: p.spec.to_string(),
+                config: MageConfig::high_temperature(),
+                seed: 1000 + (run * PROBLEMS.len() + pix) as u64,
+            });
+        }
+    }
+    out
+}
+
+fn run_stream(opts: ServeOptions, cache: Option<Arc<DesignCache>>) -> Vec<SolveTrace> {
+    let specs = specs(2);
+    let service = synthetic_service(&specs);
+    let mut engine = match cache {
+        Some(c) => ServeEngine::with_cache(opts, service, c),
+        None => ServeEngine::new(opts, service),
+    };
+    for spec in specs {
+        engine.push_job(spec);
+    }
+    engine.run();
+    let traces: Vec<SolveTrace> = engine
+        .traces()
+        .into_iter()
+        .map(|(_, t)| t.clone())
+        .collect();
+    assert_eq!(traces.len(), 8, "all jobs retire");
+    traces
+}
+
+fn opts(workers: usize) -> ServeOptions {
+    ServeOptions {
+        workers,
+        batch_llm: true,
+        max_in_flight: 0,
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let base = run_stream(opts(1), None);
+    for workers in [2usize, 8] {
+        let got = run_stream(opts(workers), None);
+        assert_eq!(got, base, "traces diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn batching_mode_does_not_change_results() {
+    let batched = run_stream(opts(4), None);
+    let scalar = run_stream(
+        ServeOptions {
+            batch_llm: false,
+            ..opts(4)
+        },
+        None,
+    );
+    assert_eq!(batched, scalar);
+}
+
+#[test]
+fn admission_cap_does_not_change_results() {
+    let unlimited = run_stream(opts(2), None);
+    for cap in [1usize, 3] {
+        let capped = run_stream(
+            ServeOptions {
+                max_in_flight: cap,
+                ..opts(2)
+            },
+            None,
+        );
+        assert_eq!(capped, unlimited, "cap {cap} changed traces");
+    }
+}
+
+#[test]
+fn warm_design_cache_does_not_leak_across_streams() {
+    // Warm a cache with one full stream, then replay the stream through
+    // it: every compile hits, nothing changes.
+    let cache = Arc::new(DesignCache::new());
+    let cold = run_stream(opts(2), Some(Arc::clone(&cache)));
+    let misses_after_first = cache.misses();
+    let warm = run_stream(opts(2), Some(Arc::clone(&cache)));
+    assert_eq!(warm, cold, "a warm cache must be invisible to results");
+    assert_eq!(
+        cache.misses(),
+        misses_after_first,
+        "replaying an identical stream must compile nothing new"
+    );
+    assert!(cache.hits() > 0);
+}
+
+#[test]
+fn engine_matches_single_job_solve() {
+    // The scheduler must be a pure interleaving: each job's trace equals
+    // the one `Mage::solve` produces alone with the same seed.
+    let all = run_stream(opts(4), None);
+    for (spec, served) in specs(2).into_iter().zip(all) {
+        let p = mage_problems::by_id(&spec.problem_id).unwrap();
+        let mut model = SyntheticModel::new(SyntheticModelConfig::default(), spec.seed);
+        model.register(p.id, p.oracle(spec.seed));
+        let solo = Mage::new(&mut model, spec.config.clone()).solve(&Task {
+            id: p.id,
+            spec: p.spec,
+        });
+        assert_eq!(served, solo, "{} diverged from solo solve", spec.problem_id);
+    }
+}

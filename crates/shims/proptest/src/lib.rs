@@ -271,7 +271,7 @@ macro_rules! impl_range_strategy {
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize);
+impl_range_strategy!(u8, u16, u32, u64, usize, i64, isize);
 
 impl Strategy for Range<u128> {
     type Value = u128;

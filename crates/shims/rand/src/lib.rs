@@ -71,24 +71,28 @@ macro_rules! impl_sample_range {
         impl SampleRange<$t> for core::ops::Range<$t> {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                let span = (self.end - self.start) as u64;
-                self.start + (uniform_u64(rng, span) as $t)
+                // Wrapping arithmetic: for signed types the span of a
+                // wide range (e.g. i64::MIN..0) exceeds the signed max,
+                // but its two's-complement bits reinterpret exactly as
+                // the u64 span, and the wrapping add lands back in range.
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
             }
         }
         impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
-                let span = (hi - lo) as u64;
+                let span = hi.wrapping_sub(lo) as u64;
                 if span == u64::MAX {
-                    return lo + (rng.next_u64() as $t);
+                    return lo.wrapping_add(rng.next_u64() as $t);
                 }
-                lo + (uniform_u64(rng, span + 1) as $t)
+                lo.wrapping_add(uniform_u64(rng, span + 1) as $t)
             }
         }
     )*};
 }
-impl_sample_range!(u8, u16, u32, u64, usize, i64);
+impl_sample_range!(u8, u16, u32, u64, usize, i64, isize);
 
 /// Unbiased uniform draw in `[0, span)` by rejection on the top of the
 /// 64-bit stream (`span > 0`).
@@ -248,6 +252,22 @@ mod tests {
             assert!((3..17).contains(&v));
             let w: usize = r.gen_range(1..=3);
             assert!((1..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_signed_and_extreme_spans() {
+        let mut r = StdRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let v: isize = r.gen_range(-300isize..300);
+            assert!((-300..300).contains(&v));
+            // Spans wider than the signed max must not overflow.
+            let w: i64 = r.gen_range(i64::MIN..0);
+            assert!(w < 0);
+            let x: i64 = r.gen_range(i64::MIN..=i64::MAX);
+            let _ = x; // full domain: any value is in range
+            let y: u64 = r.gen_range(0u64..=u64::MAX);
+            let _ = y;
         }
     }
 

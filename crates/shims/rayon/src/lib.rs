@@ -100,44 +100,62 @@ where
 
     fn run(self) -> Vec<U> {
         let items = self.inner.run();
-        let f = &self.f;
-        let threads = num_threads().min(items.len().max(1));
-        if threads <= 1 {
-            return items.into_iter().map(f).collect();
-        }
-        let n = items.len();
-        // Feed items through per-slot mutexes so workers can claim work
-        // with an atomic cursor and still return results in input order.
-        let input: Vec<Mutex<Option<I::Item>>> =
-            items.into_iter().map(|it| Mutex::new(Some(it))).collect();
-        let output: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = input[i]
-                        .lock()
-                        .expect("input slot poisoned")
-                        .take()
-                        .expect("each slot claimed once");
-                    let out = f(item);
-                    *output[i].lock().expect("output slot poisoned") = Some(out);
-                });
-            }
-        });
-        output
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("output slot poisoned")
-                    .expect("all slots filled")
-            })
-            .collect()
+        scoped_map(num_threads(), items, &self.f)
     }
+}
+
+/// Order-preserving parallel map over `items` on exactly
+/// `threads.min(items.len())` scoped worker threads (≤ 1 runs inline).
+///
+/// This is the explicit-worker-count sibling of the `par_iter` surface
+/// above: callers that must control parallelism directly — like the
+/// `mage-serve` scheduler, whose determinism tests sweep 1/2/8 workers —
+/// use this instead of the `RAYON_NUM_THREADS` environment knob. For a
+/// pure `f`, results are identical to `items.into_iter().map(f)` at any
+/// thread count.
+pub fn scoped_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = threads.min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let f = &f;
+    // Feed items through per-slot mutexes so workers can claim work
+    // with an atomic cursor and still return results in input order.
+    let input: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let output: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = input[i]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("each slot claimed once");
+                let out = f(item);
+                *output[i].lock().expect("output slot poisoned") = Some(out);
+            });
+        }
+    });
+    output
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("output slot poisoned")
+                .expect("all slots filled")
+        })
+        .collect()
 }
 
 fn num_threads() -> usize {
@@ -176,5 +194,15 @@ mod tests {
         assert!(e.is_empty());
         let s: Vec<u8> = vec![9u8].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(s, vec![10]);
+    }
+
+    #[test]
+    fn scoped_map_is_thread_count_invariant() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1usize, 2, 3, 8, 200] {
+            let got = crate::scoped_map(threads, items.clone(), |x| x * x + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
     }
 }
