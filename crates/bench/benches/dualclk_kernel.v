@@ -1,0 +1,21 @@
+// The multi-clock bench kernel: two independently clocked counter
+// domains plus a negedge process sharing clock A's wire, with
+// per-domain combinational fanout. Toggling one clock must schedule
+// only that domain — the kernel the event-wheel scheduler is measured
+// on (events per edge, untouched-domain idleness, per-edge dispatch).
+module top_module(input clka, input clkb, input rst,
+                  input [7:0] da, input [7:0] db,
+                  output reg [7:0] qa, output reg [15:0] qb,
+                  output reg par_a,
+                  output [7:0] mixa, output [15:0] mixb);
+  always @(posedge clka or posedge rst)
+    if (rst) qa <= 8'h00; else qa <= qa + da;
+  always @(posedge clkb or posedge rst)
+    if (rst) qb <= 16'h0000; else qb <= qb + {8'h00, db};
+  // Negedge domain on the same wire as the posedge flop: a scan-based
+  // scheduler probes both per clka change, per-edge lists probe one.
+  always @(negedge clka)
+    par_a <= ^qa;
+  assign mixa = qa ^ da;
+  assign mixb = qb + {8'h00, db};
+endmodule

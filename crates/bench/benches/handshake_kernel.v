@@ -1,0 +1,19 @@
+// The cross-domain handshake bench kernel: a request synchronized from
+// clock A's domain into clock B's, with an ack path back and a comb
+// busy flag spanning both. Exercises the wheel's NBA region across two
+// interleaved clocks at drifting phases.
+module top_module(input clka, input clkb, input rst,
+                  input [7:0] data, input req,
+                  output reg ack, output reg [7:0] captured,
+                  output busy);
+  reg reqa;
+  always @(posedge clka or posedge rst)
+    if (rst) reqa <= 1'b0; else reqa <= req;
+  always @(posedge clkb or posedge rst)
+    if (rst) begin ack <= 1'b0; captured <= 8'h00; end
+    else begin
+      ack <= reqa;
+      if (reqa && !ack) captured <= data;
+    end
+  assign busy = reqa & ~ack;
+endmodule

@@ -8,22 +8,38 @@
 //!   kernels every table/figure harness is built from;
 //! * `sim_poke_sweep` — 256 input vectors through the ALU design with
 //!   one (compile-once) simulator;
-//! * `sim_settle` — a full combinational settle.
+//! * `sim_settle` — a settle on an already-settled simulator (the event
+//!   wheel drains an empty pending set; the legacy scheduler
+//!   re-evaluates every comb process);
+//! * `sim_dualclk_sweep` / `sim_handshake_sweep` — multi-clock kernels:
+//!   two domains clocked at different rates / drifting phases.
 //!
-//! Each kernel runs under the bytecode executor (`compiled`) and the
-//! legacy tree-walker (`legacy`, the pre-bytecode baseline that shipped
-//! in the seed); the reported `speedup` is legacy/compiled. The
-//! end-to-end kernels switch executors via the `MAGE_SIM_EXEC`
-//! environment hook.
+//! Each kernel runs under the bytecode executor + event-wheel scheduler
+//! (`compiled`) and the legacy tree-walker + scan worklist (`legacy`,
+//! the pre-bytecode baseline that shipped in the seed); the reported
+//! `speedup` is legacy/compiled. The end-to-end kernels switch
+//! executors via the `MAGE_SIM_EXEC` environment hook.
+//!
+//! Besides wall time, the harness records **scheduler work counts**
+//! (process evaluations and edge probes per step/edge, from
+//! `Simulator::eval_counts`) into a `scheduler` section, and asserts
+//! the wheel's acceptance invariants: zero evaluations to re-settle a
+//! settled design, no more process evaluations than the legacy
+//! scheduler anywhere, and strictly fewer edge probes on mixed-edge
+//! clocks. Deterministic counts — unlike wall time on this noisy
+//! single-CPU box, a scheduling regression here is unambiguous.
 //!
 //! Usage: `cargo run --release -p mage-bench --bin bench_sim [out.json]`
 
 use mage_bench::{mini_suite_kernel, solve_one_kernel};
-use mage_sim::{elaborate, ExecMode, Simulator};
+use mage_logic::LogicVec;
+use mage_sim::{elaborate, Design, EvalCounts, ExecMode, Simulator};
 use std::sync::Arc;
 use std::time::Instant;
 
 const ALU_SRC: &str = include_str!("../../benches/alu_kernel.v");
+const DUALCLK_SRC: &str = include_str!("../../benches/dualclk_kernel.v");
+const HANDSHAKE_SRC: &str = include_str!("../../benches/handshake_kernel.v");
 
 /// Best-of-`samples` seconds per call (after one warm-up). The minimum
 /// is the noise-robust estimator for CPU-bound kernels on a shared box —
@@ -59,6 +75,97 @@ struct Entry {
     name: &'static str,
     compiled_s: f64,
     legacy_s: f64,
+}
+
+fn parse_design(src: &str) -> Arc<Design> {
+    let file = mage_verilog::parse(src).expect("parses");
+    Arc::new(elaborate(&file, "top_module").expect("elaborates"))
+}
+
+fn v(w: usize, x: u64) -> LogicVec {
+    LogicVec::from_u64(w, x)
+}
+
+/// Booted simulator for the dual-clock kernel (reset released, clocks low).
+fn dualclk_sim(design: &Arc<Design>, mode: ExecMode) -> Simulator {
+    let mut sim = Simulator::with_mode(Arc::clone(design), mode);
+    sim.settle().expect("settles");
+    sim.poke_many([
+        ("rst", v(1, 1)),
+        ("clka", v(1, 0)),
+        ("clkb", v(1, 0)),
+        ("da", v(8, 3)),
+        ("db", v(8, 5)),
+    ])
+    .expect("boot drives");
+    sim.poke("rst", v(1, 0)).expect("release reset");
+    sim
+}
+
+/// One dual-clock sweep: `cycles` full cycles of clka, clkb at 1/4 rate.
+/// Returns the number of signal edges driven.
+fn dualclk_sweep(sim: &mut Simulator, cycles: u64) -> u64 {
+    let mut edges = 0u64;
+    for i in 0..cycles {
+        sim.poke("clka", v(1, 1)).unwrap();
+        sim.poke("clka", v(1, 0)).unwrap();
+        edges += 2;
+        if i % 4 == 0 {
+            sim.poke("clkb", v(1, 1)).unwrap();
+            sim.poke("clkb", v(1, 0)).unwrap();
+            edges += 2;
+        }
+    }
+    edges
+}
+
+/// Booted simulator for the handshake kernel.
+fn handshake_sim(design: &Arc<Design>, mode: ExecMode) -> Simulator {
+    let mut sim = Simulator::with_mode(Arc::clone(design), mode);
+    sim.settle().expect("settles");
+    sim.poke_many([
+        ("rst", v(1, 1)),
+        ("clka", v(1, 0)),
+        ("clkb", v(1, 0)),
+        ("req", v(1, 0)),
+        ("data", v(8, 0xA5)),
+    ])
+    .expect("boot drives");
+    sim.poke("rst", v(1, 0)).expect("release reset");
+    sim
+}
+
+/// One handshake sweep: request toggles every 3 cycles, clocks at
+/// drifting phases. Returns the number of signal edges driven.
+fn handshake_sweep(sim: &mut Simulator, cycles: u64) -> u64 {
+    let mut edges = 0u64;
+    for i in 0..cycles {
+        sim.poke("req", v(1, (i / 3) & 1)).unwrap();
+        sim.poke("clka", v(1, 1)).unwrap();
+        sim.poke("clkb", v(1, 1)).unwrap();
+        sim.poke("clka", v(1, 0)).unwrap();
+        sim.poke("clkb", v(1, 0)).unwrap();
+        edges += 4;
+    }
+    edges
+}
+
+/// Scheduler work counts of one kernel run under one mode.
+struct WorkCounts {
+    counts: EvalCounts,
+    /// Normalizer (edges driven or settle calls).
+    per: u64,
+}
+
+fn json_counts(w: &WorkCounts) -> String {
+    let per = w.per.max(1) as f64;
+    format!(
+        "{{ \"evals\": {}, \"edge_probes\": {}, \"evals_per_step\": {:.4}, \"probes_per_step\": {:.4} }}",
+        w.counts.total_evals(),
+        w.counts.edge_probes,
+        w.counts.total_evals() as f64 / per,
+        w.counts.edge_probes as f64 / per,
+    )
 }
 
 fn main() {
@@ -111,17 +218,15 @@ fn main() {
     });
 
     // --- Simulator micro-kernels, executor chosen explicitly. ---
-    let file = mage_verilog::parse(ALU_SRC).expect("parses");
-    let design = Arc::new(elaborate(&file, "top_module").expect("elaborates"));
+    let alu = parse_design(ALU_SRC);
     let sweep_of = |mode: ExecMode| {
-        let mut sim = Simulator::with_mode(Arc::clone(&design), mode);
+        let mut sim = Simulator::with_mode(Arc::clone(&alu), mode);
         sim.settle().expect("settles");
         move || {
             for i in 0..256u64 {
-                sim.poke("a", mage_logic::LogicVec::from_u64(4, i & 0xF)).unwrap();
-                sim.poke("b", mage_logic::LogicVec::from_u64(4, (i >> 4) & 0xF))
-                    .unwrap();
-                sim.poke("op", mage_logic::LogicVec::from_u64(3, i % 8)).unwrap();
+                sim.poke("a", v(4, i & 0xF)).unwrap();
+                sim.poke("b", v(4, (i >> 4) & 0xF)).unwrap();
+                sim.poke("op", v(3, i % 8)).unwrap();
                 std::hint::black_box(sim.peek_by_name("r"));
             }
         }
@@ -138,7 +243,7 @@ fn main() {
         legacy_s: sweep_l,
     });
     let settle_of = |mode: ExecMode| {
-        let mut sim = Simulator::with_mode(Arc::clone(&design), mode);
+        let mut sim = Simulator::with_mode(Arc::clone(&alu), mode);
         sim.settle().expect("settles");
         move || sim.settle().expect("settles")
     };
@@ -153,6 +258,143 @@ fn main() {
         compiled_s: settle_c,
         legacy_s: settle_l,
     });
+
+    // --- Multi-clock kernels. ---
+    let dualclk = parse_design(DUALCLK_SRC);
+    let dual_of = |mode: ExecMode| {
+        let mut sim = dualclk_sim(&dualclk, mode);
+        move || {
+            dualclk_sweep(&mut sim, 64);
+        }
+    };
+    let (dual_c, dual_l) = time_pair(
+        5,
+        20,
+        &mut dual_of(ExecMode::Compiled),
+        &mut dual_of(ExecMode::Legacy),
+    );
+    entries.push(Entry {
+        name: "sim_dualclk_sweep",
+        compiled_s: dual_c,
+        legacy_s: dual_l,
+    });
+    let handshake = parse_design(HANDSHAKE_SRC);
+    let hs_of = |mode: ExecMode| {
+        let mut sim = handshake_sim(&handshake, mode);
+        move || {
+            handshake_sweep(&mut sim, 64);
+        }
+    };
+    let (hs_c, hs_l) = time_pair(
+        5,
+        20,
+        &mut hs_of(ExecMode::Compiled),
+        &mut hs_of(ExecMode::Legacy),
+    );
+    entries.push(Entry {
+        name: "sim_handshake_sweep",
+        compiled_s: hs_c,
+        legacy_s: hs_l,
+    });
+
+    // --- Scheduler work counts (deterministic; the perf trajectory's
+    //     scheduling signal, immune to wall-clock noise). ---
+    let count_of = |mode: ExecMode, kernel: &str| -> WorkCounts {
+        match kernel {
+            "sim_settle" => {
+                let mut sim = Simulator::with_mode(Arc::clone(&alu), mode);
+                sim.settle().expect("settles");
+                sim.reset_eval_counts();
+                let calls = 100u64;
+                for _ in 0..calls {
+                    sim.settle().expect("settles");
+                }
+                WorkCounts {
+                    counts: sim.eval_counts(),
+                    per: calls,
+                }
+            }
+            "sim_dualclk_sweep" => {
+                let mut sim = dualclk_sim(&dualclk, mode);
+                sim.reset_eval_counts();
+                let edges = dualclk_sweep(&mut sim, 64);
+                WorkCounts {
+                    counts: sim.eval_counts(),
+                    per: edges,
+                }
+            }
+            "sim_handshake_sweep" => {
+                let mut sim = handshake_sim(&handshake, mode);
+                sim.reset_eval_counts();
+                let edges = handshake_sweep(&mut sim, 64);
+                WorkCounts {
+                    counts: sim.eval_counts(),
+                    per: edges,
+                }
+            }
+            other => unreachable!("unknown counted kernel {other}"),
+        }
+    };
+    let counted = ["sim_settle", "sim_dualclk_sweep", "sim_handshake_sweep"];
+    let mut sched_json = String::from("  \"scheduler\": {\n");
+    for (i, kernel) in counted.iter().enumerate() {
+        let wheel = count_of(ExecMode::Compiled, kernel);
+        let legacy = count_of(ExecMode::Legacy, kernel);
+        // Acceptance invariants: the wheel never evaluates more than the
+        // legacy scheduler, probes no more processes, and re-settles a
+        // settled design for free.
+        assert!(
+            wheel.counts.total_evals() <= legacy.counts.total_evals(),
+            "{kernel}: wheel evals {} > legacy {}",
+            wheel.counts.total_evals(),
+            legacy.counts.total_evals()
+        );
+        assert!(
+            wheel.counts.edge_probes <= legacy.counts.edge_probes,
+            "{kernel}: wheel probes {} > legacy {}",
+            wheel.counts.edge_probes,
+            legacy.counts.edge_probes
+        );
+        if kernel.ends_with("_sweep") {
+            // Clocked kernels: per-edge lists must probe *strictly*
+            // fewer processes than the full sensitivity scan (the scan
+            // pays on both edge directions, the lists only on matches).
+            assert!(
+                wheel.counts.edge_probes < legacy.counts.edge_probes,
+                "{kernel}: per-edge dispatch advantage lost (wheel {} vs legacy {})",
+                wheel.counts.edge_probes,
+                legacy.counts.edge_probes
+            );
+        }
+        if *kernel == "sim_settle" {
+            assert_eq!(
+                wheel.counts.total_evals(),
+                0,
+                "a settled wheel must re-settle with zero evaluations"
+            );
+            assert!(
+                legacy.counts.total_evals() > 0,
+                "the legacy scheduler re-evaluates per settle"
+            );
+        }
+        println!(
+            "{:24} wheel {:>7.3} evals/step {:>7.3} probes/step   legacy {:>7.3} evals/step {:>7.3} probes/step",
+            kernel,
+            wheel.counts.total_evals() as f64 / wheel.per.max(1) as f64,
+            wheel.counts.edge_probes as f64 / wheel.per.max(1) as f64,
+            legacy.counts.total_evals() as f64 / legacy.per.max(1) as f64,
+            legacy.counts.edge_probes as f64 / legacy.per.max(1) as f64,
+        );
+        sched_json.push_str(&format!(
+            "    \"{}\": {{ \"steps\": {}, \"wheel\": {}, \"legacy\": {} }}{}\n",
+            kernel,
+            wheel.per,
+            json_counts(&wheel),
+            json_counts(&legacy),
+            if i + 1 == counted.len() { "" } else { "," }
+        ));
+    }
+    sched_json.push_str("  },\n");
 
     // --- Report. ---
     let mut json = String::from("{\n  \"kernels\": {\n");
@@ -175,16 +417,22 @@ fn main() {
         ));
     }
     json.push_str("  },\n");
+    json.push_str(&sched_json);
     json.push_str(
-        "  \"notes\": \"legacy = the seed's tree-walking evaluator (MAGE_SIM_EXEC=legacy); \
-         compiled = width-annotated bytecode executor; speedup = legacy_ms / compiled_ms. \
+        "  \"notes\": \"legacy = the seed's tree-walking evaluator with the scan-based \
+         worklist scheduler (MAGE_SIM_EXEC=legacy); compiled = width-annotated bytecode \
+         executor on the two-region event wheel; speedup = legacy_ms / compiled_ms. \
          The seed tree itself shipped without Cargo manifests and could not build or run, \
-         so legacy_ms is the closest runnable baseline — it already includes this PR's \
-         shared optimizations (inline small-vector LogicVec, word-parallel compares, dense \
-         dependency tables, batched pokes, direct testbench synthesis), meaning the \
-         recorded speedups understate the gain over the actual seed. mini_suite_kernel \
-         additionally parallelizes across (problem, run) units, which this single-core \
-         container cannot show. Regenerate with: \
+         so legacy_ms is the closest runnable baseline — it already includes the shared \
+         optimizations (inline small-vector LogicVec, word-parallel compares, dense \
+         dependency tables, batched pokes, direct testbench synthesis, once-per-Design \
+         bytecode compilation), meaning the recorded speedups understate the gain over \
+         the actual seed. mini_suite_kernel additionally parallelizes across \
+         (problem, run) units, which a single-core container cannot show. The scheduler \
+         section records deterministic work counts per step (settle call or driven \
+         edge): evals = process body executions, edge_probes = processes examined for \
+         edge sensitivity; the harness asserts wheel <= legacy on both, and exactly \
+         zero evals to re-settle a settled design. Regenerate with: \
          cargo run --release -p mage-bench --bin bench_sim\"\n}\n",
     );
     std::fs::write(&out_path, json).expect("write baseline");

@@ -2,7 +2,7 @@
 
 use mage_core::compile;
 use mage_sim::Design;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -10,35 +10,82 @@ use std::sync::{Arc, Mutex};
 /// small enough that a day-long stream cannot grow without limit.
 pub const DEFAULT_CACHE_CAPACITY: usize = 8192;
 
+/// Hash function keying the cache. Injectable so tests can force
+/// distinct sources onto one key and exercise the collision path.
+pub type SourceHasher = fn(&str) -> u64;
+
+fn fnv1a_source(source: &str) -> u64 {
+    mage_logic::fnv1a(source.as_bytes())
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// The full source text this entry was compiled from, verified on
+    /// every hit — a 64-bit hash alone would let two colliding sources
+    /// silently serve each other's `Design` to a job.
+    source: String,
+    result: Result<Arc<Design>, String>,
+    /// Recency stamp (monotonic ticks) for LRU eviction.
+    stamp: u64,
+}
+
 #[derive(Debug, Default)]
 struct CacheInner {
-    map: HashMap<u64, Result<Arc<Design>, String>>,
-    /// Insertion order, for FIFO eviction at capacity.
-    order: VecDeque<u64>,
+    map: HashMap<u64, Entry>,
+    /// Monotonic recency clock; bumped on every insert and hit.
+    tick: u64,
+}
+
+impl CacheInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evict least-recently-used entries until below `capacity`. A
+    /// linear min-stamp scan: eviction only runs on an at-capacity
+    /// insert, where the adjacent compile dwarfs the scan.
+    fn evict_to(&mut self, capacity: usize) {
+        while self.map.len() >= capacity.max(1) && !self.map.is_empty() {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&k, _)| k)
+                .expect("non-empty map");
+            self.map.remove(&oldest);
+        }
+    }
 }
 
 /// A bounded map from candidate source text to its elaboration result,
 /// shared by every job (and every engine) holding the same
 /// `Arc<DesignCache>`.
 ///
-/// Keying: `fnv1a(source bytes)` over the *full* source text.
-/// Elaboration ([`mage_core::compile`]) is a pure function of that
-/// text, so entries are schedule-independent facts — sharing them
+/// Keying: `fnv1a(source bytes)` over the *full* source text, with the
+/// text itself stored and verified on every hit — a colliding lookup
+/// falls through to a real compile instead of returning the wrong
+/// design. Elaboration ([`mage_core::compile`]) is a pure function of
+/// that text, so entries are schedule-independent facts — sharing them
 /// across jobs cannot leak state between solves, and evicting one only
 /// costs a recompile (the determinism suite verifies warmth changes
 /// nothing). Both successes (`Arc<Design>`) and failures (the
 /// diagnostic string fed to the syntax-repair loop) are cached; the
 /// syntax loop re-probes the same broken source often.
 ///
-/// Capacity: at most `capacity` entries, evicted oldest-first — under
-/// high-temperature sampling most candidates are unique, so an
-/// unbounded cache would grow with the length of the job stream.
+/// Capacity: at most `capacity` entries, evicted least-recently-used —
+/// a hit refreshes recency, so the hot grading benches and re-probed
+/// syntax-repair sources survive a stream of unique high-temperature
+/// candidates (which, under the previous FIFO policy, would flush them
+/// while stale one-shot entries lingered).
 #[derive(Debug)]
 pub struct DesignCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    hasher: SourceHasher,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    collisions: AtomicUsize,
 }
 
 impl Default for DesignCache {
@@ -55,11 +102,20 @@ impl DesignCache {
 
     /// An empty cache bounded to `capacity` entries (0 = unbounded).
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_hasher(capacity, fnv1a_source)
+    }
+
+    /// An empty cache with an explicit key hasher. The production hasher
+    /// is FNV-1a over the full source; tests inject degenerate hashers
+    /// to force key collisions.
+    pub fn with_capacity_and_hasher(capacity: usize, hasher: SourceHasher) -> Self {
         DesignCache {
             inner: Mutex::new(CacheInner::default()),
             capacity,
+            hasher,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            collisions: AtomicUsize::new(0),
         }
     }
 
@@ -68,31 +124,54 @@ impl DesignCache {
     /// and the first insert wins, so callers observe one canonical
     /// entry either way.
     pub fn get_or_compile(&self, source: &str) -> Result<Arc<Design>, String> {
-        let key = mage_logic::fnv1a(source.as_bytes());
-        if let Some(hit) = self.inner.lock().expect("design cache poisoned").map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+        let key = (self.hasher)(source);
+        {
+            let mut inner = self.inner.lock().expect("design cache poisoned");
+            let tick = inner.next_tick();
+            if let Some(entry) = inner.map.get_mut(&key) {
+                if entry.source == source {
+                    // Promote on hit: LRU recency refresh.
+                    entry.stamp = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return entry.result.clone();
+                }
+                // Distinct source on the same key: never serve the
+                // cached design — fall through to a real compile.
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+            }
         }
         // Compile outside the lock: elaboration is the expensive part,
         // and serializing it would defeat the sim worker pool.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let result = compile(source);
         let mut inner = self.inner.lock().expect("design cache poisoned");
-        if let Some(raced) = inner.map.get(&key) {
-            return raced.clone();
+        let tick = inner.next_tick();
+        match inner.map.get_mut(&key) {
+            // Raced with another worker compiling the same source.
+            Some(entry) if entry.source == source => return entry.result.clone(),
+            // Collision: the slot keeps the most recent source, so the
+            // side the stream is currently probing stays warm.
+            Some(entry) => {
+                *entry = Entry {
+                    source: source.to_string(),
+                    result: result.clone(),
+                    stamp: tick,
+                };
+                return result;
+            }
+            None => {}
         }
         if self.capacity > 0 {
-            while inner.map.len() >= self.capacity {
-                match inner.order.pop_front() {
-                    Some(oldest) => {
-                        inner.map.remove(&oldest);
-                    }
-                    None => break,
-                }
-            }
+            inner.evict_to(self.capacity);
         }
-        inner.map.insert(key, result.clone());
-        inner.order.push_back(key);
+        inner.map.insert(
+            key,
+            Entry {
+                source: source.to_string(),
+                result: result.clone(),
+                stamp: tick,
+            },
+        );
         result
     }
 
@@ -120,6 +199,13 @@ impl DesignCache {
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Lookups whose key matched a *different* cached source (each one
+    /// fell through to a real compile instead of returning the wrong
+    /// design).
+    pub fn collisions(&self) -> usize {
+        self.collisions.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +214,10 @@ mod tests {
 
     const GOOD: &str = "module top_module(input a, output y); assign y = a; endmodule";
     const BAD: &str = "module top_module(input a, output y assign y = a; endmodule";
+
+    fn src(name: &str) -> String {
+        format!("module {name}(input a, output y); assign y = a; endmodule")
+    }
 
     #[test]
     fn caches_successes_and_failures() {
@@ -142,6 +232,7 @@ mod tests {
         assert_eq!(e1, e2);
         assert_eq!((cache.hits(), cache.misses()), (2, 2));
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.collisions(), 0);
     }
 
     #[test]
@@ -157,9 +248,6 @@ mod tests {
     #[test]
     fn capacity_evicts_oldest_first() {
         let cache = DesignCache::with_capacity(2);
-        let src = |name: &str| {
-            format!("module {name}(input a, output y); assign y = a; endmodule")
-        };
         let (a, b, c) = (src("m_a"), src("m_b"), src("m_c"));
         cache.get_or_compile(&a).unwrap();
         cache.get_or_compile(&b).unwrap();
@@ -176,5 +264,72 @@ mod tests {
         // The recompile is a fresh but equivalent elaboration.
         assert!(!Arc::ptr_eq(&again, &cache.get_or_compile(&b).unwrap()));
         assert!(compile(&a).is_ok());
+    }
+
+    /// Degenerate hasher mapping every source to one key.
+    fn collide_all(_: &str) -> u64 {
+        42
+    }
+
+    #[test]
+    fn colliding_sources_both_get_correct_designs() {
+        let cache = DesignCache::with_capacity_and_hasher(8, collide_all);
+        let (a, b) = (src("m_a"), src("m_b"));
+        let da = cache.get_or_compile(&a).expect("a elaborates");
+        assert_eq!(da.top, "m_a");
+        // Same key, different source: must NOT be served `m_a`'s design.
+        let db = cache.get_or_compile(&b).expect("b elaborates");
+        assert_eq!(db.top, "m_b", "collision must not serve the wrong design");
+        assert_eq!(cache.collisions(), 1);
+        // And probing back is again correct (the slot now holds `m_b`).
+        let da2 = cache.get_or_compile(&a).expect("a elaborates");
+        assert_eq!(da2.top, "m_a");
+        assert_eq!(cache.collisions(), 2);
+        assert_eq!(cache.len(), 1, "one slot thrashes; correctness holds");
+    }
+
+    #[test]
+    fn colliding_failure_does_not_poison_success() {
+        let cache = DesignCache::with_capacity_and_hasher(8, collide_all);
+        assert!(cache.get_or_compile(BAD).is_err());
+        // A different (valid) source on the same key compiles cleanly.
+        assert!(cache.get_or_compile(GOOD).is_ok());
+    }
+
+    #[test]
+    fn hit_promotes_entry_under_unique_candidate_stream() {
+        let cache = DesignCache::with_capacity(4);
+        let hot = src("hot_bench");
+        cache.get_or_compile(&hot).unwrap();
+        // Stream of unique candidates, with the hot entry re-probed
+        // between arrivals (the grading-bench access pattern). Under
+        // FIFO eviction the hot entry would be flushed as the oldest
+        // insert; LRU promotion keeps it resident throughout.
+        for i in 0..32 {
+            cache.get_or_compile(&src(&format!("cand_{i}"))).unwrap();
+            let misses = cache.misses();
+            cache.get_or_compile(&hot).unwrap();
+            assert_eq!(
+                cache.misses(),
+                misses,
+                "hot entry evicted after unique candidate #{i}"
+            );
+        }
+        assert!(cache.hits() >= 32);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_not_oldest_insert() {
+        let cache = DesignCache::with_capacity(2);
+        let (a, b, c) = (src("m_a"), src("m_b"), src("m_c"));
+        cache.get_or_compile(&a).unwrap(); // oldest insert…
+        cache.get_or_compile(&b).unwrap();
+        cache.get_or_compile(&a).unwrap(); // …but most recently used
+        cache.get_or_compile(&c).unwrap(); // evicts b, not a
+        let misses = cache.misses();
+        cache.get_or_compile(&a).unwrap();
+        assert_eq!(cache.misses(), misses, "promoted entry must survive");
+        cache.get_or_compile(&b).unwrap();
+        assert_eq!(cache.misses(), misses + 1, "unpromoted entry evicted");
     }
 }

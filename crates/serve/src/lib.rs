@@ -63,7 +63,7 @@ mod cache;
 mod scheduler;
 mod service;
 
-pub use cache::DesignCache;
+pub use cache::{DesignCache, SourceHasher, DEFAULT_CACHE_CAPACITY};
 pub use scheduler::{
     JobCheckpoint, JobId, JobSpec, ServeEngine, ServeOptions, ServeReport, ServeStats,
 };

@@ -112,11 +112,32 @@ struct JobSlot {
     /// Resolved input awaiting the next advance.
     input: Option<StepInput>,
     paused: bool,
+    /// Start of the current *active* interval; `None` while the clock
+    /// is stopped (queued, paused, checkpointed, or restored but not
+    /// yet advanced).
     started_at: Option<Instant>,
-    /// Active time accrued before a checkpoint (restored jobs resume
-    /// their latency clock rather than restarting it).
+    /// Active time accrued over completed intervals. The job's latency
+    /// is the sum of active intervals only: pausing stops the clock,
+    /// resuming (or restoring) restarts it at the next advance, so wall
+    /// time spent paused or parked is never charged to the job.
     accrued: Duration,
     latency: Option<Duration>,
+}
+
+impl JobSlot {
+    /// Stop the latency clock, banking the elapsed active interval.
+    fn stop_clock(&mut self) {
+        if let Some(t) = self.started_at.take() {
+            self.accrued += t.elapsed();
+        }
+    }
+
+    /// Start the latency clock unless already running.
+    fn start_clock(&mut self) {
+        if self.started_at.is_none() {
+            self.started_at = Some(Instant::now());
+        }
+    }
 }
 
 /// A mid-solve job lifted out of an engine: the state machine, its
@@ -228,13 +249,16 @@ impl<S: LlmService> ServeEngine<S> {
 
     /// Pause a job: it keeps its slot and state but is not advanced (a
     /// queued job is also not admitted) until [`ServeEngine::resume_job`].
+    /// The latency clock stops — paused wall time is not charged.
     pub fn pause_job(&mut self, id: JobId) {
         if let Some(slot) = self.jobs.get_mut(id) {
             slot.paused = true;
+            slot.stop_clock();
         }
     }
 
-    /// Resume a paused job.
+    /// Resume a paused job. The latency clock restarts when the job
+    /// next advances (not here — the engine may not be running yet).
     pub fn resume_job(&mut self, id: JobId) {
         if let Some(slot) = self.jobs.get_mut(id) {
             slot.paused = false;
@@ -255,16 +279,13 @@ impl<S: LlmService> ServeEngine<S> {
         };
         self.live.retain(|&lid| lid != id);
         self.running -= 1;
+        slot.stop_clock();
         Some(JobCheckpoint {
             spec: slot.spec.clone(),
             job,
             input: slot.input.take(),
             model_state: self.service.export_job(id),
-            accrued: slot.accrued
-                + slot
-                    .started_at
-                    .map(|t| t.elapsed())
-                    .unwrap_or(Duration::ZERO),
+            accrued: slot.accrued,
         })
     }
 
@@ -296,7 +317,11 @@ impl<S: LlmService> ServeEngine<S> {
             phase: JobPhase::Running(ck.job),
             input: ck.input,
             paused: false,
-            started_at: Some(Instant::now()),
+            // The clock restarts at the job's first advance, not at
+            // restore time — the target engine may sit idle arbitrarily
+            // long before `run` is called, and that wall time is not
+            // the job's latency.
+            started_at: None,
             accrued: ck.accrued,
             latency: None,
         });
@@ -348,7 +373,7 @@ impl<S: LlmService> ServeEngine<S> {
                 );
                 slot.phase = JobPhase::Running(Box::new(job));
                 slot.input = Some(StepInput::Start);
-                slot.started_at = Some(Instant::now());
+                slot.start_clock();
                 self.running += 1;
             }
         }
@@ -363,11 +388,17 @@ impl<S: LlmService> ServeEngine<S> {
             if slot.paused {
                 continue;
             }
-            let JobPhase::Running(job) = &mut slot.phase else {
+            if !matches!(slot.phase, JobPhase::Running(_)) {
                 continue;
-            };
+            }
             let Some(input) = slot.input.take() else {
                 continue;
+            };
+            // Restored/resumed jobs restart their stopped clock at the
+            // moment they actually make progress again.
+            slot.start_clock();
+            let JobPhase::Running(job) = &mut slot.phase else {
+                unreachable!("checked above");
             };
             match job.advance(input) {
                 SolveStep::NeedLlm(req) => llm_needs.push((id, req)),
@@ -375,13 +406,8 @@ impl<S: LlmService> ServeEngine<S> {
                 SolveStep::Done(trace) => {
                     self.stats.jobs_done += 1;
                     self.stats.total_usage += trace.usage;
-                    slot.latency = Some(
-                        slot.accrued
-                            + slot
-                                .started_at
-                                .map(|t| t.elapsed())
-                                .unwrap_or(Duration::ZERO),
-                    );
+                    slot.stop_clock();
+                    slot.latency = Some(slot.accrued);
                     slot.phase = JobPhase::Done(trace);
                     retired.push(id);
                 }

@@ -7,7 +7,7 @@ use mage_llm::{
     RtlLanguageModel, SyntaxFixRequest, SyntheticModel, SyntheticModelConfig, TbGenRequest,
 };
 use mage_serve::{
-    synthetic_service, JobSpec, LlmService, PerJobModels, ServeEngine, ServeOptions, SharedModel,
+    synthetic_service, JobSpec, LlmService, ServeEngine, ServeOptions, SharedModel,
 };
 use mage_tb::Testbench;
 

@@ -1,0 +1,110 @@
+//! Latency-clock behaviour: the engine charges a job only for its
+//! *active* intervals. Paused wall time is excluded, and a restored
+//! checkpoint's clock starts at its first advance, not at restore time.
+//!
+//! The assertions are relative (interrupted run vs. an identical
+//! uninterrupted baseline) with margins far below the injected sleeps,
+//! so they hold on a noisy single-CPU box.
+
+use mage_core::MageConfig;
+use mage_serve::{synthetic_service, JobSpec, LlmService, ServeEngine, ServeOptions};
+use std::time::Duration;
+
+/// Sleep injected while the job is paused/parked — the wall time that
+/// must NOT appear in the job's latency.
+const SLEEP: Duration = Duration::from_millis(600);
+/// Slack for scheduler noise between the two runs.
+const MARGIN: Duration = Duration::from_millis(300);
+
+fn one_spec() -> Vec<JobSpec> {
+    let p = mage_problems::by_id("prob010_mux2").expect("corpus problem");
+    vec![JobSpec {
+        problem_id: p.id.to_string(),
+        spec: p.spec.to_string(),
+        config: MageConfig::high_temperature(),
+        seed: 9001,
+    }]
+}
+
+fn one_job_engine() -> ServeEngine<impl LlmService> {
+    let specs = one_spec();
+    let service = synthetic_service(&specs);
+    let mut engine = ServeEngine::new(ServeOptions::default(), service);
+    for spec in specs {
+        engine.push_job(spec);
+    }
+    engine
+}
+
+#[test]
+fn paused_wall_time_is_excluded_from_latency() {
+    // Baseline: uninterrupted.
+    let mut baseline = one_job_engine();
+    baseline.run();
+    let l0 = baseline.job_latency(0).expect("job retired");
+
+    // Interrupted: pause mid-solve, sleep, resume. The solve itself is
+    // identical, so any latency growth ≈ wall time charged while paused.
+    let mut engine = one_job_engine();
+    engine.step_round();
+    engine.step_round();
+    engine.pause_job(0);
+    std::thread::sleep(SLEEP);
+    engine.resume_job(0);
+    engine.run();
+    let l1 = engine.job_latency(0).expect("job retired");
+
+    assert!(
+        l1 < l0 + MARGIN,
+        "paused wall time charged to latency: baseline {l0:?}, paused run {l1:?} \
+         (slept {SLEEP:?} while paused)"
+    );
+}
+
+#[test]
+fn pause_before_run_charges_nothing() {
+    // Pause a job the engine has already admitted but not finished,
+    // with the engine idle (no step_round in flight) — the clock must
+    // not tick between pause and the eventual run.
+    let mut engine = one_job_engine();
+    engine.step_round();
+    engine.pause_job(0);
+    std::thread::sleep(SLEEP);
+    engine.resume_job(0);
+    std::thread::sleep(Duration::from_millis(50)); // resumed but engine still idle
+    engine.run();
+    let l = engine.job_latency(0).expect("job retired");
+    assert!(
+        l < SLEEP,
+        "latency {l:?} includes idle/paused wall time (slept {SLEEP:?})"
+    );
+}
+
+#[test]
+fn restored_checkpoint_clock_starts_at_first_advance() {
+    // Baseline: uninterrupted.
+    let mut baseline = one_job_engine();
+    baseline.run();
+    let l0 = baseline.job_latency(0).expect("job retired");
+
+    // Lift the job out mid-solve, let it sit parked, restore it into a
+    // fresh engine, and let it sit again before running. Neither parked
+    // interval may be charged.
+    let mut first = one_job_engine();
+    first.step_round();
+    first.step_round();
+    let ck = first.checkpoint(0).expect("job running mid-stream");
+    std::thread::sleep(SLEEP / 2);
+
+    let service = synthetic_service(&one_spec());
+    let mut second = ServeEngine::new(ServeOptions::default(), service);
+    let id = second.restore(ck);
+    std::thread::sleep(SLEEP / 2); // restored, engine not yet running
+    second.run();
+    let l1 = second.job_latency(id).expect("restored job retired");
+
+    assert!(
+        l1 < l0 + MARGIN,
+        "parked/pre-run wall time charged to latency: baseline {l0:?}, restored {l1:?}"
+    );
+}

@@ -325,6 +325,16 @@ pub struct CompiledProcess {
     pub slot_widths: Vec<usize>,
     /// Constant pool, each entry pre-sized to its use width.
     pub consts: Vec<LogicVec>,
+    /// Signals the instruction stream can read (every `Load`,
+    /// `BitSelSig` and `ReadSlice` source, deduped, in first-use order).
+    /// Derived from the executable artifact rather than the AST, this is
+    /// the precise sensitivity set the event wheel fans out on.
+    pub reads: Vec<SignalId>,
+    /// Signals the instruction stream can write (every `Store` and
+    /// `StoreBitDyn` target, deduped, in first-use order). The wheel
+    /// snapshots exactly these before a combinational run to detect
+    /// *net* output changes.
+    pub writes: Vec<SignalId>,
     /// `true` when every slot and every touched signal fits in 64 bits:
     /// the interpreter then runs its narrow path over raw
     /// `(aval, bval)` word pairs instead of `LogicVec`s.
@@ -361,11 +371,25 @@ impl CompiledProcess {
 pub struct CompiledDesign {
     /// Per-process bytecode, indexed like `design.processes`.
     pub procs: Vec<CompiledProcess>,
+    /// Combinational fanout: `comb_readers[s]` lists the *combinational*
+    /// process indices whose bytecode reads signal `s` (ascending, from
+    /// the per-process [`CompiledProcess::reads`] sets). A signal-change
+    /// event enqueues exactly these processes on the wheel's active
+    /// region.
+    pub comb_readers: Vec<Vec<u32>>,
+}
+
+impl CompiledDesign {
+    /// Combinational processes sensitive to `sig`.
+    #[inline]
+    pub fn comb_readers(&self, sig: SignalId) -> &[u32] {
+        &self.comb_readers[sig.index()]
+    }
 }
 
 /// Compile every process body of `design`.
 pub fn compile_design(design: &Design) -> CompiledDesign {
-    let procs = design
+    let procs: Vec<CompiledProcess> = design
         .processes
         .iter()
         .map(|p| {
@@ -376,7 +400,18 @@ pub fn compile_design(design: &Design) -> CompiledDesign {
             compile_process(design, body)
         })
         .collect();
-    CompiledDesign { procs }
+    let mut comb_readers: Vec<Vec<u32>> = vec![Vec::new(); design.signals.len()];
+    for (i, (proc_, p)) in procs.iter().zip(&design.processes).enumerate() {
+        if matches!(p, Process::Comb { .. }) {
+            for &sig in &proc_.reads {
+                comb_readers[sig.index()].push(i as u32);
+            }
+        }
+    }
+    CompiledDesign {
+        procs,
+        comb_readers,
+    }
 }
 
 /// Compile one process body.
@@ -418,14 +453,46 @@ pub fn compile_process(design: &Design, body: &CStmt) -> CompiledProcess {
     } else {
         Vec::new()
     };
+    let (reads, writes) = touch_sets(&c.code, design.signals.len());
     CompiledProcess {
         code: c.code,
         slot_widths: c.slot_widths,
         consts: c.consts,
+        reads,
+        writes,
         narrow,
         slot_masks,
         narrow_consts,
     }
+}
+
+/// Extract the deduped (read, written) signal sets of an instruction
+/// stream, in first-use order. Every store-reading instruction flavor is
+/// covered, so the read set can never under-approximate the signals a
+/// run depends on (the property precise event fanout needs).
+fn touch_sets(code: &[Instr], nsig: usize) -> (Vec<SignalId>, Vec<SignalId>) {
+    let mut reads: Vec<SignalId> = Vec::new();
+    let mut writes: Vec<SignalId> = Vec::new();
+    let mut read_stamp = vec![false; nsig];
+    let mut write_stamp = vec![false; nsig];
+    let mark = |sig: &SignalId, set: &mut Vec<SignalId>, stamp: &mut Vec<bool>| {
+        if !stamp[sig.index()] {
+            stamp[sig.index()] = true;
+            set.push(*sig);
+        }
+    };
+    for i in code {
+        match i {
+            Instr::Load { sig, .. }
+            | Instr::BitSelSig { sig, .. }
+            | Instr::ReadSlice { sig, .. } => mark(sig, &mut reads, &mut read_stamp),
+            Instr::Store { sig, .. } | Instr::StoreBitDyn { sig, .. } => {
+                mark(sig, &mut writes, &mut write_stamp)
+            }
+            _ => {}
+        }
+    }
+    (reads, writes)
 }
 
 struct Compiler<'a> {

@@ -1,7 +1,9 @@
 //! The elaborated design: flat signals and compiled processes.
 
+use crate::compile::{compile_design, CompiledDesign};
 use mage_logic::LogicVec;
 use mage_verilog::ast::{BinaryOp, CaseKind, Edge, NetKind, UnaryOp};
+use std::sync::{Arc, OnceLock};
 
 /// Index of a signal in the elaborated design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -186,6 +188,19 @@ pub struct Design {
     /// slice of simulation wall-clock). FNV-hashed: keys are short
     /// identifiers, for which SipHash overhead is pure loss.
     name_index: std::collections::HashMap<String, u32, FnvBuild>,
+    /// Per-edge trigger lists: `pos_triggers[s]` holds the sequential
+    /// process indices sensitive to a *posedge* of signal `s`
+    /// (`neg_triggers` likewise). Built once here so the event wheel
+    /// dispatches an edge by indexing the matching list instead of
+    /// scanning every sensitized process's full edge set per change.
+    pos_triggers: Vec<Vec<u32>>,
+    /// See [`Design::pos_triggers`].
+    neg_triggers: Vec<Vec<u32>>,
+    /// Lazily compiled bytecode, shared by every [`crate::Simulator`]
+    /// instantiated over this design — grading re-runs the same design
+    /// through hundreds of testbench executions, and recompiling the
+    /// process bodies per run was pure loss.
+    compiled: OnceLock<Arc<CompiledDesign>>,
 }
 
 /// Minimal FNV-1a `BuildHasher` for the short-string name index.
@@ -216,7 +231,8 @@ impl std::hash::Hasher for FnvHasher {
 }
 
 impl Design {
-    /// Assemble a design, building the name lookup index.
+    /// Assemble a design, building the name lookup index and the
+    /// per-edge trigger lists.
     pub fn new(
         top: String,
         signals: Vec<SignalDecl>,
@@ -229,6 +245,27 @@ impl Design {
             .enumerate()
             .map(|(i, s)| (s.name.clone(), i as u32))
             .collect();
+        // Edge-sensitivity metadata: one trigger list per (edge, signal),
+        // deduped per process with a stamp so `@(posedge clk or posedge
+        // clk)` enqueues once.
+        let nsig = signals.len();
+        let mut pos_triggers: Vec<Vec<u32>> = vec![Vec::new(); nsig];
+        let mut neg_triggers: Vec<Vec<u32>> = vec![Vec::new(); nsig];
+        let mut stamp: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); nsig];
+        for (i, p) in processes.iter().enumerate() {
+            if let Process::Seq { edges, .. } = p {
+                for &(e, s) in edges {
+                    let (list, slot) = match e {
+                        Edge::Pos => (&mut pos_triggers, &mut stamp[s.index()].0),
+                        Edge::Neg => (&mut neg_triggers, &mut stamp[s.index()].1),
+                    };
+                    if *slot != i {
+                        *slot = i;
+                        list[s.index()].push(i as u32);
+                    }
+                }
+            }
+        }
         Design {
             top,
             signals,
@@ -236,7 +273,28 @@ impl Design {
             outputs,
             processes,
             name_index,
+            pos_triggers,
+            neg_triggers,
+            compiled: OnceLock::new(),
         }
+    }
+
+    /// Sequential process indices triggered when `sig` makes an `edge`
+    /// transition (IEEE-1364 classification of the LSB change).
+    #[inline]
+    pub fn triggers(&self, edge: Edge, sig: SignalId) -> &[u32] {
+        match edge {
+            Edge::Pos => &self.pos_triggers[sig.index()],
+            Edge::Neg => &self.neg_triggers[sig.index()],
+        }
+    }
+
+    /// The design's process bodies lowered to bytecode, compiled on
+    /// first use and shared by every simulator over this design (and,
+    /// through the serve-layer design cache, across jobs).
+    pub fn compiled(&self) -> &Arc<CompiledDesign> {
+        self.compiled
+            .get_or_init(|| Arc::new(compile_design(self)))
     }
 
     /// Look up a signal id by (hierarchical) name.

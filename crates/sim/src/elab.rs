@@ -192,10 +192,17 @@ impl<'a> Elaborator<'a> {
                             });
                         }
                         Sensitivity::Edges(events) => {
-                            let mut edges = Vec::new();
+                            // Dedup repeated events (`@(posedge clk or
+                            // posedge clk)`) here so the per-edge trigger
+                            // lists built by `Design::new` — and every
+                            // scheduler scanning these edges — see each
+                            // sensitivity once.
+                            let mut edges: Vec<(Edge, SignalId)> = Vec::new();
                             for ev in events {
                                 let id = self.resolve_signal(&ctx, &ev.signal)?;
-                                edges.push((ev.edge, id));
+                                if !edges.contains(&(ev.edge, id)) {
+                                    edges.push((ev.edge, id));
+                                }
                             }
                             self.processes.push(Process::Seq { edges, body: cbody });
                         }

@@ -17,6 +17,12 @@
 //! The register file for each process is owned by the [`crate::Simulator`]
 //! and reused across executions, so steady-state simulation performs no
 //! per-activation setup beyond the `pc` loop itself.
+//!
+//! Change reporting is what feeds the event wheel: blocking stores go
+//! through `apply_write` (or the narrow whole-signal fast path below),
+//! which records a signal in `changed` only when the stored value
+//! actually moved — the scheduler turns exactly those entries into
+//! fanout events, so a store of an unchanged value schedules nothing.
 
 use crate::compile::{BinOp, CmpOp, CompiledProcess, Instr, ReduceOp, Slot};
 use crate::design::SignalId;

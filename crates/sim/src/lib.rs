@@ -12,12 +12,18 @@
 //! outputs with [`Simulator::peek`]. The `mage-tb` crate builds the
 //! paper's checkpointed testbench protocol on top of this interface.
 //!
-//! Process bodies execute on a compile-once bytecode core: at
-//! [`Simulator::new`] time every body is lowered ([`compile`]) to a flat
-//! width-annotated instruction stream that the interpreter ([`interp`])
-//! runs over pre-sized register files — with a narrow fast path on raw
-//! plane words when every value fits in 64 bits. The original
-//! tree-walking evaluator ([`eval`]/[`exec`]) remains available as the
+//! Process bodies execute on a compile-once bytecode core: every body
+//! is lowered ([`compile`]) to a flat width-annotated instruction
+//! stream — once per [`Design`], shared by every simulator over it —
+//! that the interpreter ([`interp`]) runs over pre-sized register
+//! files, with a narrow fast path on raw plane words when every value
+//! fits in 64 bits. Scheduling is event-driven: a two-region event
+//! wheel (active combinational events + an NBA commit region) fans each
+//! signal change out to exactly the processes whose bytecode reads it,
+//! and dispatches clock edges through per-edge trigger lists computed
+//! at elaboration — see the [`sim`](Simulator) module docs. The
+//! original tree-walking evaluator ([`eval`]/[`exec`]) with its
+//! scan-based worklist scheduler remains available as the
 //! differential-testing oracle via [`ExecMode::Legacy`] (or the
 //! `MAGE_SIM_EXEC=legacy` environment hook).
 //!
@@ -65,5 +71,5 @@ pub use design::{CExpr, CLValue, CStmt, Design, Process, SignalDecl, SignalId};
 pub use elab::{elaborate, fold_const_expr};
 pub use error::{ElabError, SimError};
 pub use eval::{eval, exec, PendingWrite, Store};
-pub use sim::{ExecMode, Simulator};
+pub use sim::{EvalCounts, ExecMode, Simulator};
 pub use vcd::VcdRecorder;

@@ -41,4 +41,6 @@ pub mod textlog;
 pub use report::{CheckRecord, TbReport};
 pub use stimulus::{Drive, Stimulus};
 pub use synth::{build_from_reference_report, synthesize_testbench, CheckDensity};
-pub use tb::{run_testbench, Check, TbError, TbStep, Testbench, TIME_PER_STEP};
+pub use tb::{
+    run_testbench, run_testbench_with_counts, Check, TbError, TbStep, Testbench, TIME_PER_STEP,
+};

@@ -87,6 +87,13 @@ impl std::error::Error for TbError {}
 
 /// Run `tb` against `design` and produce the per-check report.
 ///
+/// The driver path rides the simulator's event wheel: each step batches
+/// its drives through [`Simulator::poke_many`] (one edge wave + one
+/// fanout settle per step), clock edges dispatch through the per-edge
+/// trigger lists computed at elaboration, and the process bytecode is
+/// compiled once per [`Design`] — repeated runs against the same design
+/// (the grading loop) skip recompilation entirely.
+///
 /// Simulation faults (combinational loops, edge cascades) do not abort
 /// the report: the offending step and all later checks are recorded as
 /// mismatches with all-`X` observations and the fault is noted on the
@@ -97,6 +104,22 @@ impl std::error::Error for TbError {}
 /// [`TbError::InterfaceMismatch`] when the DUT lacks driven inputs or
 /// checked outputs — the candidate declared a wrong port list.
 pub fn run_testbench(tb: &Testbench, design: &Arc<Design>) -> Result<TbReport, TbError> {
+    run_testbench_with_counts(tb, design).map(|(report, _)| report)
+}
+
+/// [`run_testbench`], also returning the simulator's scheduler work
+/// counters for the run ([`mage_sim::EvalCounts`]: process evaluations
+/// and edge probes). The perf harness divides these by the step count
+/// to track events-per-step across scheduler changes; the report is
+/// bit-identical to [`run_testbench`]'s.
+///
+/// # Errors
+///
+/// As [`run_testbench`].
+pub fn run_testbench_with_counts(
+    tb: &Testbench,
+    design: &Arc<Design>,
+) -> Result<(TbReport, mage_sim::EvalCounts), TbError> {
     // Interface validation.
     let mut missing: Vec<String> = Vec::new();
     let input_names: Vec<String> = design.input_ports().into_iter().map(|(n, _)| n).collect();
@@ -187,6 +210,8 @@ pub fn run_testbench(tb: &Testbench, design: &Arc<Design>) -> Result<TbReport, T
             });
         }
         // Complete the clock cycle after the checkpoints are sampled.
+        // (Run even after the last step: a fault on the falling
+        // half-cycle must still surface as `sim_fault`.)
         if sim_fault.is_none() {
             if let Some(clk) = &tb.clock {
                 if let Err(e) = sim.poke(clk, LogicVec::from_bool(false)) {
@@ -196,7 +221,10 @@ pub fn run_testbench(tb: &Testbench, design: &Arc<Design>) -> Result<TbReport, T
         }
     }
 
-    Ok(TbReport::new(tb.name.clone(), records, sim_fault))
+    Ok((
+        TbReport::new(tb.name.clone(), records, sim_fault),
+        sim.eval_counts(),
+    ))
 }
 
 fn exec_step_rise(

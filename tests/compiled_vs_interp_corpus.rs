@@ -56,6 +56,16 @@ fn lockstep(design: &Arc<Design>, stim: &Stimulus, label: &str) {
                 return;
             }
         }
+        // Interleaved settle: the wheel drains its (empty) pending-event
+        // regions while the oracle re-evaluates every comb process — the
+        // stores must agree either way, corpus-wide.
+        let rf = fast.settle();
+        let rs = slow.settle();
+        assert_eq!(rf, rs, "{label}: settle at step {i} diverged");
+        compare_stores(design, &fast, &slow, label, &format!("step {i} settle"));
+        if rf.is_err() {
+            return;
+        }
     }
 }
 
