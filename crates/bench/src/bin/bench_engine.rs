@@ -1,20 +1,26 @@
 //! Engine-throughput baseline harness: drive a fixed job stream through
-//! `mage-serve` in three modes and write `BENCH_engine.json` so future
+//! `mage-serve` in four modes and write `BENCH_engine.json` so future
 //! PRs can track the serving-path trajectory alongside `BENCH_sim.json`.
 //!
 //! Modes measured (interleaved best-of-N, like `bench_sim`):
 //!
-//! * `serve_batched` — the scheduler with LLM batching on: each round's
-//!   requests across all jobs coalesce into one dispatch call;
-//! * `serve_scalar`  — same scheduler, batching off (one dispatch call
-//!   per request): isolates the batching win in call counts;
-//! * `solo_loop`     — the pre-serve baseline: one blocking
+//! * `serve_wave`   — the overlapped wave scheduler (default): LLM
+//!   batches dispatch while sim waves crunch in the background;
+//! * `serve_bsp`    — the BSP round oracle with LLM batching on: each
+//!   round's requests across all jobs coalesce into one dispatch call;
+//! * `serve_scalar` — the BSP scheduler, batching off (one dispatch
+//!   call per request): isolates the batching win in call counts;
+//! * `solo_loop`    — the pre-serve baseline: one blocking
 //!   `Mage::solve` after another, no shared design cache.
 //!
-//! The JSON also records the dispatch economics (requests vs batched
-//! calls) and design-cache hit rates — `serve_batched` must show
-//! strictly fewer LLM dispatch calls than requests on a multi-job
-//! stream, which is this harness's acceptance invariant.
+//! Besides wall time the JSON records a deterministic `scheduler`
+//! section — per-mode LLM dispatch calls, productive steps, sim waves
+//! launched, and overlapped steps (an LLM batch dispatched while a sim
+//! wave was in flight) — and asserts the wave invariants in-process:
+//! wave dispatch calls ≤ BSP's on the registry stream, wave overlap
+//! strictly positive, BSP overlap exactly zero, identical per-job work
+//! either way, and batched calls < requests (the PR 2 acceptance
+//! invariant).
 //!
 //! Usage: `cargo run --release -p mage-bench --bin bench_engine [out.json]`
 
@@ -22,7 +28,9 @@ use mage_core::experiments::unit_seed;
 use mage_core::{Mage, MageConfig, SystemKind, Task};
 use mage_llm::{SyntheticModel, SyntheticModelConfig};
 use mage_problems::SuiteId;
-use mage_serve::{synthetic_service, JobSpec, ServeEngine, ServeOptions, ServeStats};
+use mage_serve::{
+    synthetic_service, JobSpec, SchedMode, ServeEngine, ServeOptions, ServeStats,
+};
 use std::time::Instant;
 
 const RUNS_PER_PROBLEM: usize = 2;
@@ -47,7 +55,7 @@ fn stream_specs() -> Vec<JobSpec> {
 }
 
 /// One serve pass; returns (seconds, stats, cache hit/miss).
-fn run_serve(batch_llm: bool) -> (f64, ServeStats, usize, usize) {
+fn run_serve(sched: SchedMode, batch_llm: bool) -> (f64, ServeStats, usize, usize) {
     let specs = stream_specs();
     let service = synthetic_service(&specs);
     let mut engine = ServeEngine::new(
@@ -57,6 +65,7 @@ fn run_serve(batch_llm: bool) -> (f64, ServeStats, usize, usize) {
                 .unwrap_or(1),
             batch_llm,
             max_in_flight: 0,
+            sched,
         },
         service,
     );
@@ -93,25 +102,47 @@ fn main() {
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
     let jobs = stream_specs().len();
 
-    // Interleave the three modes so load drift hits all equally.
-    let (mut batched_s, mut scalar_s, mut solo_s) =
-        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-    let mut batched_stats: Option<(ServeStats, usize, usize)> = None;
+    // Interleave the four modes so load drift hits all equally.
+    let (mut wave_s, mut bsp_s, mut scalar_s, mut solo_s) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut wave_stats: Option<(ServeStats, usize, usize)> = None;
+    let mut bsp_stats: Option<ServeStats> = None;
     let mut scalar_stats: Option<ServeStats> = None;
     for _ in 0..SAMPLES {
-        let (s, stats, hits, misses) = run_serve(true);
-        batched_s = batched_s.min(s);
-        batched_stats.get_or_insert((stats, hits, misses));
-        let (s, stats, _, _) = run_serve(false);
+        let (s, stats, hits, misses) = run_serve(SchedMode::Wave, true);
+        wave_s = wave_s.min(s);
+        wave_stats.get_or_insert((stats, hits, misses));
+        let (s, stats, _, _) = run_serve(SchedMode::Bsp, true);
+        bsp_s = bsp_s.min(s);
+        bsp_stats.get_or_insert(stats);
+        let (s, stats, _, _) = run_serve(SchedMode::Bsp, false);
         scalar_s = scalar_s.min(s);
         scalar_stats.get_or_insert(stats);
         solo_s = solo_s.min(run_solo());
     }
-    let (bstats, hits, misses) = batched_stats.expect("ran");
+    let (wstats, hits, misses) = wave_stats.expect("ran");
+    let bstats = bsp_stats.expect("ran");
     let sstats = scalar_stats.expect("ran");
 
-    // Acceptance invariant: on a multi-job stream, batching dispatches
-    // strictly fewer LLM calls than jobs×requests-per-job (= requests).
+    // Scheduler invariants, asserted in-process on the registry stream.
+    //
+    // Identical per-job work whatever the schedule…
+    assert_eq!(wstats.llm_requests, bstats.llm_requests);
+    assert_eq!(wstats.sim_requests, bstats.sim_requests);
+    assert_eq!(wstats.jobs_done, bstats.jobs_done);
+    // …the wave scheduler must coalesce at least as well as the BSP
+    // barrier (its coalescing join exists for exactly this)…
+    assert!(
+        wstats.llm_batch_calls <= bstats.llm_batch_calls,
+        "wave dispatches more LLM calls than BSP: {} vs {}",
+        wstats.llm_batch_calls,
+        bstats.llm_batch_calls
+    );
+    // …while actually overlapping sim under LLM (BSP never does)…
+    assert!(wstats.overlap_steps > 0, "wave mode never overlapped");
+    assert_eq!(bstats.overlap_steps, 0, "BSP rounds cannot overlap");
+    // …and batching must coalesce: strictly fewer LLM calls than
+    // requests on a multi-job stream, while scalar is 1:1.
     assert!(
         bstats.llm_batch_calls < bstats.llm_requests,
         "batched mode must coalesce: {} calls vs {} requests",
@@ -127,44 +158,60 @@ fn main() {
             jobs as f64 / secs
         );
     };
-    line("serve_batched", batched_s);
+    line("serve_wave", wave_s);
+    line("serve_bsp", bsp_s);
     line("serve_scalar", scalar_s);
     line("solo_loop", solo_s);
     println!(
-        "batched llm: {} requests in {} dispatch calls ({:.1} avg); scalar: {} calls; \
-         cache {hits} hits / {misses} misses",
-        bstats.llm_requests,
+        "wave llm: {} requests in {} dispatch calls ({:.1} avg, {} overlapped steps); \
+         bsp: {} calls; scalar: {} calls; cache {hits} hits / {misses} misses",
+        wstats.llm_requests,
+        wstats.llm_batch_calls,
+        wstats.llm_requests as f64 / wstats.llm_batch_calls.max(1) as f64,
+        wstats.overlap_steps,
         bstats.llm_batch_calls,
-        bstats.llm_requests as f64 / bstats.llm_batch_calls.max(1) as f64,
         sstats.llm_batch_calls,
     );
 
+    let sched_mode = |stats: &ServeStats| {
+        format!(
+            "{{ \"dispatch_calls\": {}, \"steps\": {}, \"sim_waves\": {}, \"overlap_steps\": {} }}",
+            stats.llm_batch_calls, stats.rounds, stats.sim_waves, stats.overlap_steps
+        )
+    };
     let json = format!(
         "{{\n  \"jobs\": {jobs},\n  \"modes\": {{\n    \
-         \"serve_batched\": {{ \"wall_s\": {batched_s:.6}, \"jobs_per_sec\": {:.3} }},\n    \
-         \"serve_scalar\":  {{ \"wall_s\": {scalar_s:.6}, \"jobs_per_sec\": {:.3} }},\n    \
-         \"solo_loop\":     {{ \"wall_s\": {solo_s:.6}, \"jobs_per_sec\": {:.3} }}\n  }},\n  \
+         \"serve_wave\":   {{ \"wall_s\": {wave_s:.6}, \"jobs_per_sec\": {:.3} }},\n    \
+         \"serve_bsp\":    {{ \"wall_s\": {bsp_s:.6}, \"jobs_per_sec\": {:.3} }},\n    \
+         \"serve_scalar\": {{ \"wall_s\": {scalar_s:.6}, \"jobs_per_sec\": {:.3} }},\n    \
+         \"solo_loop\":    {{ \"wall_s\": {solo_s:.6}, \"jobs_per_sec\": {:.3} }}\n  }},\n  \
          \"llm_dispatch\": {{\n    \
-         \"requests\": {},\n    \"batched_calls\": {},\n    \"scalar_calls\": {},\n    \
-         \"avg_batch_size\": {:.2}\n  }},\n  \
+         \"requests\": {},\n    \"wave_calls\": {},\n    \"bsp_calls\": {},\n    \
+         \"scalar_calls\": {},\n    \"avg_wave_batch_size\": {:.2}\n  }},\n  \
+         \"scheduler\": {{\n    \
+         \"wave\": {},\n    \"bsp\": {}\n  }},\n  \
          \"design_cache\": {{ \"hits\": {hits}, \"misses\": {misses} }},\n  \
-         \"rounds\": {},\n  \
-         \"notes\": \"serve_batched/serve_scalar = mage-serve round scheduler with LLM \
-         batching on/off (per-job synthetic models, shared design cache); solo_loop = \
-         sequential Mage::solve without serve. Stream = VerilogEval-Human x {RUNS_PER_PROBLEM} \
-         runs, high-temperature MAGE config, seed 0xBE. Wall times are interleaved \
-         best-of-{SAMPLES} minima; this container has a single CPU, so the scheduler's \
-         parallel sim pool shows no wall gain here — dispatch-call counts are the \
-         architecture signal. Regenerate with: cargo run --release -p mage-bench --bin \
-         bench_engine\"\n}}\n",
-        jobs as f64 / batched_s,
+         \"notes\": \"serve_wave = overlapped wave scheduler (default; coalescing join keeps \
+         dispatch calls <= BSP, asserted in-process along with overlap_steps > 0); serve_bsp = \
+         the retained BSP round oracle, batching on; serve_scalar = BSP with batching off; \
+         solo_loop = sequential Mage::solve without serve. All serve modes use per-job \
+         synthetic models and the shared design+score caches. Stream = VerilogEval-Human x \
+         {RUNS_PER_PROBLEM} runs, high-temperature MAGE config, seed 0xBE. Wall times are \
+         interleaved best-of-{SAMPLES} minima; this container has a single CPU, so the \
+         background sim wave shows no wall gain here — the scheduler section's deterministic \
+         counts (dispatch calls, sim waves, overlap steps) are the architecture signal. \
+         Regenerate with: cargo run --release -p mage-bench --bin bench_engine\"\n}}\n",
+        jobs as f64 / wave_s,
+        jobs as f64 / bsp_s,
         jobs as f64 / scalar_s,
         jobs as f64 / solo_s,
-        bstats.llm_requests,
+        wstats.llm_requests,
+        wstats.llm_batch_calls,
         bstats.llm_batch_calls,
         sstats.llm_batch_calls,
-        bstats.llm_requests as f64 / bstats.llm_batch_calls.max(1) as f64,
-        bstats.rounds,
+        wstats.llm_requests as f64 / wstats.llm_batch_calls.max(1) as f64,
+        sched_mode(&wstats),
+        sched_mode(&bstats),
     );
     std::fs::write(&out_path, json).expect("write baseline");
     println!("wrote {out_path}");

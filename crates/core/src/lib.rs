@@ -47,5 +47,6 @@ pub mod tables;
 pub use config::{MageConfig, SystemKind};
 pub use engine::{compile, Candidate, Mage, SolveTrace, Task};
 pub use solvejob::{
-    execute_sim, execute_sim_with, SimOutcome, SimRequest, SolveJob, SolveStep, StepInput,
+    execute_sim, execute_sim_with, PendingWork, SimOutcome, SimRequest, SolveJob, SolveStep,
+    StepInput,
 };

@@ -60,6 +60,39 @@ pub enum SolveStep {
     Done(Box<SolveTrace>),
 }
 
+/// A not-yet-dispatched external effect, parked per job by an
+/// overlapped scheduler.
+///
+/// The BSP round engine resolves every [`SolveStep`] within the round
+/// that produced it, so a request never outlives its round. A wave
+/// scheduler instead *parks* the request — in an LLM queue waiting for
+/// the next dispatch point, or in a sim queue waiting for the worker
+/// pool — while other jobs advance. This envelope is that parked state:
+/// it owns the request, so the job can be checkpointed mid-queue and
+/// the request re-enqueued on restore, and the response (arriving out
+/// of round) still routes to the right job by its queue tag.
+#[derive(Debug, Clone)]
+pub enum PendingWork {
+    /// An LLM request awaiting the next dispatch point.
+    Llm(LlmRequest),
+    /// A simulation request awaiting a worker-pool wave.
+    Sim(SimRequest),
+}
+
+impl SolveStep {
+    /// Convert a yielded step into its parked form, or the finished
+    /// trace. The overlapped scheduler calls this right after
+    /// [`SolveJob::advance`]: a request goes into a wave queue, a
+    /// terminal trace retires the job.
+    pub fn into_pending(self) -> Result<PendingWork, Box<SolveTrace>> {
+        match self {
+            SolveStep::NeedLlm(req) => Ok(PendingWork::Llm(req)),
+            SolveStep::NeedSim(req) => Ok(PendingWork::Sim(req)),
+            SolveStep::Done(trace) => Err(trace),
+        }
+    }
+}
+
 /// The resolved answer to the previously yielded [`SolveStep`].
 #[derive(Debug, Clone)]
 pub enum StepInput {

@@ -239,6 +239,23 @@ pub enum LlmResponse {
 }
 
 impl LlmResponse {
+    /// The sub-task this response answers — the mirror of
+    /// [`LlmRequest::task_kind`]. An overlapped scheduler that routes
+    /// responses back to jobs by tag (rather than by round position)
+    /// uses this to assert each routed response actually answers the
+    /// request the job parked: a mismatch means the service permuted or
+    /// fabricated tags, and is caught at the router instead of as a
+    /// confusing unwrap panic deep inside the job.
+    pub fn task_kind(&self) -> TaskKind {
+        match self {
+            LlmResponse::Rtl(_) => TaskKind::GenerateRtl,
+            LlmResponse::Tb(_) => TaskKind::GenerateTestbench,
+            LlmResponse::Judge(_) => TaskKind::Judge,
+            LlmResponse::Debug(_) => TaskKind::DebugRtl,
+            LlmResponse::Syntax(_) => TaskKind::FixSyntax,
+        }
+    }
+
     /// Token usage of the call behind this response.
     pub fn usage(&self) -> TokenUsage {
         match self {
@@ -411,6 +428,14 @@ mod tests {
             conversation: Arc::new(Conversation::new()),
         }));
         assert!(matches!(tb, LlmResponse::Tb(_)));
+    }
+
+    #[test]
+    fn response_task_kind_mirrors_request() {
+        let mut m = EchoModel { scalar_calls: 0 };
+        let req = rtl_call("z");
+        let resp = m.dispatch(&req);
+        assert_eq!(resp.task_kind(), req.task_kind());
     }
 
     #[test]

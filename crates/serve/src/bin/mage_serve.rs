@@ -9,6 +9,7 @@
 //!   --max-in-flight N     admission cap (0 = unlimited)  [32]
 //!   --seed S              master seed                    [0xCAFE]
 //!   --budget T            per-agent context token budget [4000]
+//!   --sched bsp|wave      scheduler mode                 [wave]
 //!   --low                 low-temperature config (default high)
 //!   --scalar              disable LLM batching (one call per request)
 //!   --no-grade            skip grading final answers
@@ -17,7 +18,7 @@
 use mage_core::experiments::unit_seed;
 use mage_core::{MageConfig, SystemKind};
 use mage_problems::SuiteId;
-use mage_serve::{synthetic_service, JobSpec, ServeEngine, ServeOptions};
+use mage_serve::{synthetic_service, JobSpec, SchedMode, ServeEngine, ServeOptions};
 
 struct Args {
     suite: String,
@@ -26,6 +27,7 @@ struct Args {
     max_in_flight: usize,
     seed: u64,
     budget: usize,
+    sched: SchedMode,
     low: bool,
     scalar: bool,
     grade: bool,
@@ -41,6 +43,7 @@ fn parse_args() -> Args {
         max_in_flight: 32,
         seed: 0xCAFE,
         budget: 4000,
+        sched: SchedMode::default(),
         low: false,
         scalar: false,
         grade: true,
@@ -60,6 +63,11 @@ fn parse_args() -> Args {
             }
             "--seed" => args.seed = value("--seed").parse().expect("--seed S"),
             "--budget" => args.budget = value("--budget").parse().expect("--budget T"),
+            "--sched" => {
+                let v = value("--sched");
+                args.sched = SchedMode::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown scheduler `{v}` (bsp|wave)"));
+            }
             "--low" => args.low = true,
             "--scalar" => args.scalar = true,
             "--no-grade" => args.grade = false,
@@ -111,12 +119,14 @@ fn main() {
         workers: args.workers,
         batch_llm: !args.scalar,
         max_in_flight: args.max_in_flight,
+        sched: args.sched,
     };
     println!(
-        "mage-serve: {} jobs ({} problems x {} runs), {} workers, batching {}, cap {}",
+        "mage-serve: {} jobs ({} problems x {} runs), {} sched, {} workers, batching {}, cap {}",
         specs.len(),
         problems.len(),
         args.runs,
+        opts.sched,
         opts.workers,
         if opts.batch_llm { "on" } else { "off" },
         if opts.max_in_flight == 0 {
@@ -150,8 +160,9 @@ fn main() {
 
     println!();
     println!(
-        "jobs        {:>8} done / {} pushed in {} rounds",
-        report.done, report.jobs, report.stats.rounds
+        "jobs        {:>8} done / {} pushed in {} steps ({} sim waves, {} overlapped)",
+        report.done, report.jobs, report.stats.rounds, report.stats.sim_waves,
+        report.stats.overlap_steps
     );
     println!(
         "throughput  {:>8.2} jobs/s   wall {:.2}s   latency mean {:.2}s max {:.2}s",
@@ -169,6 +180,10 @@ fn main() {
         report.cache_hits,
         report.cache_misses,
         100.0 * report.cache_hits as f64 / (report.cache_hits + report.cache_misses).max(1) as f64
+    );
+    println!(
+        "scores      {:>8} shared hits / {} misses / {} collisions",
+        report.score_hits, report.score_misses, report.score_collisions
     );
     println!(
         "tokens      {:>8} prompt + {} completion",

@@ -1,7 +1,10 @@
-//! The shared elaboration cache.
+//! The shared result caches: elaborations ([`DesignCache`]) and scoring
+//! outcomes ([`ScoreCache`]).
 
+use mage_core::solvejob::{SimOutcome, SimRequest};
 use mage_core::compile;
 use mage_sim::Design;
+use mage_tb::Testbench;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -125,6 +128,7 @@ impl DesignCache {
     /// entry either way.
     pub fn get_or_compile(&self, source: &str) -> Result<Arc<Design>, String> {
         let key = (self.hasher)(source);
+        let mut collided = false;
         {
             let mut inner = self.inner.lock().expect("design cache poisoned");
             let tick = inner.next_tick();
@@ -138,6 +142,7 @@ impl DesignCache {
                 // Distinct source on the same key: never serve the
                 // cached design — fall through to a real compile.
                 self.collisions.fetch_add(1, Ordering::Relaxed);
+                collided = true;
             }
         }
         // Compile outside the lock: elaboration is the expensive part,
@@ -150,8 +155,13 @@ impl DesignCache {
             // Raced with another worker compiling the same source.
             Some(entry) if entry.source == source => return entry.result.clone(),
             // Collision: the slot keeps the most recent source, so the
-            // side the stream is currently probing stays warm.
+            // side the stream is currently probing stays warm. Count it
+            // only if the first lock didn't already (a racer inserting
+            // the colliding entry between the two locks).
             Some(entry) => {
+                if !collided {
+                    self.collisions.fetch_add(1, Ordering::Relaxed);
+                }
                 *entry = Entry {
                     source: source.to_string(),
                     result: result.clone(),
@@ -203,6 +213,224 @@ impl DesignCache {
     /// Lookups whose key matched a *different* cached source (each one
     /// fell through to a real compile instead of returning the wrong
     /// design).
+    pub fn collisions(&self) -> usize {
+        self.collisions.load(Ordering::Relaxed)
+    }
+}
+
+/// Default [`ScoreCache`] entry bound. Scored outcomes carry full
+/// reports (one record per bench step), so the bound sits below the
+/// design cache's.
+pub const DEFAULT_SCORE_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct ScoreEntry {
+    /// The full identity text (candidate source + bench text) this
+    /// entry was scored under, verified on every hit — same collision
+    /// guard as [`DesignCache`].
+    identity: String,
+    outcome: SimOutcome,
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct ScoreInner {
+    map: HashMap<u64, ScoreEntry>,
+    tick: u64,
+}
+
+impl ScoreInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn evict_to(&mut self, capacity: usize) {
+        while self.map.len() >= capacity.max(1) && !self.map.is_empty() {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&k, _)| k)
+                .expect("non-empty map");
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// The canonical text of a bench for score keying: its full structural
+/// rendering. Two benches share scores iff this text is identical.
+fn bench_text(tb: &Testbench) -> String {
+    format!("{tb:?}")
+}
+
+/// The identity text a scored outcome is keyed under: candidate source
+/// and bench text, NUL-joined (Verilog source never contains NUL, so
+/// the pair cannot alias across the boundary).
+fn score_identity(source: &str, tb: &Testbench) -> String {
+    let mut s = String::with_capacity(source.len() + 64);
+    s.push_str(source);
+    s.push('\0');
+    s.push_str(&bench_text(tb));
+    s
+}
+
+/// A bounded map from `(candidate source, bench content)` to the full
+/// scoring outcome, shared across jobs exactly like [`DesignCache`].
+///
+/// Scores could not ride the design cache: a score depends on the
+/// *bench* the job generated, and benches are per-job artifacts. But
+/// they are still pure — [`mage_tb::run_testbench`] is a deterministic
+/// function of `(bench, design)`, and the design is a pure function of
+/// the source — so two jobs that generated *textually identical*
+/// benches for the same candidate source must observe the same report
+/// and score. This cache shares exactly those: the key is
+/// `fnv1a(source ++ NUL ++ bench text)` with the full identity text
+/// stored and verified on every hit (a colliding lookup falls through
+/// to a real simulation, mirroring the design cache's guard), and
+/// entries are LRU-evicted with promote-on-hit.
+///
+/// Compile-only probes (no bench) are never cached here — the design
+/// cache already covers them.
+#[derive(Debug)]
+pub struct ScoreCache {
+    inner: Mutex<ScoreInner>,
+    capacity: usize,
+    hasher: SourceHasher,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    collisions: AtomicUsize,
+}
+
+impl Default for ScoreCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SCORE_CAPACITY)
+    }
+}
+
+impl ScoreCache {
+    /// An empty cache with the [default capacity](DEFAULT_SCORE_CAPACITY).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache bounded to `capacity` entries (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_hasher(capacity, fnv1a_source)
+    }
+
+    /// An empty cache with an explicit identity hasher (tests inject
+    /// degenerate hashers to force key collisions, as for
+    /// [`DesignCache`]).
+    pub fn with_capacity_and_hasher(capacity: usize, hasher: SourceHasher) -> Self {
+        ScoreCache {
+            inner: Mutex::new(ScoreInner::default()),
+            capacity,
+            hasher,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            collisions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Resolve `req` through the cache: a scoring request whose
+    /// `(source, bench)` identity was seen before returns the cached
+    /// outcome; anything else runs `execute` (and, for scoring
+    /// requests, caches the result). Two workers racing on the same new
+    /// identity may both simulate; the outcomes are identical and the
+    /// first insert wins.
+    pub fn get_or_run(
+        &self,
+        req: &SimRequest,
+        execute: impl FnOnce(&SimRequest) -> SimOutcome,
+    ) -> SimOutcome {
+        let Some(bench) = &req.bench else {
+            // Compile-only probe: the design cache's territory.
+            return execute(req);
+        };
+        let identity = score_identity(&req.source, bench);
+        let key = (self.hasher)(&identity);
+        let mut collided = false;
+        {
+            let mut inner = self.inner.lock().expect("score cache poisoned");
+            let tick = inner.next_tick();
+            if let Some(entry) = inner.map.get_mut(&key) {
+                if entry.identity == identity {
+                    entry.stamp = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return entry.outcome.clone();
+                }
+                // Distinct identity on the same key: never serve the
+                // cached outcome — fall through to a real run.
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+                collided = true;
+            }
+        }
+        // Simulate outside the lock; scoring dwarfs the map ops.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = execute(req);
+        let mut inner = self.inner.lock().expect("score cache poisoned");
+        let tick = inner.next_tick();
+        match inner.map.get_mut(&key) {
+            // Raced with another worker on the same identity.
+            Some(entry) if entry.identity == identity => return entry.outcome.clone(),
+            // Collision: keep the most recent identity warm. Count it
+            // only if the first lock didn't already (a racer inserting
+            // the colliding entry between the two locks).
+            Some(entry) => {
+                if !collided {
+                    self.collisions.fetch_add(1, Ordering::Relaxed);
+                }
+                *entry = ScoreEntry {
+                    identity,
+                    outcome: outcome.clone(),
+                    stamp: tick,
+                };
+                return outcome;
+            }
+            None => {}
+        }
+        if self.capacity > 0 {
+            inner.evict_to(self.capacity);
+        }
+        inner.map.insert(
+            key,
+            ScoreEntry {
+                identity,
+                outcome: outcome.clone(),
+                stamp: tick,
+            },
+        );
+        outcome
+    }
+
+    /// Number of distinct `(source, bench)` identities cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("score cache poisoned").map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entry bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Scoring lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Scoring lookups that simulated.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups whose key matched a *different* cached identity (each
+    /// fell through to a real simulation).
     pub fn collisions(&self) -> usize {
         self.collisions.load(Ordering::Relaxed)
     }
@@ -316,6 +544,116 @@ mod tests {
             );
         }
         assert!(cache.hits() >= 32);
+    }
+
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    fn bench(name: &str, steps: usize) -> Arc<Testbench> {
+        Arc::new(Testbench {
+            name: name.to_string(),
+            clock: None,
+            steps: (0..steps).map(|_| Default::default()).collect(),
+        })
+    }
+
+    fn score_req(source: &str, bench: Option<Arc<Testbench>>) -> SimRequest {
+        SimRequest {
+            source: source.to_string(),
+            design: None,
+            bench,
+        }
+    }
+
+    fn fake_outcome(score: f64) -> SimOutcome {
+        SimOutcome {
+            design: Err("stub".into()),
+            report: None,
+            score,
+        }
+    }
+
+    #[test]
+    fn identical_source_and_bench_share_one_simulation() {
+        let cache = ScoreCache::new();
+        let runs = Counter::new(0);
+        let req = score_req(GOOD, Some(bench("tb", 2)));
+        let run = |r: &SimRequest| {
+            let _ = r;
+            runs.fetch_add(1, Ordering::Relaxed);
+            fake_outcome(0.75)
+        };
+        let a = cache.get_or_run(&req, run);
+        let b = cache.get_or_run(&req, run);
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "second lookup must hit");
+        assert_eq!(a.score, b.score);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn different_bench_text_does_not_share_scores() {
+        let cache = ScoreCache::new();
+        let runs = Counter::new(0);
+        let run = |_: &SimRequest| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            fake_outcome(0.5)
+        };
+        cache.get_or_run(&score_req(GOOD, Some(bench("tb", 2))), run);
+        cache.get_or_run(&score_req(GOOD, Some(bench("tb", 3))), run);
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            2,
+            "a structurally different bench must score fresh"
+        );
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn compile_only_probes_bypass_the_score_cache() {
+        let cache = ScoreCache::new();
+        let runs = Counter::new(0);
+        let run = |_: &SimRequest| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            fake_outcome(0.0)
+        };
+        cache.get_or_run(&score_req(GOOD, None), run);
+        cache.get_or_run(&score_req(GOOD, None), run);
+        assert_eq!(runs.load(Ordering::Relaxed), 2);
+        assert!(cache.is_empty(), "probes must not occupy score slots");
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn colliding_score_identities_both_run_fresh() {
+        let cache = ScoreCache::with_capacity_and_hasher(8, collide_all);
+        let tb = bench("tb", 1);
+        let a = cache.get_or_run(&score_req(&src("m_a"), Some(Arc::clone(&tb))), |_| {
+            fake_outcome(0.25)
+        });
+        // Same key, different identity: must NOT serve m_a's outcome.
+        let b = cache.get_or_run(&score_req(&src("m_b"), Some(Arc::clone(&tb))), |_| {
+            fake_outcome(0.75)
+        });
+        assert_eq!(a.score, 0.25);
+        assert_eq!(b.score, 0.75, "collision must not serve the wrong score");
+        assert_eq!(cache.collisions(), 1);
+        assert_eq!(cache.len(), 1, "one slot thrashes; correctness holds");
+    }
+
+    #[test]
+    fn score_lru_promotes_on_hit() {
+        let cache = ScoreCache::with_capacity(2);
+        let tb = bench("tb", 1);
+        let req = |name: &str| score_req(&src(name), Some(Arc::clone(&tb)));
+        cache.get_or_run(&req("m_a"), |_| fake_outcome(0.1)); // oldest insert…
+        cache.get_or_run(&req("m_b"), |_| fake_outcome(0.2));
+        cache.get_or_run(&req("m_a"), |_| fake_outcome(9.9)); // …but recently hit
+        cache.get_or_run(&req("m_c"), |_| fake_outcome(0.3)); // evicts m_b
+        let misses = cache.misses();
+        let a = cache.get_or_run(&req("m_a"), |_| fake_outcome(9.9));
+        assert_eq!(cache.misses(), misses, "promoted entry must survive");
+        assert_eq!(a.score, 0.1, "hit returns the original outcome");
+        cache.get_or_run(&req("m_b"), |_| fake_outcome(0.2));
+        assert_eq!(cache.misses(), misses + 1, "unpromoted entry evicted");
     }
 
     #[test]

@@ -15,46 +15,77 @@
 //!
 //! — and consumes their answers through `advance(StepInput)`. Because a
 //! job never blocks, the [`ServeEngine`] can interleave hundreds of
-//! them in **rounds** (bulk-synchronous style):
+//! them. *How* they interleave is the scheduler mode
+//! ([`ServeOptions::sched`]).
 //!
-//! 1. *Admit* queued jobs up to `max_in_flight`, in job order.
-//! 2. *Advance* every runnable job once with its resolved input; jobs
+//! # The wave scheduler (default, [`SchedMode::Wave`])
+//!
+//! Jobs live in per-need queues. Each iteration:
+//!
+//! 1. *Wave boundary*: drain the streaming [`JobIntake`], re-enqueue
+//!    restored checkpoints' parked requests, admit queued jobs up to
+//!    `max_in_flight` (job order).
+//! 2. *Advance* every job holding a resolved input once; each new need
+//!    parks as [`mage_core::PendingWork`] in the LLM or sim queue; jobs
 //!    that finish retire with their [`mage_core::SolveTrace`].
-//! 3. *Dispatch LLM*: all `NeedLlm` requests of the round — across all
-//!    jobs — go to the [`LlmService`] as **one batch** (one
-//!    [`mage_llm::RtlLanguageModel::generate_batch`]-shaped call when
-//!    batching is on, scalar calls when off).
-//! 4. *Simulate*: all `NeedSim` requests run on a pool of `workers`
-//!    threads, compiling through the shared [`DesignCache`].
+//! 3. *Launch*: if the sim pool is idle, the whole sim queue leaves as
+//!    one **background wave** on `workers` threads (compiling through
+//!    the shared [`DesignCache`], scoring through the [`ScoreCache`]).
+//! 4. *Dispatch point*: whenever the LLM queue is non-empty it is cut
+//!    as **one** coalesced [`LlmService`] batch — while the sim wave
+//!    keeps crunching underneath. Only an empty LLM queue joins the
+//!    wave. Sim latency thus hides under LLM latency instead of
+//!    alternating with it; [`ServeStats::overlap_steps`] counts how
+//!    often that overlap actually happened.
+//!
+//! # The BSP oracle ([`SchedMode::Bsp`])
+//!
+//! The original bulk-synchronous engine, kept verbatim as the
+//! differential oracle: every job advances once per round, then the
+//! round's LLM batch dispatches, then the round's sims run — each phase
+//! a global barrier, so sim time and LLM time strictly alternate.
 //!
 //! # Determinism
 //!
-//! Rounds are barriers, so the *schedule* — which requests coalesce
-//! into which batch, and in which order — is a pure function of job
-//! states, never of thread timing. With per-job models
-//! ([`PerJobModels`], one independently seeded backend per job) every
-//! trace is bit-identical whether the engine runs with 1, 2 or 8
-//! workers, and identical to driving each job alone through
-//! [`mage_core::Mage::solve`]. The determinism suite sweeps exactly
-//! this.
+//! In both modes the *schedule* — which requests coalesce into which
+//! batch, and in which order — is a pure function of job states and
+//! queue contents, never of thread timing: the wave scheduler joins its
+//! background sim wave only at deterministically chosen points (an
+//! empty LLM queue, a checkpoint), never by polling for completion.
+//! With per-job models ([`PerJobModels`], one independently seeded
+//! backend per job) every trace is bit-identical whether the engine
+//! runs with 1, 2 or 8 workers, in wave or BSP mode, and identical to
+//! driving each job alone through [`mage_core::Mage::solve`]. The
+//! determinism suite sweeps exactly this grid.
+//!
+//! # Streaming admission
+//!
+//! With the global round barrier gone, jobs are admitted at wave
+//! boundaries, so [`ServeEngine::push_job`] is valid mid-run between
+//! steps, and [`ServeEngine::intake`] hands out a clonable, thread-safe
+//! [`JobIntake`]: submissions land while `run` is blocking and are
+//! admitted at the next boundary; an idle engine parks on the intake
+//! and `run` returns once it is closed and drained.
 //!
 //! # Cache keying
 //!
-//! The [`DesignCache`] maps `fnv1a(source text) → elaboration result`.
-//! Elaboration is a pure function of the source, so a cache entry is
-//! valid for every job, ablation and bench — identical candidates
-//! (common under sampling: many jobs rediscover the golden design or
-//! the same near-miss) elaborate once per stream instead of once per
-//! encounter. Scores are **not** shared across jobs: they depend on the
-//! job's generated bench, and stay in the job's private score cache.
+//! The [`DesignCache`] maps `fnv1a(source text) → elaboration result`
+//! with the full text verified on every hit. Elaboration is a pure
+//! function of the source, so a cache entry is valid for every job,
+//! ablation and bench. The [`ScoreCache`] extends the same idea to
+//! scoring: keyed by `fnv1a(candidate source ++ bench text)` (again
+//! full-text-verified), it shares complete scoring outcomes between
+//! jobs that generated textually identical benches — scores are pure in
+//! `(source, bench)`, so sharing cannot leak state between solves.
 //!
 //! # Checkpointing
 //!
 //! A running job can be [`ServeEngine::checkpoint`]ed — lifted out of
-//! the engine as a value (job state + pending input + its model state
-//! from the service) — held arbitrarily long, and
-//! [`ServeEngine::restore`]d into the same or another engine, resuming
-//! mid-solve with bit-identical results.
+//! the engine as a value (job state + pending input *or* parked
+//! request + its model state from the service) — held arbitrarily
+//! long, and [`ServeEngine::restore`]d into the same or another engine,
+//! in either scheduler mode, resuming mid-solve with bit-identical
+//! results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,9 +93,13 @@
 mod cache;
 mod scheduler;
 mod service;
+mod wave;
 
-pub use cache::{DesignCache, SourceHasher, DEFAULT_CACHE_CAPACITY};
+pub use cache::{
+    DesignCache, ScoreCache, SourceHasher, DEFAULT_CACHE_CAPACITY, DEFAULT_SCORE_CAPACITY,
+};
 pub use scheduler::{
-    JobCheckpoint, JobId, JobSpec, ServeEngine, ServeOptions, ServeReport, ServeStats,
+    JobCheckpoint, JobId, JobIntake, JobSpec, SchedMode, ServeEngine, ServeOptions, ServeReport,
+    ServeStats,
 };
 pub use service::{synthetic_service, LlmService, PerJobModels, SharedModel};

@@ -1,15 +1,21 @@
-//! The round-based job engine. See the crate docs for the protocol.
+//! The job engine core: slots, admission, the BSP oracle round, and the
+//! mode switch to the overlapped wave scheduler in [`crate::wave`]. See
+//! the crate docs for the protocol.
 
-use crate::cache::DesignCache;
+use crate::cache::{DesignCache, ScoreCache};
 use crate::service::LlmService;
-use mage_core::solvejob::{execute_sim_with, SimRequest, SolveJob, SolveStep, StepInput};
+use crate::wave::WaveState;
+use mage_core::solvejob::{
+    execute_sim_with, PendingWork, SimOutcome, SimRequest, SolveJob, SolveStep, StepInput,
+};
 use mage_core::{MageConfig, SolveTrace};
 use mage_llm::{LlmRequest, TokenUsage};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Identifies a job within one [`ServeEngine`] (its index in push
-/// order; also the key the [`LlmService`] sees).
+/// order; also the tag the [`LlmService`] echoes on responses).
 pub type JobId = usize;
 
 /// Everything needed to start one solve.
@@ -25,19 +31,57 @@ pub struct JobSpec {
     pub seed: u64,
 }
 
+/// Which scheduler advances the jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Bulk-synchronous rounds: every job advances once, then the
+    /// round's LLM batch dispatches, then the round's sims run — each
+    /// phase a global barrier. Kept verbatim as the differential
+    /// oracle: wave-mode traces must be bit-identical to BSP's.
+    Bsp,
+    /// The overlapped wave scheduler (default): per-need queues, LLM
+    /// batches cut whenever the LLM queue is non-empty at a dispatch
+    /// point, and sim waves draining on the worker pool *concurrently*
+    /// with LLM dispatch — sim latency hides under LLM latency.
+    #[default]
+    Wave,
+}
+
+impl SchedMode {
+    /// Parse a `--sched` flag value.
+    pub fn parse(s: &str) -> Option<SchedMode> {
+        match s {
+            "bsp" => Some(SchedMode::Bsp),
+            "wave" => Some(SchedMode::Wave),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SchedMode::Bsp => "bsp",
+            SchedMode::Wave => "wave",
+        })
+    }
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Sim worker threads per round (≥ 1). Results are identical at any
+    /// Sim worker threads per wave (≥ 1). Results are identical at any
     /// value; this only sets how much simulation runs concurrently.
     pub workers: usize,
-    /// Coalesce each round's LLM requests into one service batch. When
-    /// `false`, every request is its own dispatch call (the scalar
-    /// baseline `bench_engine` compares against).
+    /// Coalesce each dispatch point's LLM requests into one service
+    /// batch. When `false`, every request is its own dispatch call (the
+    /// scalar baseline `bench_engine` compares against).
     pub batch_llm: bool,
     /// Admission cap: at most this many jobs in flight (0 = unlimited).
     /// Bounds memory on long streams and staggers job start times.
     pub max_in_flight: usize,
+    /// Scheduler mode: overlapped waves (default) or the BSP oracle.
+    pub sched: SchedMode,
 }
 
 impl Default for ServeOptions {
@@ -48,6 +92,7 @@ impl Default for ServeOptions {
                 .unwrap_or(1),
             batch_llm: true,
             max_in_flight: 0,
+            sched: SchedMode::default(),
         }
     }
 }
@@ -55,17 +100,26 @@ impl Default for ServeOptions {
 /// Dispatch counters of one engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Rounds stepped.
+    /// Productive scheduler steps (BSP rounds / wave iterations that
+    /// admitted, advanced, dispatched, launched or joined something).
+    /// A step on an idle engine — e.g. every job paused — counts zero.
     pub rounds: usize,
     /// Individual LLM requests resolved.
     pub llm_requests: usize,
     /// Dispatch calls made to the [`LlmService`]. With batching on this
-    /// is one per round that had requests — strictly fewer than
-    /// `llm_requests` whenever jobs overlap; with batching off the two
-    /// counters are equal.
+    /// is one per dispatch point that had requests — strictly fewer
+    /// than `llm_requests` whenever jobs overlap; with batching off the
+    /// two counters are equal.
     pub llm_batch_calls: usize,
     /// Simulation requests executed.
     pub sim_requests: usize,
+    /// Sim batches launched on the worker pool (BSP: one per round with
+    /// sims; wave: one per wave).
+    pub sim_waves: usize,
+    /// Steps in which an LLM batch dispatched while a sim wave was
+    /// concurrently in flight — the overlap the wave scheduler exists
+    /// to create. Always zero in BSP mode (rounds alternate instead).
+    pub overlap_steps: usize,
     /// Jobs retired.
     pub jobs_done: usize,
     /// Token usage summed over retired jobs.
@@ -85,6 +139,14 @@ pub struct ServeReport {
     pub cache_hits: usize,
     /// Design-cache misses at report time.
     pub cache_misses: usize,
+    /// Design-cache key collisions at report time.
+    pub cache_collisions: usize,
+    /// Score-cache hits at report time.
+    pub score_hits: usize,
+    /// Score-cache misses at report time.
+    pub score_misses: usize,
+    /// Score-cache key collisions at report time.
+    pub score_collisions: usize,
     /// Wall-clock seconds spent inside [`ServeEngine::run`].
     pub wall_s: f64,
     /// Retired jobs per wall second (0 when nothing ran).
@@ -95,7 +157,7 @@ pub struct ServeReport {
     pub max_latency_s: f64,
 }
 
-enum JobPhase {
+pub(crate) enum JobPhase {
     /// Waiting for an admission slot.
     Queued,
     /// In flight.
@@ -106,34 +168,38 @@ enum JobPhase {
     Done(Box<SolveTrace>),
 }
 
-struct JobSlot {
-    spec: JobSpec,
-    phase: JobPhase,
+pub(crate) struct JobSlot {
+    pub(crate) spec: JobSpec,
+    pub(crate) phase: JobPhase,
     /// Resolved input awaiting the next advance.
-    input: Option<StepInput>,
-    paused: bool,
+    pub(crate) input: Option<StepInput>,
+    /// A request the wave scheduler has parked in a queue (or a
+    /// restored checkpoint carried in). `input` and `pending` are
+    /// mutually exclusive: a job either holds an answer or awaits one.
+    pub(crate) pending: Option<PendingWork>,
+    pub(crate) paused: bool,
     /// Start of the current *active* interval; `None` while the clock
     /// is stopped (queued, paused, checkpointed, or restored but not
     /// yet advanced).
-    started_at: Option<Instant>,
+    pub(crate) started_at: Option<Instant>,
     /// Active time accrued over completed intervals. The job's latency
     /// is the sum of active intervals only: pausing stops the clock,
     /// resuming (or restoring) restarts it at the next advance, so wall
     /// time spent paused or parked is never charged to the job.
-    accrued: Duration,
-    latency: Option<Duration>,
+    pub(crate) accrued: Duration,
+    pub(crate) latency: Option<Duration>,
 }
 
 impl JobSlot {
     /// Stop the latency clock, banking the elapsed active interval.
-    fn stop_clock(&mut self) {
+    pub(crate) fn stop_clock(&mut self) {
         if let Some(t) = self.started_at.take() {
             self.accrued += t.elapsed();
         }
     }
 
     /// Start the latency clock unless already running.
-    fn start_clock(&mut self) {
+    pub(crate) fn start_clock(&mut self) {
         if self.started_at.is_none() {
             self.started_at = Some(Instant::now());
         }
@@ -141,63 +207,190 @@ impl JobSlot {
 }
 
 /// A mid-solve job lifted out of an engine: the state machine, its
-/// pending input, and the backend state the service held for it. A
-/// plain value — hold it, ship it, [`ServeEngine::restore`] it later.
+/// pending input *or* parked request, and the backend state the service
+/// held for it. A plain value — hold it, ship it,
+/// [`ServeEngine::restore`] it later (into either scheduler mode).
 pub struct JobCheckpoint {
     /// The job's spec (re-used on restore).
     pub spec: JobSpec,
     job: Box<SolveJob>,
     input: Option<StepInput>,
+    pending: Option<PendingWork>,
     model_state: Option<Box<dyn std::any::Any + Send>>,
     /// Active time spent before the checkpoint (latency carries over).
     accrued: Duration,
 }
 
-/// The concurrent solve engine. See the crate docs for the round
-/// protocol and determinism argument.
+struct IntakeState {
+    queue: VecDeque<JobSpec>,
+    closed: bool,
+}
+
+struct IntakeShared {
+    state: Mutex<IntakeState>,
+    cv: Condvar,
+}
+
+/// A clonable, thread-safe submission handle for streaming admission:
+/// jobs submitted here — from any thread, while the engine is mid-run —
+/// are admitted at the engine's next wave (or round) boundary, in
+/// submission order.
+///
+/// Once an engine has handed out an intake, [`ServeEngine::run`] serves
+/// until the intake is [`close`](JobIntake::close)d and drained: when no
+/// job can progress it parks on the intake instead of returning, and
+/// wakes on the next submission. Idle parked time is not charged to any
+/// job's latency (the per-job clocks are stopped).
+#[derive(Clone)]
+pub struct JobIntake {
+    shared: Arc<IntakeShared>,
+}
+
+impl JobIntake {
+    fn new() -> Self {
+        JobIntake {
+            shared: Arc::new(IntakeShared {
+                state: Mutex::new(IntakeState {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Submit a job for admission at the next wave boundary. Returns
+    /// `false` (dropping the spec) if the intake is already closed.
+    pub fn submit(&self, spec: JobSpec) -> bool {
+        let mut state = self.shared.state.lock().expect("intake poisoned");
+        if state.closed {
+            return false;
+        }
+        state.queue.push_back(spec);
+        self.shared.cv.notify_all();
+        true
+    }
+
+    /// Close the intake: no further submissions are accepted, and the
+    /// engine's `run` returns once everything already submitted drains.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().expect("intake poisoned");
+        state.closed = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// `true` once closed.
+    pub fn is_closed(&self) -> bool {
+        self.shared.state.lock().expect("intake poisoned").closed
+    }
+
+    fn drain(&self) -> Vec<JobSpec> {
+        let mut state = self.shared.state.lock().expect("intake poisoned");
+        state.queue.drain(..).collect()
+    }
+
+    fn has_queued(&self) -> bool {
+        !self
+            .shared
+            .state
+            .lock()
+            .expect("intake poisoned")
+            .queue
+            .is_empty()
+    }
+
+    /// Block until a submission arrives (`true`) or the intake closes
+    /// with an empty queue (`false`).
+    fn wait_for_work(&self) -> bool {
+        let mut state = self.shared.state.lock().expect("intake poisoned");
+        loop {
+            if !state.queue.is_empty() {
+                return true;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self.shared.cv.wait(state).expect("intake poisoned");
+        }
+    }
+}
+
+/// The concurrent solve engine. See the crate docs for the wave
+/// protocol, the BSP oracle, and the determinism argument.
 pub struct ServeEngine<S: LlmService> {
-    opts: ServeOptions,
-    service: S,
-    cache: Arc<DesignCache>,
-    jobs: Vec<JobSlot>,
-    /// Ids of jobs still queued or running — what a round iterates, so
-    /// long streams do not rescan retired slots every round.
-    live: Vec<JobId>,
+    pub(crate) opts: ServeOptions,
+    pub(crate) service: S,
+    pub(crate) cache: Arc<DesignCache>,
+    pub(crate) scores: Arc<ScoreCache>,
+    pub(crate) jobs: Vec<JobSlot>,
+    /// Ids of jobs still queued or running — what a step iterates, so
+    /// long streams do not rescan retired slots every step.
+    pub(crate) live: Vec<JobId>,
     /// Count of slots currently in `JobPhase::Running`.
-    running: usize,
-    stats: ServeStats,
+    pub(crate) running: usize,
+    /// Restored checkpoints whose parked request still needs
+    /// (re-)enqueueing, swept at the next step in either mode.
+    pub(crate) restored: Vec<JobId>,
+    pub(crate) wave: WaveState,
+    intake: Option<JobIntake>,
+    pub(crate) stats: ServeStats,
     wall: Duration,
 }
 
 impl<S: LlmService> ServeEngine<S> {
-    /// An engine with a fresh private [`DesignCache`].
+    /// An engine with fresh private caches.
     pub fn new(opts: ServeOptions, service: S) -> Self {
-        Self::with_cache(opts, service, Arc::new(DesignCache::new()))
+        Self::with_caches(
+            opts,
+            service,
+            Arc::new(DesignCache::new()),
+            Arc::new(ScoreCache::new()),
+        )
     }
 
-    /// An engine compiling through a shared cache (e.g. one cache
-    /// spanning several engines or a warm cache from a prior stream).
+    /// An engine compiling through a shared design cache (e.g. one
+    /// cache spanning several engines or a warm cache from a prior
+    /// stream), with a fresh private score cache.
     pub fn with_cache(opts: ServeOptions, service: S, cache: Arc<DesignCache>) -> Self {
+        Self::with_caches(opts, service, cache, Arc::new(ScoreCache::new()))
+    }
+
+    /// An engine sharing both the design and the score cache.
+    pub fn with_caches(
+        opts: ServeOptions,
+        service: S,
+        cache: Arc<DesignCache>,
+        scores: Arc<ScoreCache>,
+    ) -> Self {
         assert!(opts.workers >= 1, "at least one sim worker");
         ServeEngine {
             opts,
             service,
             cache,
+            scores,
             jobs: Vec::new(),
             live: Vec::new(),
             running: 0,
+            restored: Vec::new(),
+            wave: WaveState::default(),
+            intake: None,
             stats: ServeStats::default(),
             wall: Duration::ZERO,
         }
     }
 
-    /// Queue a job; it is admitted in push order as slots free up.
+    /// Queue a job; it is admitted in push order as slots free up. With
+    /// the global round barrier gone this is valid at any time — before
+    /// the first step, or between steps mid-run (the job is admitted at
+    /// the next wave boundary). For cross-thread submission while `run`
+    /// is blocking, use [`ServeEngine::intake`].
     pub fn push_job(&mut self, spec: JobSpec) -> JobId {
         let id = self.jobs.len();
         self.jobs.push(JobSlot {
             spec,
             phase: JobPhase::Queued,
             input: None,
+            pending: None,
             paused: false,
             started_at: None,
             accrued: Duration::ZERO,
@@ -207,9 +400,27 @@ impl<S: LlmService> ServeEngine<S> {
         id
     }
 
+    /// The streaming-admission handle (created on first call). Clone it
+    /// into producer threads; see [`JobIntake`] for the `run` contract.
+    pub fn intake(&mut self) -> JobIntake {
+        self.intake.get_or_insert_with(JobIntake::new).clone()
+    }
+
     /// The shared design cache.
     pub fn cache(&self) -> &Arc<DesignCache> {
         &self.cache
+    }
+
+    /// The shared score cache.
+    pub fn scores(&self) -> &Arc<ScoreCache> {
+        &self.scores
+    }
+
+    /// Requests currently parked in the `(LLM, sim)` wave queues —
+    /// observability for drivers and tests (always `(0, 0)` in BSP
+    /// mode, which resolves every request inside its round).
+    pub fn queued_wave_work(&self) -> (usize, usize) {
+        (self.wave.llm_q.len(), self.wave.sim_q.len())
     }
 
     /// Dispatch counters so far.
@@ -249,7 +460,10 @@ impl<S: LlmService> ServeEngine<S> {
 
     /// Pause a job: it keeps its slot and state but is not advanced (a
     /// queued job is also not admitted) until [`ServeEngine::resume_job`].
-    /// The latency clock stops — paused wall time is not charged.
+    /// The latency clock stops — paused wall time is not charged. A
+    /// request the job already parked in a wave queue may still be
+    /// *resolved* while paused (its answer is held as the job's input);
+    /// the job's own state machine does not move.
     pub fn pause_job(&mut self, id: JobId) {
         if let Some(slot) = self.jobs.get_mut(id) {
             slot.paused = true;
@@ -267,37 +481,55 @@ impl<S: LlmService> ServeEngine<S> {
 
     /// Lift a running job out of the engine mid-solve. Its slot becomes
     /// `Parked` (never advanced again); the returned checkpoint carries
-    /// the state machine, the pending input, and the model state the
-    /// service held for the job.
+    /// the state machine, the pending input *or* parked request, and
+    /// the model state the service held for the job.
+    ///
+    /// In wave mode an in-flight sim wave is joined first (its results
+    /// route to their jobs as usual) so the checkpointed job cannot
+    /// leave an answer in flight behind it; a request still sitting in
+    /// a wave queue travels inside the checkpoint and is re-enqueued on
+    /// restore.
     pub fn checkpoint(&mut self, id: JobId) -> Option<JobCheckpoint> {
-        let slot = self.jobs.get_mut(id)?;
-        if !matches!(slot.phase, JobPhase::Running(_)) {
+        // Validate before joining: an invalid request must be a true
+        // no-op, not a schedule-changing stall on the sim wave.
+        if !matches!(
+            self.jobs.get(id).map(|s| &s.phase),
+            Some(JobPhase::Running(_))
+        ) {
             return None;
         }
+        self.join_inflight_wave();
+        let slot = self.jobs.get_mut(id)?;
         let JobPhase::Running(job) = std::mem::replace(&mut slot.phase, JobPhase::Parked) else {
             unreachable!("checked above");
         };
         self.live.retain(|&lid| lid != id);
+        self.restored.retain(|&lid| lid != id);
+        self.wave.llm_q.retain(|&lid| lid != id);
+        self.wave.sim_q.retain(|&lid| lid != id);
         self.running -= 1;
         slot.stop_clock();
         Some(JobCheckpoint {
             spec: slot.spec.clone(),
             job,
             input: slot.input.take(),
+            pending: slot.pending.take(),
             model_state: self.service.export_job(id),
             accrued: slot.accrued,
         })
     }
 
-    /// Insert a checkpointed job (possibly from another engine) as a
-    /// new job of this one, resuming exactly where it left off. The
-    /// job's latency clock carries over from before the checkpoint.
+    /// Insert a checkpointed job (possibly from another engine, in
+    /// either scheduler mode) as a new job of this one, resuming
+    /// exactly where it left off. The job's latency clock carries over
+    /// from before the checkpoint.
     ///
     /// A restored job takes an in-flight slot immediately — it must
     /// resume with its exact state, so it is never re-queued. This can
     /// transiently exceed `max_in_flight`; the restored job counts
     /// toward the cap, so further *admissions* stall until the stream
-    /// drains back below it.
+    /// drains back below it. A request the job had parked in a wave
+    /// queue at checkpoint time is re-enqueued at the next step.
     ///
     /// Service contract: for a *stateful* per-job service (e.g.
     /// [`crate::PerJobModels`]) the checkpoint must carry the exported
@@ -312,10 +544,12 @@ impl<S: LlmService> ServeEngine<S> {
         if let Some(state) = ck.model_state {
             self.service.import_job(id, state);
         }
+        let has_pending = ck.pending.is_some();
         self.jobs.push(JobSlot {
             spec: ck.spec,
             phase: JobPhase::Running(ck.job),
             input: ck.input,
+            pending: ck.pending,
             paused: false,
             // The clock restarts at the job's first advance, not at
             // restore time — the target engine may sit idle arbitrarily
@@ -327,10 +561,13 @@ impl<S: LlmService> ServeEngine<S> {
         });
         self.live.push(id);
         self.running += 1;
+        if has_pending {
+            self.restored.push(id);
+        }
         id
     }
 
-    fn admission_cap(&self) -> usize {
+    pub(crate) fn admission_cap(&self) -> usize {
         if self.opts.max_in_flight == 0 {
             usize::MAX
         } else {
@@ -338,28 +575,21 @@ impl<S: LlmService> ServeEngine<S> {
         }
     }
 
-    /// Is there anything a further round could do?
-    fn progress_possible(&self) -> bool {
-        let can_advance = self.live.iter().any(|&id| {
-            let j = &self.jobs[id];
-            !j.paused && matches!(j.phase, JobPhase::Running(_)) && j.input.is_some()
-        });
-        if can_advance {
-            return true;
+    /// Pull intake submissions into the job list, in submission order.
+    pub(crate) fn drain_intake(&mut self) {
+        let Some(intake) = &self.intake else {
+            return;
+        };
+        for spec in intake.drain() {
+            self.push_job(spec);
         }
-        let can_admit = self.live.iter().any(|&id| {
-            let j = &self.jobs[id];
-            !j.paused && matches!(j.phase, JobPhase::Queued)
-        });
-        can_admit && self.running < self.admission_cap()
     }
 
-    /// Execute one round (admit → advance → dispatch LLM batch → run
-    /// sims). Returns `true` while a further round could make progress —
-    /// `false` means every job is retired, parked or paused.
-    pub fn step_round(&mut self) -> bool {
-        // 1. Admission, in job order over the live set.
+    /// Admission, in job order over the live set. Returns how many jobs
+    /// started.
+    pub(crate) fn admit(&mut self) -> usize {
         let cap = self.admission_cap();
+        let mut admitted = 0;
         for ix in 0..self.live.len() {
             if self.running >= cap {
                 break;
@@ -375,12 +605,129 @@ impl<S: LlmService> ServeEngine<S> {
                 slot.input = Some(StepInput::Start);
                 slot.start_clock();
                 self.running += 1;
+                admitted += 1;
             }
         }
+        admitted
+    }
 
-        // 2. Advance every runnable job once, in job order.
+    /// Retire `ids`: drop them from the live set and release service
+    /// state. (The slots were already moved to `Done` by the caller.)
+    pub(crate) fn retire(&mut self, retired: Vec<JobId>) {
+        if retired.is_empty() {
+            return;
+        }
+        self.running -= retired.len();
+        self.live.retain(|id| !retired.contains(id));
+        for id in retired {
+            self.service.finish_job(id);
+        }
+    }
+
+    /// Resolve one batch of LLM requests — one coalesced service call,
+    /// or scalar calls when batching is off — and route every tagged
+    /// response to its job's input slot.
+    pub(crate) fn dispatch_llm(&mut self, batch: Vec<(JobId, LlmRequest)>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.stats.llm_requests += batch.len();
+        // Remember what each job asked for, so tag routing can verify
+        // the response actually answers it (consumed on use, so a
+        // duplicate or unknown tag is caught here).
+        let mut expected: std::collections::HashMap<JobId, mage_llm::TaskKind> = batch
+            .iter()
+            .map(|(id, req)| (*id, req.task_kind()))
+            .collect();
+        let n = expected.len();
+        let mut responses = Vec::with_capacity(batch.len());
+        if self.opts.batch_llm {
+            self.stats.llm_batch_calls += 1;
+            responses = self.service.run_batch(batch);
+        } else {
+            for item in batch {
+                self.stats.llm_batch_calls += 1;
+                responses.extend(self.service.run_batch(vec![item]));
+            }
+        }
+        assert_eq!(responses.len(), n, "LlmService returned a short batch");
+        for (id, resp) in responses {
+            let want = expected.remove(&id).unwrap_or_else(|| {
+                panic!("LlmService answered unknown or already-answered job {id}")
+            });
+            assert_eq!(
+                resp.task_kind(),
+                want,
+                "LlmService response for job {id} answers the wrong task"
+            );
+            self.jobs[id].input = Some(StepInput::Llm(resp));
+        }
+    }
+
+    /// Is there anything a further step could do?
+    pub(crate) fn progress_possible(&self) -> bool {
+        if !self.wave.llm_q.is_empty()
+            || !self.wave.sim_q.is_empty()
+            || self.wave.inflight.is_some()
+            || !self.restored.is_empty()
+        {
+            return true;
+        }
+        if self.intake.as_ref().is_some_and(|i| i.has_queued()) {
+            return true;
+        }
+        let can_advance = self.live.iter().any(|&id| {
+            let j = &self.jobs[id];
+            !j.paused && matches!(j.phase, JobPhase::Running(_)) && j.input.is_some()
+        });
+        if can_advance {
+            return true;
+        }
+        let can_admit = self.live.iter().any(|&id| {
+            let j = &self.jobs[id];
+            !j.paused && matches!(j.phase, JobPhase::Queued)
+        });
+        can_admit && self.running < self.admission_cap()
+    }
+
+    /// Execute one scheduler step in the configured mode (a BSP round,
+    /// or one wave iteration). Returns `true` while a further step
+    /// could make progress — `false` means every job is retired, parked
+    /// or paused, and nothing is queued or in flight.
+    pub fn step(&mut self) -> bool {
+        match self.opts.sched {
+            SchedMode::Bsp => self.step_bsp(),
+            SchedMode::Wave => self.step_wave(),
+        }
+    }
+
+    /// Execute one BSP round (admit → advance every job once → dispatch
+    /// the round's LLM batch → run the round's sims). This is the
+    /// retained differential oracle; kept byte-for-byte equivalent to
+    /// the pre-wave `step_round`, plus the sweep that re-enqueues a
+    /// restored checkpoint's parked request.
+    fn step_bsp(&mut self) -> bool {
+        // 0. Streaming intake, then restored-checkpoint requests: a
+        //    checkpoint lifted out of a wave engine may carry a parked
+        //    request; it joins this round's batches directly.
+        self.drain_intake();
         let mut llm_needs: Vec<(JobId, LlmRequest)> = Vec::new();
         let mut sim_needs: Vec<(JobId, SimRequest)> = Vec::new();
+        let mut swept = 0usize;
+        for id in std::mem::take(&mut self.restored) {
+            match self.jobs[id].pending.take() {
+                Some(PendingWork::Llm(req)) => llm_needs.push((id, req)),
+                Some(PendingWork::Sim(req)) => sim_needs.push((id, req)),
+                None => continue,
+            }
+            swept += 1;
+        }
+
+        // 1. Admission, in job order over the live set.
+        self.admit();
+
+        // 2. Advance every runnable job once, in job order.
+        let mut advanced = 0usize;
         let mut retired: Vec<JobId> = Vec::new();
         for ix in 0..self.live.len() {
             let id = self.live[ix];
@@ -400,6 +747,7 @@ impl<S: LlmService> ServeEngine<S> {
             let JobPhase::Running(job) = &mut slot.phase else {
                 unreachable!("checked above");
             };
+            advanced += 1;
             match job.advance(input) {
                 SolveStep::NeedLlm(req) => llm_needs.push((id, req)),
                 SolveStep::NeedSim(req) => sim_needs.push((id, req)),
@@ -413,65 +761,45 @@ impl<S: LlmService> ServeEngine<S> {
                 }
             }
         }
-        if !retired.is_empty() {
-            self.running -= retired.len();
-            self.live.retain(|id| !retired.contains(id));
-            for id in retired {
-                self.service.finish_job(id);
-            }
-        }
+        self.retire(retired);
 
         // 3. LLM dispatch: the whole round's requests as one batch, or
         //    scalar calls when batching is off.
-        if !llm_needs.is_empty() {
-            self.stats.llm_requests += llm_needs.len();
-            if self.opts.batch_llm {
-                self.stats.llm_batch_calls += 1;
-                let ids: Vec<JobId> = llm_needs.iter().map(|(id, _)| *id).collect();
-                let responses = self.service.run_batch(llm_needs);
-                assert_eq!(
-                    responses.len(),
-                    ids.len(),
-                    "LlmService returned a short batch"
-                );
-                for (id, resp) in ids.into_iter().zip(responses) {
-                    self.jobs[id].input = Some(StepInput::Llm(resp));
-                }
-            } else {
-                for (id, req) in llm_needs {
-                    self.stats.llm_batch_calls += 1;
-                    let resp = self
-                        .service
-                        .run_batch(vec![(id, req)])
-                        .pop()
-                        .expect("one response for one request");
-                    self.jobs[id].input = Some(StepInput::Llm(resp));
-                }
-            }
-        }
+        self.dispatch_llm(llm_needs);
 
-        // 4. Simulation on the worker pool, through the shared cache.
+        // 4. Simulation on the worker pool, through the shared caches.
         if !sim_needs.is_empty() {
             self.stats.sim_requests += sim_needs.len();
-            let cache = Arc::clone(&self.cache);
-            let outcomes = rayon::scoped_map(self.opts.workers, sim_needs, move |(id, req)| {
-                let outcome = execute_sim_with(&req, |src| cache.get_or_compile(src));
-                (id, outcome)
-            });
+            self.stats.sim_waves += 1;
+            let outcomes =
+                run_sim_batch(self.opts.workers, &self.cache, &self.scores, sim_needs);
             for (id, outcome) in outcomes {
                 self.jobs[id].input = Some(StepInput::Sim(outcome));
             }
         }
 
-        self.stats.rounds += 1;
+        // A round on an idle engine (every job paused or parked) did no
+        // work and is not counted.
+        if advanced > 0 || swept > 0 {
+            self.stats.rounds += 1;
+        }
         self.progress_possible()
     }
 
-    /// Run rounds until no further progress is possible (all jobs
-    /// retired, parked, or paused), returning the stats.
+    /// Run steps until no further progress is possible (all jobs
+    /// retired, parked, or paused), returning the stats. If a streaming
+    /// [`ServeEngine::intake`] exists, an idle engine instead parks on
+    /// it and resumes on the next submission, returning only once the
+    /// intake is closed and drained.
     pub fn run(&mut self) -> &ServeStats {
         let t0 = Instant::now();
-        while self.step_round() {}
+        loop {
+            while self.step() {}
+            match &self.intake {
+                Some(intake) if intake.wait_for_work() => continue,
+                _ => break,
+            }
+        }
         self.wall += t0.elapsed();
         &self.stats
     }
@@ -492,6 +820,10 @@ impl<S: LlmService> ServeEngine<S> {
             stats: self.stats.clone(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            cache_collisions: self.cache.collisions(),
+            score_hits: self.scores.hits(),
+            score_misses: self.scores.misses(),
+            score_collisions: self.scores.collisions(),
             wall_s,
             jobs_per_sec: if wall_s > 0.0 {
                 self.stats.jobs_done as f64 / wall_s
@@ -506,4 +838,35 @@ impl<S: LlmService> ServeEngine<S> {
             max_latency_s: latencies.iter().cloned().fold(0.0, f64::max),
         }
     }
+}
+
+impl<S: LlmService> Drop for ServeEngine<S> {
+    /// Never leak a background sim wave: a driver that stops stepping
+    /// mid-wave (or unwinds out of a step) must not leave a detached
+    /// thread crunching a whole sim batch against the shared caches.
+    fn drop(&mut self) {
+        if let Some(handle) = self.wave.inflight.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Run one batch of sim requests on `workers` pool threads, resolving
+/// each through the score cache (scoring requests) and the design cache
+/// (compiles). Pure per item, so results are identical at any worker
+/// count; outcomes return in input order.
+pub(crate) fn run_sim_batch(
+    workers: usize,
+    cache: &Arc<DesignCache>,
+    scores: &Arc<ScoreCache>,
+    batch: Vec<(JobId, SimRequest)>,
+) -> Vec<(JobId, SimOutcome)> {
+    let cache = Arc::clone(cache);
+    let scores = Arc::clone(scores);
+    rayon::scoped_map(workers, batch, move |(id, req)| {
+        let outcome = scores.get_or_run(&req, |r| {
+            execute_sim_with(r, |src| cache.get_or_compile(src))
+        });
+        (id, outcome)
+    })
 }

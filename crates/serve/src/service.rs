@@ -6,8 +6,17 @@ use mage_llm::{LlmRequest, LlmResponse, RtlLanguageModel, SyntheticModel, Synthe
 use std::any::Any;
 use std::collections::HashMap;
 
-/// The scheduler-facing dispatch surface. One call resolves one round's
-/// batch of `(job, request)` pairs; `out[i]` answers `batch[i]`.
+/// The scheduler-facing dispatch surface. One call resolves one
+/// dispatch point's batch of `(job, request)` pairs; every response
+/// comes back **tagged** with the job it answers.
+///
+/// The tag is what lets the wave scheduler dispatch out-of-round: a
+/// batch cut at one dispatch point may mix jobs admitted waves apart,
+/// and a batched transport may complete them in any order — the
+/// scheduler routes each response to `tag`'s job slot and asserts the
+/// task kinds line up, never relying on batch position. (The supplied
+/// services answer in order anyway; the contract just doesn't require
+/// it.) Every request must be answered exactly once.
 ///
 /// Implementations decide how jobs map to backends:
 /// [`PerJobModels`] keeps one independently seeded model per job (full
@@ -16,8 +25,8 @@ use std::collections::HashMap;
 /// [`RtlLanguageModel::generate_batch`] (the real-deployment shape,
 /// where batching amortizes one inference pass across jobs).
 pub trait LlmService {
-    /// Resolve a batch in order.
-    fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<LlmResponse>;
+    /// Resolve a batch; each response is tagged with the job it answers.
+    fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<(JobId, LlmResponse)>;
 
     /// A job retired; drop any per-job state so a long stream's memory
     /// stays bounded. Default: nothing to drop.
@@ -68,7 +77,7 @@ where
     M: RtlLanguageModel + Send + 'static,
     F: Fn(JobId) -> M,
 {
-    fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<LlmResponse> {
+    fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<(JobId, LlmResponse)> {
         batch
             .into_iter()
             .map(|(id, req)| {
@@ -76,10 +85,12 @@ where
                     let model = (self.factory)(id);
                     self.models.insert(id, model);
                 }
-                self.models
+                let resp = self
+                    .models
                     .get_mut(&id)
                     .expect("just inserted")
-                    .dispatch(&req)
+                    .dispatch(&req);
+                (id, resp)
             })
             .collect()
     }
@@ -145,8 +156,14 @@ pub fn synthetic_service(
 pub struct SharedModel<M>(pub M);
 
 impl<M: RtlLanguageModel> LlmService for SharedModel<M> {
-    fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<LlmResponse> {
-        let reqs: Vec<LlmRequest> = batch.into_iter().map(|(_, req)| req).collect();
-        self.0.generate_batch(&reqs)
+    fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<(JobId, LlmResponse)> {
+        let (ids, reqs): (Vec<JobId>, Vec<LlmRequest>) = batch.into_iter().unzip();
+        let responses = self.0.generate_batch(&reqs);
+        assert_eq!(
+            responses.len(),
+            ids.len(),
+            "generate_batch returned a short batch"
+        );
+        ids.into_iter().zip(responses).collect()
     }
 }

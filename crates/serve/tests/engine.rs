@@ -1,5 +1,6 @@
 //! Engine behaviour: batching economics, pause/resume, checkpointing
-//! across engines, memory bounds, and the shared-model batch surface.
+//! across engines, memory bounds, productive-step accounting, score
+//! sharing, and the shared-model batch surface.
 
 use mage_core::{MageConfig, SolveTrace};
 use mage_llm::{
@@ -7,7 +8,7 @@ use mage_llm::{
     RtlLanguageModel, SyntaxFixRequest, SyntheticModel, SyntheticModelConfig, TbGenRequest,
 };
 use mage_serve::{
-    synthetic_service, JobSpec, LlmService, ServeEngine, ServeOptions, SharedModel,
+    synthetic_service, JobSpec, LlmService, SchedMode, ServeEngine, ServeOptions, SharedModel,
 };
 use mage_tb::Testbench;
 
@@ -43,34 +44,69 @@ fn engine_with(opts: ServeOptions) -> ServeEngine<impl LlmService> {
 
 #[test]
 fn batching_strictly_beats_scalar_dispatch_counts() {
-    let mut batched = engine_with(ServeOptions {
+    for sched in [SchedMode::Bsp, SchedMode::Wave] {
+        let mut batched = engine_with(ServeOptions {
+            workers: 2,
+            batch_llm: true,
+            max_in_flight: 0,
+            sched,
+        });
+        batched.run();
+        let b = batched.stats().clone();
+
+        let mut scalar = engine_with(ServeOptions {
+            workers: 2,
+            batch_llm: false,
+            max_in_flight: 0,
+            sched,
+        });
+        scalar.run();
+        let s = scalar.stats().clone();
+
+        // Same work either way…
+        assert_eq!(b.llm_requests, s.llm_requests, "{sched}");
+        assert_eq!(b.jobs_done, 6, "{sched}");
+        // …but the batched engine coalesces: strictly fewer dispatch
+        // calls than requests (the acceptance criterion), while scalar
+        // is 1:1.
+        assert!(
+            b.llm_batch_calls < b.llm_requests,
+            "{sched} batched: {} calls for {} requests",
+            b.llm_batch_calls,
+            b.llm_requests
+        );
+        assert_eq!(s.llm_batch_calls, s.llm_requests, "{sched}");
+    }
+}
+
+#[test]
+fn wave_mode_overlaps_sim_under_llm_dispatch() {
+    let mut wave = engine_with(ServeOptions {
         workers: 2,
         batch_llm: true,
         max_in_flight: 0,
+        sched: SchedMode::Wave,
     });
-    batched.run();
-    let b = batched.stats().clone();
-
-    let mut scalar = engine_with(ServeOptions {
-        workers: 2,
-        batch_llm: false,
-        max_in_flight: 0,
-    });
-    scalar.run();
-    let s = scalar.stats().clone();
-
-    // Same work either way…
-    assert_eq!(b.llm_requests, s.llm_requests);
-    assert_eq!(b.jobs_done, 6);
-    // …but the batched engine coalesces: strictly fewer dispatch calls
-    // than requests (the acceptance criterion), while scalar is 1:1.
+    wave.run();
+    let w = wave.stats().clone();
     assert!(
-        b.llm_batch_calls < b.llm_requests,
-        "batched: {} calls for {} requests",
-        b.llm_batch_calls,
-        b.llm_requests
+        w.overlap_steps > 0,
+        "the wave scheduler never overlapped a sim wave with an LLM dispatch"
     );
-    assert_eq!(s.llm_batch_calls, s.llm_requests);
+
+    let mut bsp = engine_with(ServeOptions {
+        workers: 2,
+        batch_llm: true,
+        max_in_flight: 0,
+        sched: SchedMode::Bsp,
+    });
+    bsp.run();
+    let b = bsp.stats().clone();
+    assert_eq!(b.overlap_steps, 0, "BSP rounds alternate; nothing overlaps");
+    // Identical per-job work regardless of schedule.
+    assert_eq!(w.llm_requests, b.llm_requests);
+    assert_eq!(w.sim_requests, b.sim_requests);
+    assert_eq!(w.jobs_done, b.jobs_done);
 }
 
 #[test]
@@ -88,7 +124,7 @@ fn paused_job_holds_while_others_finish_then_resumes_identically() {
     // then resume and drain again.
     let mut engine = engine_with(ServeOptions::default());
     for _ in 0..3 {
-        engine.step_round();
+        engine.step();
     }
     engine.pause_job(2);
     engine.run();
@@ -113,7 +149,7 @@ fn checkpoint_restores_into_a_fresh_engine_bit_identically() {
     // Run a few rounds, lift job 1 out mid-solve…
     let mut first = engine_with(ServeOptions::default());
     for _ in 0..4 {
-        first.step_round();
+        first.step();
     }
     let ck = first.checkpoint(1).expect("job 1 is running mid-stream");
     first.run();
@@ -183,38 +219,193 @@ impl RtlLanguageModel for CountingBatchModel {
 }
 
 #[test]
-fn shared_model_routes_rounds_through_generate_batch() {
+fn shared_model_routes_dispatch_points_through_generate_batch() {
     // One backend knowing every problem serves the whole stream; each
-    // round's coalesced batch is exactly one generate_batch call.
-    let mut inner = SyntheticModel::new(SyntheticModelConfig::default(), 42);
-    for id in PROBLEMS {
-        let p = mage_problems::by_id(id).unwrap();
-        inner.register(p.id, p.oracle(42));
+    // dispatch point's coalesced batch is exactly one generate_batch
+    // call, in either scheduler mode.
+    for sched in [SchedMode::Bsp, SchedMode::Wave] {
+        let mut inner = SyntheticModel::new(SyntheticModelConfig::default(), 42);
+        for id in PROBLEMS {
+            let p = mage_problems::by_id(id).unwrap();
+            inner.register(p.id, p.oracle(42));
+        }
+        let service = SharedModel(CountingBatchModel {
+            inner,
+            batch_calls: 0,
+            batched_requests: 0,
+        });
+        let mut engine = ServeEngine::new(
+            ServeOptions {
+                workers: 2,
+                batch_llm: true,
+                max_in_flight: 0,
+                sched,
+            },
+            service,
+        );
+        for spec in specs() {
+            engine.push_job(spec);
+        }
+        engine.run();
+        let stats = engine.stats().clone();
+        let model = &engine.service().0;
+        assert_eq!(stats.jobs_done, 6, "{sched}");
+        assert_eq!(
+            model.batch_calls, stats.llm_batch_calls,
+            "{sched}: every dispatch call must be one generate_batch invocation"
+        );
+        assert_eq!(model.batched_requests, stats.llm_requests, "{sched}");
+        assert!(model.batch_calls < model.batched_requests, "{sched}");
     }
-    let service = SharedModel(CountingBatchModel {
-        inner,
-        batch_calls: 0,
-        batched_requests: 0,
-    });
-    let mut engine = ServeEngine::new(
-        ServeOptions {
-            workers: 2,
+}
+
+#[test]
+fn idle_steps_are_not_counted_as_rounds() {
+    // An engine whose every job is paused can be stepped, but no
+    // productive round happened — `rounds` (and dispatch counters)
+    // must not move. Regression: the BSP engine used to count a round
+    // even when `step_round` made no progress.
+    for sched in [SchedMode::Bsp, SchedMode::Wave] {
+        let mut engine = engine_with(ServeOptions {
+            workers: 1,
             batch_llm: true,
             max_in_flight: 0,
-        },
-        service,
-    );
-    for spec in specs() {
+            sched,
+        });
+        for id in 0..specs().len() {
+            engine.pause_job(id);
+        }
+        let before = engine.stats().clone();
+        for _ in 0..3 {
+            assert!(!engine.step(), "{sched}: all-paused engine cannot progress");
+        }
+        assert_eq!(
+            engine.stats(),
+            &before,
+            "{sched}: idle steps must not move any counter"
+        );
+        // Resume and drain: the stream still finishes normally and now
+        // counts its productive steps.
+        for id in 0..specs().len() {
+            engine.resume_job(id);
+        }
+        engine.run();
+        assert_eq!(engine.stats().jobs_done, 6, "{sched}");
+        assert!(engine.stats().rounds > 0, "{sched}");
+    }
+}
+
+#[test]
+fn identical_jobs_share_scores_across_the_stream() {
+    // Two jobs with the same (problem, seed) generate textually
+    // identical benches and candidates — the second one's scoring
+    // requests must be answered by the shared ScoreCache.
+    let p = mage_problems::by_id("prob010_mux2").expect("corpus problem");
+    let specs: Vec<JobSpec> = (0..2)
+        .map(|_| JobSpec {
+            problem_id: p.id.to_string(),
+            spec: p.spec.to_string(),
+            config: MageConfig::high_temperature(),
+            seed: 4242,
+        })
+        .collect();
+    let service = synthetic_service(&specs);
+    let mut engine = ServeEngine::new(ServeOptions::default(), service);
+    for spec in specs.clone() {
         engine.push_job(spec);
     }
     engine.run();
-    let stats = engine.stats().clone();
-    let model = &engine.service().0;
-    assert_eq!(stats.jobs_done, 6);
-    assert_eq!(
-        model.batch_calls, stats.llm_batch_calls,
-        "every dispatch call must be one generate_batch invocation"
+    assert_eq!(engine.stats().jobs_done, 2);
+    assert!(
+        engine.scores().hits() > 0,
+        "duplicate jobs shared no scoring outcomes"
     );
-    assert_eq!(model.batched_requests, stats.llm_requests);
-    assert!(model.batch_calls < model.batched_requests);
+    assert_eq!(engine.scores().collisions(), 0);
+
+    // And sharing is invisible: both traces equal the solo solve.
+    let solo = {
+        let mut model = SyntheticModel::new(SyntheticModelConfig::default(), 4242);
+        model.register(p.id, p.oracle(4242));
+        mage_core::Mage::new(&mut model, specs[0].config.clone()).solve(&mage_core::Task {
+            id: p.id,
+            spec: p.spec,
+        })
+    };
+    for (_, trace) in engine.traces() {
+        assert_eq!(trace, &solo, "score sharing changed a trace");
+    }
+}
+
+#[test]
+fn wave_checkpoint_carries_a_parked_request() {
+    // Find the state where requests sit *parked in the sim queue*
+    // between steps (a wave is in flight, so newly arriving sim needs
+    // queue behind it), checkpoint every still-running job there —
+    // including the parked ones — and prove restore is invisible.
+    //
+    // Desynchronize the population into three cohorts so the parked
+    // state arises: job 0 runs ahead into a background sim wave; job 1
+    // (one wave behind) reaches its compile probe while that wave is
+    // still in flight — its request parks in `sim_q` — and jobs 2–5
+    // (two waves behind) keep an LLM cohort strictly larger than the
+    // whole sim side, so the coalescing join holds off and the dispatch
+    // keeps the wave un-joined. The schedule is deterministic, so the
+    // search below always lands on the same step.
+    let mut baseline = engine_with(ServeOptions::default());
+    baseline.run();
+    let expect: Vec<SolveTrace> = baseline
+        .traces()
+        .into_iter()
+        .map(|(_, t)| t.clone())
+        .collect();
+
+    let mut first = engine_with(ServeOptions::default());
+    for id in 1..6 {
+        first.pause_job(id);
+    }
+    first.step();
+    first.step();
+    first.resume_job(1);
+    first.step();
+    for id in 2..6 {
+        first.resume_job(id);
+    }
+    let mut guard = 0;
+    while first.queued_wave_work().1 == 0 {
+        assert!(
+            first.step(),
+            "stream drained without ever parking a sim request"
+        );
+        guard += 1;
+        assert!(guard < 200, "no parked sim request after {guard} steps");
+    }
+
+    // Checkpoint every unfinished job; at least one carries its parked
+    // sim request rather than a resolved input.
+    let done: Vec<usize> = first.traces().into_iter().map(|(id, _)| id).collect();
+    let cks: Vec<(usize, mage_serve::JobCheckpoint)> = (0..specs().len())
+        .filter(|id| !done.contains(id))
+        .map(|id| (id, first.checkpoint(id).expect("job is running")))
+        .collect();
+    assert!(!cks.is_empty());
+    assert_eq!(
+        first.queued_wave_work(),
+        (0, 0),
+        "checkpointing every running job must empty the queues"
+    );
+
+    let service = synthetic_service(&specs());
+    let mut second = ServeEngine::new(ServeOptions::default(), service);
+    let restored: Vec<(usize, usize)> = cks
+        .into_iter()
+        .map(|(orig, ck)| (orig, second.restore(ck)))
+        .collect();
+    second.run();
+    for (orig, new_id) in restored {
+        let got = second.trace(new_id).expect("restored job retires");
+        assert_eq!(
+            got, &expect[orig],
+            "checkpoint with parked request must be invisible (job {orig})"
+        );
+    }
 }

@@ -46,8 +46,8 @@ fn paused_wall_time_is_excluded_from_latency() {
     // Interrupted: pause mid-solve, sleep, resume. The solve itself is
     // identical, so any latency growth ≈ wall time charged while paused.
     let mut engine = one_job_engine();
-    engine.step_round();
-    engine.step_round();
+    engine.step();
+    engine.step();
     engine.pause_job(0);
     std::thread::sleep(SLEEP);
     engine.resume_job(0);
@@ -64,10 +64,10 @@ fn paused_wall_time_is_excluded_from_latency() {
 #[test]
 fn pause_before_run_charges_nothing() {
     // Pause a job the engine has already admitted but not finished,
-    // with the engine idle (no step_round in flight) — the clock must
+    // with the engine idle (no step in flight) — the clock must
     // not tick between pause and the eventual run.
     let mut engine = one_job_engine();
-    engine.step_round();
+    engine.step();
     engine.pause_job(0);
     std::thread::sleep(SLEEP);
     engine.resume_job(0);
@@ -91,8 +91,8 @@ fn restored_checkpoint_clock_starts_at_first_advance() {
     // fresh engine, and let it sit again before running. Neither parked
     // interval may be charged.
     let mut first = one_job_engine();
-    first.step_round();
-    first.step_round();
+    first.step();
+    first.step();
     let ck = first.checkpoint(0).expect("job running mid-stream");
     std::thread::sleep(SLEEP / 2);
 
