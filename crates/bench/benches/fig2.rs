@@ -9,9 +9,7 @@ use mage_core::tables::render_fig2;
 fn run(c: &mut Criterion) {
     let f = fig2(BENCH_RUNS_HIGH, BENCH_SEED);
     println!("\n{}", render_fig2(&f));
-    println!(
-        "Paper claim: the High-T best candidate has lower mismatch for most problems.\n"
-    );
+    println!("Paper claim: the High-T best candidate has lower mismatch for most problems.\n");
 
     c.bench_function("fig2_distribution_summaries", |b| {
         b.iter(|| std::hint::black_box(f.summaries()))

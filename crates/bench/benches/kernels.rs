@@ -29,10 +29,12 @@ fn run(c: &mut Criterion) {
             let mut sim = Simulator::new(Arc::clone(&design));
             sim.settle().expect("settles");
             for i in 0..256u64 {
-                sim.poke("a", mage_logic::LogicVec::from_u64(4, i & 0xF)).unwrap();
+                sim.poke("a", mage_logic::LogicVec::from_u64(4, i & 0xF))
+                    .unwrap();
                 sim.poke("b", mage_logic::LogicVec::from_u64(4, (i >> 4) & 0xF))
                     .unwrap();
-                sim.poke("op", mage_logic::LogicVec::from_u64(3, i % 8)).unwrap();
+                sim.poke("op", mage_logic::LogicVec::from_u64(3, i % 8))
+                    .unwrap();
                 std::hint::black_box(sim.peek_by_name("r"));
             }
         })
@@ -54,10 +56,12 @@ fn run(c: &mut Criterion) {
         sim.settle().expect("settles");
         b.iter(|| {
             for i in 0..256u64 {
-                sim.poke("a", mage_logic::LogicVec::from_u64(4, i & 0xF)).unwrap();
+                sim.poke("a", mage_logic::LogicVec::from_u64(4, i & 0xF))
+                    .unwrap();
                 sim.poke("b", mage_logic::LogicVec::from_u64(4, (i >> 4) & 0xF))
                     .unwrap();
-                sim.poke("op", mage_logic::LogicVec::from_u64(3, i % 8)).unwrap();
+                sim.poke("op", mage_logic::LogicVec::from_u64(3, i % 8))
+                    .unwrap();
                 std::hint::black_box(sim.peek_by_name("r"));
             }
         })
@@ -71,10 +75,12 @@ fn run(c: &mut Criterion) {
         sim.settle().expect("settles");
         b.iter(|| {
             for i in 0..256u64 {
-                sim.poke("a", mage_logic::LogicVec::from_u64(4, i & 0xF)).unwrap();
+                sim.poke("a", mage_logic::LogicVec::from_u64(4, i & 0xF))
+                    .unwrap();
                 sim.poke("b", mage_logic::LogicVec::from_u64(4, (i >> 4) & 0xF))
                     .unwrap();
-                sim.poke("op", mage_logic::LogicVec::from_u64(3, i % 8)).unwrap();
+                sim.poke("op", mage_logic::LogicVec::from_u64(3, i % 8))
+                    .unwrap();
                 std::hint::black_box(sim.peek_by_name("r"));
             }
         })

@@ -21,15 +21,24 @@
 //! executors via the `MAGE_SIM_EXEC` environment hook.
 //!
 //! Besides wall time, the harness records **scheduler work counts**
-//! (process evaluations and edge probes per step/edge, from
-//! `Simulator::eval_counts`) into a `scheduler` section, and asserts
-//! the wheel's acceptance invariants: zero evaluations to re-settle a
-//! settled design, no more process evaluations than the legacy
-//! scheduler anywhere, and strictly fewer edge probes on mixed-edge
-//! clocks. Deterministic counts — unlike wall time on this noisy
-//! single-CPU box, a scheduling regression here is unambiguous.
+//! (process evaluations, edge probes, and two-state fast-path
+//! hits/fallbacks per step/edge, from `Simulator::eval_counts`) into a
+//! `scheduler` section, and asserts the acceptance invariants
+//! in-process: zero evaluations to re-settle a settled design, no more
+//! process evaluations than the legacy scheduler anywhere, strictly
+//! fewer edge probes on mixed-edge clocks, two-state evaluations > 0
+//! on every defined (driven) kernel with zero fallbacks in the
+//! fully-defined steady state, and zero two-state counters on the
+//! legacy executor. Deterministic counts — unlike wall time on this
+//! noisy single-CPU box, a scheduling regression here is unambiguous.
 //!
-//! Usage: `cargo run --release -p mage-bench --bin bench_sim [out.json]`
+//! Usage:
+//! `cargo run --release -p mage-bench --bin bench_sim [--smoke] [out.json]`
+//!
+//! `--smoke` caps the wall-clock sampling at one round per kernel so CI
+//! can run the harness — and gate merges on its invariant assertions —
+//! in seconds; the deterministic scheduler counts are identical either
+//! way (only the noisy ms numbers lose precision).
 
 use mage_bench::{mini_suite_kernel, solve_one_kernel};
 use mage_logic::LogicVec;
@@ -160,18 +169,38 @@ struct WorkCounts {
 fn json_counts(w: &WorkCounts) -> String {
     let per = w.per.max(1) as f64;
     format!(
-        "{{ \"evals\": {}, \"edge_probes\": {}, \"evals_per_step\": {:.4}, \"probes_per_step\": {:.4} }}",
+        "{{ \"evals\": {}, \"edge_probes\": {}, \"two_state_evals\": {}, \"two_state_fallbacks\": {}, \"evals_per_step\": {:.4}, \"probes_per_step\": {:.4} }}",
         w.counts.total_evals(),
         w.counts.edge_probes,
+        w.counts.two_state_evals,
+        w.counts.two_state_fallbacks,
         w.counts.total_evals() as f64 / per,
         w.counts.edge_probes as f64 / per,
     )
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    // The harness owns the executor env hooks (it already toggles
+    // MAGE_SIM_EXEC per leg): an inherited MAGE_SIM_TWO_STATE=off
+    // would disable the fast path every compiled leg measures and
+    // asserts on, so clear it up front.
+    std::env::remove_var("MAGE_SIM_TWO_STATE");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    // Smoke mode: one interleaved round, minimal samples — CI runs the
+    // harness for its assertions, not its timings.
+    let prof = |rounds: usize, samples: usize| -> (usize, usize) {
+        if smoke {
+            (1, 1)
+        } else {
+            (rounds, samples)
+        }
+    };
     let mut entries: Vec<Entry> = Vec::new();
 
     // --- End-to-end kernels, executor switched via MAGE_SIM_EXEC. ---
@@ -186,25 +215,35 @@ fn main() {
         f();
         std::env::remove_var("MAGE_SIM_EXEC");
     };
+    let (solve_rounds, solve_samples) = prof(4, 6);
     let (solve_compiled, solve_legacy) = time_pair(
-        4,
-        6,
-        &mut || with_mode(false, &mut || {
-            std::hint::black_box(solve_one_kernel(7));
-        }),
-        &mut || with_mode(true, &mut || {
-            std::hint::black_box(solve_one_kernel(7));
-        }),
+        solve_rounds,
+        solve_samples,
+        &mut || {
+            with_mode(false, &mut || {
+                std::hint::black_box(solve_one_kernel(7));
+            })
+        },
+        &mut || {
+            with_mode(true, &mut || {
+                std::hint::black_box(solve_one_kernel(7));
+            })
+        },
     );
+    let (mini_rounds, mini_samples) = prof(3, 2);
     let (mini_compiled, mini_legacy) = time_pair(
-        3,
-        2,
-        &mut || with_mode(false, &mut || {
-            std::hint::black_box(mini_suite_kernel(7));
-        }),
-        &mut || with_mode(true, &mut || {
-            std::hint::black_box(mini_suite_kernel(7));
-        }),
+        mini_rounds,
+        mini_samples,
+        &mut || {
+            with_mode(false, &mut || {
+                std::hint::black_box(mini_suite_kernel(7));
+            })
+        },
+        &mut || {
+            with_mode(true, &mut || {
+                std::hint::black_box(mini_suite_kernel(7));
+            })
+        },
     );
     entries.push(Entry {
         name: "solve_one_kernel",
@@ -231,9 +270,10 @@ fn main() {
             }
         }
     };
+    let (sweep_rounds, sweep_samples) = prof(5, 20);
     let (sweep_c, sweep_l) = time_pair(
-        5,
-        20,
+        sweep_rounds,
+        sweep_samples,
         &mut sweep_of(ExecMode::Compiled),
         &mut sweep_of(ExecMode::Legacy),
     );
@@ -247,9 +287,10 @@ fn main() {
         sim.settle().expect("settles");
         move || sim.settle().expect("settles")
     };
+    let (settle_rounds, settle_samples) = prof(5, 200);
     let (settle_c, settle_l) = time_pair(
-        5,
-        200,
+        settle_rounds,
+        settle_samples,
         &mut settle_of(ExecMode::Compiled),
         &mut settle_of(ExecMode::Legacy),
     );
@@ -267,9 +308,10 @@ fn main() {
             dualclk_sweep(&mut sim, 64);
         }
     };
+    let (dual_rounds, dual_samples) = prof(5, 20);
     let (dual_c, dual_l) = time_pair(
-        5,
-        20,
+        dual_rounds,
+        dual_samples,
         &mut dual_of(ExecMode::Compiled),
         &mut dual_of(ExecMode::Legacy),
     );
@@ -285,9 +327,10 @@ fn main() {
             handshake_sweep(&mut sim, 64);
         }
     };
+    let (hs_rounds, hs_samples) = prof(5, 20);
     let (hs_c, hs_l) = time_pair(
-        5,
-        20,
+        hs_rounds,
+        hs_samples,
         &mut hs_of(ExecMode::Compiled),
         &mut hs_of(ExecMode::Legacy),
     );
@@ -301,6 +344,32 @@ fn main() {
     //     scheduling signal, immune to wall-clock noise). ---
     let count_of = |mode: ExecMode, kernel: &str| -> WorkCounts {
         match kernel {
+            "sim_poke_sweep" => {
+                let mut sim = Simulator::with_mode(Arc::clone(&alu), mode);
+                sim.settle().expect("settles");
+                // Define every input before counting so the sweep
+                // measures the fully-defined steady state (the boot-X
+                // fallbacks are the warm-up, not the kernel).
+                sim.poke_many([
+                    ("a", v(4, 0)),
+                    ("b", v(4, 0)),
+                    ("op", v(3, 0)),
+                    ("clk", v(1, 0)),
+                ])
+                .expect("boot drives");
+                sim.reset_eval_counts();
+                let vectors = 256u64;
+                for i in 0..vectors {
+                    sim.poke("a", v(4, i & 0xF)).unwrap();
+                    sim.poke("b", v(4, (i >> 4) & 0xF)).unwrap();
+                    sim.poke("op", v(3, i % 8)).unwrap();
+                    std::hint::black_box(sim.peek_by_name("r"));
+                }
+                WorkCounts {
+                    counts: sim.eval_counts(),
+                    per: vectors,
+                }
+            }
             "sim_settle" => {
                 let mut sim = Simulator::with_mode(Arc::clone(&alu), mode);
                 sim.settle().expect("settles");
@@ -335,7 +404,12 @@ fn main() {
             other => unreachable!("unknown counted kernel {other}"),
         }
     };
-    let counted = ["sim_settle", "sim_dualclk_sweep", "sim_handshake_sweep"];
+    let counted = [
+        "sim_poke_sweep",
+        "sim_settle",
+        "sim_dualclk_sweep",
+        "sim_handshake_sweep",
+    ];
     let mut sched_json = String::from("  \"scheduler\": {\n");
     for (i, kernel) in counted.iter().enumerate() {
         let wheel = count_of(ExecMode::Compiled, kernel);
@@ -355,7 +429,7 @@ fn main() {
             wheel.counts.edge_probes,
             legacy.counts.edge_probes
         );
-        if kernel.ends_with("_sweep") {
+        if matches!(*kernel, "sim_dualclk_sweep" | "sim_handshake_sweep") {
             // Clocked kernels: per-edge lists must probe *strictly*
             // fewer processes than the full sensitivity scan (the scan
             // pays on both edge directions, the lists only on matches).
@@ -376,7 +450,22 @@ fn main() {
                 legacy.counts.total_evals() > 0,
                 "the legacy scheduler re-evaluates per settle"
             );
+        } else {
+            // Every driven kernel counts from a fully-defined booted
+            // state: all its evaluations must take the two-state fast
+            // path, with zero fallbacks.
+            assert!(
+                wheel.counts.two_state_evals > 0,
+                "{kernel}: defined kernel never hit the two-state path"
+            );
+            assert_eq!(
+                wheel.counts.two_state_fallbacks, 0,
+                "{kernel}: fully-defined steady state must not fall back"
+            );
         }
+        // The legacy tree-walker has no two-state path at all.
+        assert_eq!(legacy.counts.two_state_evals, 0);
+        assert_eq!(legacy.counts.two_state_fallbacks, 0);
         println!(
             "{:24} wheel {:>7.3} evals/step {:>7.3} probes/step   legacy {:>7.3} evals/step {:>7.3} probes/step",
             kernel,
@@ -429,11 +518,17 @@ fn main() {
          bytecode compilation), meaning the recorded speedups understate the gain over \
          the actual seed. mini_suite_kernel additionally parallelizes across \
          (problem, run) units, which a single-core container cannot show. The scheduler \
-         section records deterministic work counts per step (settle call or driven \
-         edge): evals = process body executions, edge_probes = processes examined for \
-         edge sensitivity; the harness asserts wheel <= legacy on both, and exactly \
-         zero evals to re-settle a settled design. Regenerate with: \
-         cargo run --release -p mage-bench --bin bench_sim\"\n}\n",
+         section records deterministic work counts per step (settle call, poke vector \
+         or driven edge): evals = process body executions, edge_probes = processes \
+         examined for edge sensitivity, two_state_evals / two_state_fallbacks = \
+         executions serviced by the aval-plane-only fast path vs four-state runs of \
+         eligible processes (X in the read set, or a mid-run bailout). The harness \
+         asserts wheel <= legacy on evals and probes, exactly zero evals to re-settle \
+         a settled design, two_state_evals > 0 with zero fallbacks on every driven \
+         kernel (booted fully defined), and zero two-state counters under the legacy \
+         executor, which has no fast path. Regenerate with: \
+         cargo run --release -p mage-bench --bin bench_sim (add --smoke to cap \
+         sampling for CI)\"\n}\n",
     );
     std::fs::write(&out_path, json).expect("write baseline");
     println!("wrote {out_path}");

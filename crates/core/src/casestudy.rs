@@ -66,8 +66,10 @@ pub fn fig3(trials: usize, seed: u64) -> Fig3 {
     let fix_rate = |feedback: &str, arm: u64| -> f64 {
         let mut fixed = 0usize;
         for t in 0..trials {
-            let mut model =
-                SyntheticModel::new(SyntheticModelConfig::default(), seed ^ arm ^ (t as u64) << 8);
+            let mut model = SyntheticModel::new(
+                SyntheticModelConfig::default(),
+                seed ^ arm ^ (t as u64) << 8,
+            );
             model.register(p.id, p.oracle(seed));
             let conv = Conversation::new();
             let out = model.debug_rtl(&DebugRequest {
@@ -102,8 +104,14 @@ pub fn fig3(trials: usize, seed: u64) -> Fig3 {
 pub fn render_fig3(f: &Fig3) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, "FIG 3: RTL Code State Checkpoint case study (Prob093-ece241-2014-q3)");
-    let _ = writeln!(s, "--- (a) RTL module with bug: mux_in[0] missing the (c & d) term ---");
+    let _ = writeln!(
+        s,
+        "FIG 3: RTL Code State Checkpoint case study (Prob093-ece241-2014-q3)"
+    );
+    let _ = writeln!(
+        s,
+        "--- (a) RTL module with bug: mux_in[0] missing the (c & d) term ---"
+    );
     let _ = writeln!(s, "--- (b) Log WITHOUT checkpoint ---");
     s.push_str(&f.summary_log);
     let _ = writeln!(s, "--- (c) Log WITH checkpoint ---");
@@ -128,7 +136,7 @@ mod tests {
 
     #[test]
     fn case_study_reproduces_fig3_shape() {
-        let f = fig3(40, 0xF16_3);
+        let f = fig3(40, 0xF163);
         assert!(
             f.checkpoint_fix_rate > f.summary_fix_rate,
             "checkpoint {:.2} must beat summary {:.2}",

@@ -18,8 +18,8 @@
 
 use crate::config::{MageConfig, SystemKind};
 use mage_llm::{
-    Conversation, DebugRequest, JudgeTbRequest, ModelOutput, Role, RtlGenRequest,
-    RtlLanguageModel, SyntaxFixRequest, TaskKind, TbGenRequest, TokenUsage,
+    Conversation, DebugRequest, JudgeTbRequest, ModelOutput, Role, RtlGenRequest, RtlLanguageModel,
+    SyntaxFixRequest, TaskKind, TbGenRequest, TokenUsage,
 };
 use mage_sim::{elaborate, Design};
 use mage_tb::textlog::{render_checkpoint_window, render_summary};
@@ -214,11 +214,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
     /// original straight-line loop as the differential oracle; the two
     /// produce bit-identical traces (see `tests/solvejob_differential.rs`).
     pub fn solve(&mut self, task: &Task<'_>) -> SolveTrace {
-        let mut job = crate::solvejob::SolveJob::new(
-            task.id,
-            task.spec,
-            self.config.clone(),
-        );
+        let mut job = crate::solvejob::SolveJob::new(task.id, task.spec, self.config.clone());
         let mut step = job.advance(crate::solvejob::StepInput::Start);
         loop {
             step = match step {
@@ -289,7 +285,8 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
 
         // --- Step 2: initial candidate (with syntax repair). ---
         let mut score_cache: HashMap<u64, Candidate> = HashMap::new();
-        let initial = self.generate_candidate(task, Some(&digest), &mut ctx, &mut usage, &mut trace);
+        let initial =
+            self.generate_candidate(task, Some(&digest), &mut ctx, &mut usage, &mut trace);
         let initial = self.score_candidate(initial, &tb, &mut score_cache);
         trace.initial_score = initial.design.is_some().then_some(initial.score);
 
@@ -304,7 +301,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
             let evidence = best
                 .report
                 .as_ref()
-                .map(|r| render_summary(r))
+                .map(render_summary)
                 .unwrap_or_else(|| "candidate failed to compile".to_string());
             let req = JudgeTbRequest {
                 problem_id: task.id,
@@ -321,7 +318,11 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
                 AgentRole::Judge,
                 TaskKind::Judge,
                 &prompt,
-                if verdict.value { "CORRECT" } else { "INCORRECT" },
+                if verdict.value {
+                    "CORRECT"
+                } else {
+                    "INCORRECT"
+                },
             );
             if verdict.value {
                 break;
@@ -341,7 +342,8 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
         // --- Step 4: sampling & ranking. ---
         let mut pool: Vec<Candidate> = vec![best.clone()];
         for _ in 0..self.config.candidates {
-            let cand = self.generate_candidate(task, Some(&digest), &mut ctx, &mut usage, &mut trace);
+            let cand =
+                self.generate_candidate(task, Some(&digest), &mut ctx, &mut usage, &mut trace);
             let cand = self.score_candidate(cand, &tb, &mut score_cache);
             trace.sampled_scores.push(cand.score);
             pool.push(cand);
@@ -363,19 +365,14 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
             }
         }
 
-        if selected
-            .first()
-            .map(|c| c.score >= 1.0)
-            .unwrap_or(false)
-        {
+        if selected.first().map(|c| c.score >= 1.0).unwrap_or(false) {
             let best = selected.swap_remove(0);
             return self.finish(trace, best, usage, ctx.peak_tokens);
         }
 
         // --- Step 5: debugging with state checkpoints (Eq. 4). ---
-        trace.selected_mean_pre_debug = Some(
-            selected.iter().map(|c| c.score).sum::<f64>() / selected.len().max(1) as f64,
-        );
+        trace.selected_mean_pre_debug =
+            Some(selected.iter().map(|c| c.score).sum::<f64>() / selected.len().max(1) as f64);
         for _round in 0..self.config.max_debug_rounds {
             for cand in &mut selected {
                 if cand.score >= 1.0 {
@@ -625,7 +622,10 @@ mod tests {
         .unwrap();
         let stim = Stimulus::exhaustive(&[("a".into(), 4), ("b".into(), 4)]);
         let mut m = SyntheticModel::new(SyntheticModelConfig::default(), seed);
-        m.register("and4", ProblemOracle::new(golden, "top_module", stim, difficulty));
+        m.register(
+            "and4",
+            ProblemOracle::new(golden, "top_module", stim, difficulty),
+        );
         m
     }
 
@@ -659,9 +659,7 @@ mod tests {
             // Step 4 produced scored candidates.
             assert!(!trace.sampled_scores.is_empty());
             // Debugging rounds were recorded unless sampling hit 1.0.
-            assert!(
-                !trace.round_mean_scores.is_empty() || trace.best_sampled_score == Some(1.0)
-            );
+            assert!(!trace.round_mean_scores.is_empty() || trace.best_sampled_score == Some(1.0));
             // The engine's answer is at least as good as the best sample.
             if let Some(bs) = trace.best_sampled_score {
                 assert!(trace.final_score >= bs - 1e-9);
@@ -698,7 +696,11 @@ mod tests {
         });
         // Eq. 4 acceptance: mean score per round is non-decreasing.
         for w in trace.round_mean_scores.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "round means regressed: {:?}", trace.round_mean_scores);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "round means regressed: {:?}",
+                trace.round_mean_scores
+            );
         }
     }
 

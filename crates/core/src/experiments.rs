@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 /// Stimulus seed of the grading benches (never used for engine-side
 /// stimulus).
-pub const GRADE_STIM_SEED: u64 = 0xD0C5_EED;
+pub const GRADE_STIM_SEED: u64 = 0x0D0C_5EED;
 
 /// Options of one suite evaluation.
 #[derive(Debug, Clone)]
@@ -125,7 +125,11 @@ static GRADING_BENCH_CACHE: OnceLock<Mutex<HashMap<String, Arc<Testbench>>>> = O
 /// re-synthesis the serial evaluator paid.
 pub fn grading_bench_shared(problem: &Problem) -> Arc<Testbench> {
     let cache = GRADING_BENCH_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = cache.lock().expect("grading cache poisoned").get(problem.id) {
+    if let Some(hit) = cache
+        .lock()
+        .expect("grading cache poisoned")
+        .get(problem.id)
+    {
         return Arc::clone(hit);
     }
     // Synthesize outside the lock: benches are thousands of simulated
@@ -323,7 +327,10 @@ pub fn table2(runs_high: usize, seed: u64) -> Table2 {
                 .with_seed(seed),
         );
         let lo2 = evaluate_suite(&EvalOptions::low(SuiteId::V2, system).with_seed(seed));
-        (hi1.pass_at_1.max(lo1.pass_at_1), hi2.pass_at_1.max(lo2.pass_at_1))
+        (
+            hi1.pass_at_1.max(lo1.pass_at_1),
+            hi2.pass_at_1.max(lo2.pass_at_1),
+        )
     };
     let (van1, van2) = eval_both(SystemKind::Vanilla);
     let (two1, two2) = eval_both(SystemKind::TwoAgent);
@@ -431,10 +438,9 @@ pub fn fig2(runs_high: usize, seed: u64) -> Fig2 {
                 .filter(|t| !t.solved_pre_sampling)
                 .filter_map(|t| t.best_sampled_score)
                 .collect();
-            scores
-                .iter()
-                .cloned()
-                .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
+            scores.iter().cloned().fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            })
         };
         let (Some(lo_best), Some(hi_best)) = (best(&lo.traces), best(&hi.traces)) else {
             continue;
@@ -466,8 +472,7 @@ impl Fig2 {
         if self.points.is_empty() {
             return 0.0;
         }
-        self.points.iter().filter(|p| p.high_t < p.low_t).count() as f64
-            / self.points.len() as f64
+        self.points.iter().filter(|p| p.high_t < p.low_t).count() as f64 / self.points.len() as f64
     }
 }
 
@@ -566,7 +571,10 @@ mod tests {
         // 1 run over V1 at low temperature, vanilla protocol: fast.
         let opts = EvalOptions::low(SuiteId::V1Human, SystemKind::Vanilla).with_seed(1);
         let eval = evaluate_suite(&opts);
-        assert_eq!(eval.problems.len(), mage_problems::suite(SuiteId::V1Human).len());
+        assert_eq!(
+            eval.problems.len(),
+            mage_problems::suite(SuiteId::V1Human).len()
+        );
         assert!(eval.pass_at_1 > 0.2, "vanilla should solve some problems");
         assert!(eval.pass_at_1 < 1.0, "vanilla must not be perfect");
         assert!(eval.usage.total() > 0);
@@ -594,8 +602,10 @@ mod tests {
 
     #[test]
     fn mage_beats_vanilla_on_small_sample() {
-        let van = evaluate_suite(&EvalOptions::low(SuiteId::V1Human, SystemKind::Vanilla).with_seed(7));
-        let mage = evaluate_suite(&EvalOptions::low(SuiteId::V1Human, SystemKind::Mage).with_seed(7));
+        let van =
+            evaluate_suite(&EvalOptions::low(SuiteId::V1Human, SystemKind::Vanilla).with_seed(7));
+        let mage =
+            evaluate_suite(&EvalOptions::low(SuiteId::V1Human, SystemKind::Mage).with_seed(7));
         assert!(
             mage.pass_at_1 > van.pass_at_1,
             "MAGE {:.3} must beat vanilla {:.3}",

@@ -210,7 +210,10 @@ enum Phase {
     /// Awaiting the judge's verdict on the current bench.
     Judge { regen: usize },
     /// Awaiting the score of `cand`.
-    Score { target: ScoreTarget, cand: Candidate },
+    Score {
+        target: ScoreTarget,
+        cand: Candidate,
+    },
     /// Awaiting a debug rewrite of `selected[ix]`.
     DebugLlm { round: usize, ix: usize },
     /// Terminal.
@@ -419,7 +422,11 @@ impl SolveJob {
                     AgentRole::Judge,
                     TaskKind::Judge,
                     &prompt,
-                    if verdict.value { "CORRECT" } else { "INCORRECT" },
+                    if verdict.value {
+                        "CORRECT"
+                    } else {
+                        "INCORRECT"
+                    },
                 );
                 if verdict.value {
                     self.begin_sampling()
@@ -516,7 +523,9 @@ impl SolveJob {
         let req = SimRequest {
             source: cand.source.clone(),
             design: cand.design.clone(),
-            bench: Some(Arc::clone(self.tb.as_ref().expect("bench exists when scoring"))),
+            bench: Some(Arc::clone(
+                self.tb.as_ref().expect("bench exists when scoring"),
+            )),
         };
         self.phase = Phase::Score { target, cand };
         SolveStep::NeedSim(req)
@@ -627,9 +636,8 @@ impl SolveJob {
             let best = selected.swap_remove(0);
             return self.finish(best);
         }
-        self.trace.selected_mean_pre_debug = Some(
-            selected.iter().map(|c| c.score).sum::<f64>() / selected.len().max(1) as f64,
-        );
+        self.trace.selected_mean_pre_debug =
+            Some(selected.iter().map(|c| c.score).sum::<f64>() / selected.len().max(1) as f64);
         self.selected = selected;
         self.debug_next(0, 0)
     }
@@ -674,10 +682,15 @@ impl SolveJob {
     fn end_of_round(&mut self, round: usize) -> SolveStep {
         self.selected
             .sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
-        let mean = self.selected.iter().map(|c| c.score).sum::<f64>()
-            / self.selected.len().max(1) as f64;
+        let mean =
+            self.selected.iter().map(|c| c.score).sum::<f64>() / self.selected.len().max(1) as f64;
         self.trace.round_mean_scores.push(mean);
-        if self.selected.first().map(|c| c.score >= 1.0).unwrap_or(false) {
+        if self
+            .selected
+            .first()
+            .map(|c| c.score >= 1.0)
+            .unwrap_or(false)
+        {
             let best = self
                 .selected
                 .first()
@@ -747,7 +760,10 @@ mod tests {
         .unwrap();
         let stim = Stimulus::exhaustive(&[("a".into(), 4), ("b".into(), 4)]);
         let mut m = SyntheticModel::new(SyntheticModelConfig::default(), seed);
-        m.register("and4", ProblemOracle::new(golden, "top_module", stim, difficulty));
+        m.register(
+            "and4",
+            ProblemOracle::new(golden, "top_module", stim, difficulty),
+        );
         m
     }
 

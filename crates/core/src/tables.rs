@@ -10,10 +10,29 @@ fn pct(x: f64) -> String {
 /// Render Table I in the paper's layout.
 pub fn render_table1(t: &Table1) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "TABLE I: Pass rates of temperature configurations in MAGE");
-    let _ = writeln!(s, "{:<12} {:>24} {:>22}", "Config", "VerilogEval-Human Pass@1", "VerilogEval-V2 Pass@1");
-    let _ = writeln!(s, "{:<12} {:>24} {:>22}", "High Temp", pct(t.high_v1), pct(t.high_v2));
-    let _ = writeln!(s, "{:<12} {:>24} {:>22}", "Low Temp", pct(t.low_v1), pct(t.low_v2));
+    let _ = writeln!(
+        s,
+        "TABLE I: Pass rates of temperature configurations in MAGE"
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:>24} {:>22}",
+        "Config", "VerilogEval-Human Pass@1", "VerilogEval-V2 Pass@1"
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:>24} {:>22}",
+        "High Temp",
+        pct(t.high_v1),
+        pct(t.high_v2)
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:>24} {:>22}",
+        "Low Temp",
+        pct(t.low_v1),
+        pct(t.low_v2)
+    );
     s
 }
 
@@ -21,7 +40,10 @@ pub fn render_table1(t: &Table1) -> String {
 /// numbers for the systems we cannot re-run, for side-by-side context).
 pub fn render_table2(t: &Table2) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "TABLE II: Pass rates of systems under the identical synthetic channel");
+    let _ = writeln!(
+        s,
+        "TABLE II: Pass rates of systems under the identical synthetic channel"
+    );
     let _ = writeln!(
         s,
         "{:<42} {:>6} {:>10} {:>10}",
@@ -50,7 +72,10 @@ pub fn render_table2(t: &Table2) -> String {
         }
     }
     let _ = writeln!(s);
-    let _ = writeln!(s, "Paper-reported reference points (not re-runnable offline):");
+    let _ = writeln!(
+        s,
+        "Paper-reported reference points (not re-runnable offline):"
+    );
     let _ = writeln!(s, "  Claude 3.5 Sonnet vanilla 75.0 / 72.4 | AIVRIL 64.7 / N/A | VerilogCoder N/A / 94.2 | MAGE 94.8 / 95.7");
     s
 }
@@ -58,7 +83,10 @@ pub fn render_table2(t: &Table2) -> String {
 /// Render Table III in the paper's layout.
 pub fn render_table3(t: &Table3) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "TABLE III: Multi-agent task distribution ablation (V2, Low-T)");
+    let _ = writeln!(
+        s,
+        "TABLE III: Multi-agent task distribution ablation (V2, Low-T)"
+    );
     let _ = writeln!(s, "{:<24} {:>8} {:>14}", "Config", "Pass%", "Improvement");
     let _ = writeln!(s, "{:<24} {:>8} {:>14}", "Vanilla LLM", pct(t.vanilla), "");
     let _ = writeln!(

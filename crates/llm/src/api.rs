@@ -157,7 +157,10 @@ impl Conversation {
     pub fn total_tokens(&self) -> usize {
         debug_assert_eq!(
             self.tokens,
-            self.messages.iter().map(|m| approx_tokens(&m.content)).sum::<usize>(),
+            self.messages
+                .iter()
+                .map(|m| approx_tokens(&m.content))
+                .sum::<usize>(),
             "token counter out of sync with messages"
         );
         self.tokens
@@ -499,22 +502,42 @@ mod tests {
     fn compaction_bounds_tokens_and_keeps_last_exchange() {
         let mut c = Conversation::new();
         for i in 0..40 {
-            c.push(Role::User, TaskKind::DebugRtl, format!("prompt {i} {}", "p".repeat(400)));
-            c.push(Role::Assistant, TaskKind::DebugRtl, format!("reply {i} {}", "r".repeat(400)));
+            c.push(
+                Role::User,
+                TaskKind::DebugRtl,
+                format!("prompt {i} {}", "p".repeat(400)),
+            );
+            c.push(
+                Role::Assistant,
+                TaskKind::DebugRtl,
+                format!("reply {i} {}", "r".repeat(400)),
+            );
         }
         let before = c.total_tokens();
         assert!(before > 4000);
         let dropped = c.compact_to(1000);
         assert!(dropped > 0);
-        assert!(c.total_tokens() <= 1000, "over budget: {}", c.total_tokens());
+        assert!(
+            c.total_tokens() <= 1000,
+            "over budget: {}",
+            c.total_tokens()
+        );
         assert_eq!(c.elided(), dropped);
         // The stub heads the history; the newest exchange survives.
         assert!(c.messages()[0].content.contains("context summary"));
         assert!(c.messages().last().unwrap().content.starts_with("reply 39"));
         // Compacting again after more growth keeps exactly one stub.
         for i in 40..60 {
-            c.push(Role::User, TaskKind::DebugRtl, format!("prompt {i} {}", "p".repeat(400)));
-            c.push(Role::Assistant, TaskKind::DebugRtl, format!("reply {i} {}", "r".repeat(400)));
+            c.push(
+                Role::User,
+                TaskKind::DebugRtl,
+                format!("prompt {i} {}", "p".repeat(400)),
+            );
+            c.push(
+                Role::Assistant,
+                TaskKind::DebugRtl,
+                format!("reply {i} {}", "r".repeat(400)),
+            );
         }
         c.compact_to(1000);
         assert!(c.total_tokens() <= 1000);

@@ -151,23 +151,18 @@ pub fn enumerate_mutations(module: &Module) -> Vec<Mutation> {
     // Expression sites in assign items.
     for (i, item) in module.items.iter().enumerate() {
         if let Item::Assign { rhs, .. } = item {
-            collect_expr_mutations(
-                rhs,
-                &SiteOwner::Item(i),
-                0,
-                &widths,
-                &inputs,
-                &mut out,
-            );
+            collect_expr_mutations(rhs, &SiteOwner::Item(i), 0, &widths, &inputs, &mut out);
         }
-        if let Item::Always { sens, .. } = item {
-            if let Sensitivity::Edges(events) = sens {
-                for (e, _) in events.iter().enumerate() {
-                    out.push(Mutation {
-                        site: MutationSite::Item(i),
-                        kind: MutationKind::EdgeFlip { event: e },
-                    });
-                }
+        if let Item::Always {
+            sens: Sensitivity::Edges(events),
+            ..
+        } = item
+        {
+            for (e, _) in events.iter().enumerate() {
+                out.push(Mutation {
+                    site: MutationSite::Item(i),
+                    kind: MutationKind::EdgeFlip { event: e },
+                });
             }
         }
     }
@@ -254,16 +249,15 @@ fn collect_expr_mutations(
                     }
                 }
             }
-            Expr::Literal { value, .. } => {
-                if value.width() <= 8 {
-                    for bit in 0..value.width() {
-                        out.push(Mutation {
-                            site: site(),
-                            kind: MutationKind::ConstFlip { bit },
-                        });
-                    }
+            Expr::Literal { value, .. } if value.width() <= 8 => {
+                for bit in 0..value.width() {
+                    out.push(Mutation {
+                        site: site(),
+                        kind: MutationKind::ConstFlip { bit },
+                    });
                 }
             }
+            Expr::Literal { .. } => {}
             Expr::Ternary { .. } => out.push(Mutation {
                 site: site(),
                 kind: MutationKind::TernarySwap,
@@ -607,7 +601,11 @@ mod tests {
         let a = enumerate_mutations(&m);
         let b = enumerate_mutations(&m);
         assert_eq!(a, b);
-        assert!(a.len() > 30, "expected a rich mutation space, got {}", a.len());
+        assert!(
+            a.len() > 30,
+            "expected a rich mutation space, got {}",
+            a.len()
+        );
         assert!(a
             .iter()
             .any(|mu| matches!(mu.kind, MutationKind::DropTerm { .. })));

@@ -205,12 +205,7 @@ impl SyntheticModel {
             + self.config.interference_per_kilotoken * kilotokens
     }
 
-    fn effective_rate(
-        &self,
-        difficulty: f64,
-        grounded: bool,
-        conversation: &Conversation,
-    ) -> f64 {
+    fn effective_rate(&self, difficulty: f64, grounded: bool, conversation: &Conversation) -> f64 {
         let mut rate = self.config.base_bug_rate * difficulty;
         if grounded {
             rate *= self.config.grounding_factor;
@@ -260,8 +255,7 @@ impl SyntheticModel {
     /// debugging, so a misunderstood spec fails *consistently* within a
     /// run.
     fn comprehends(&self, problem_id: &str, difficulty: f64, interference: f64) -> bool {
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ fnv1a(problem_id.as_bytes()) ^ 0xC0C0_C0C0);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ fnv1a(problem_id.as_bytes()) ^ 0xC0C0_C0C0);
         let u: f64 = rng.gen();
         u < (-self.config.miscomprehension_rate * difficulty * interference).exp()
     }
@@ -281,8 +275,11 @@ impl SyntheticModel {
         let forms: &[fn(&str, &mut R) -> String] = &[
             |s, r| {
                 // Drop a random semicolon.
-                let spots: Vec<usize> =
-                    s.char_indices().filter(|(_, c)| *c == ';').map(|(i, _)| i).collect();
+                let spots: Vec<usize> = s
+                    .char_indices()
+                    .filter(|(_, c)| *c == ';')
+                    .map(|(i, _)| i)
+                    .collect();
                 if spots.is_empty() {
                     return s.to_string();
                 }
@@ -312,7 +309,6 @@ impl SyntheticModel {
         corrupted
     }
 }
-
 
 // ----------------------------------------------------------------------
 // Feedback-text parsing (the debugger reads ONLY the log text)
@@ -428,8 +424,7 @@ impl RtlLanguageModel for SyntheticModel {
             apply_mutation(&mut file.modules[top_ix], &mutation);
         }
         let mut text = print_file(&file);
-        if rng.gen::<f64>() < self.config.syntax_error_rate * self.interference(req.conversation)
-        {
+        if rng.gen::<f64>() < self.config.syntax_error_rate * self.interference(req.conversation) {
             text = self.corrupt_syntax(&text, &mut rng);
         }
         ModelOutput {
@@ -564,9 +559,7 @@ impl RtlLanguageModel for SyntheticModel {
                 if !feedback.differing_bits.is_empty() {
                     let bitwise: Vec<AssignRef> = sites
                         .iter()
-                        .filter(|s| {
-                            assign_writes_bits(module, s, &feedback.differing_bits)
-                        })
+                        .filter(|s| assign_writes_bits(module, s, &feedback.differing_bits))
                         .cloned()
                         .collect();
                     if !bitwise.is_empty() {
@@ -673,15 +666,11 @@ fn assign_writes_bits(module: &Module, site: &AssignRef, bits: &[usize]) -> bool
         },
     };
     match lv {
-        Some(LValue::Bit(_, idx)) => match idx {
-            mage_verilog::ast::Expr::Literal { value, .. } => value
-                .to_u64()
-                .map(|v| bits.contains(&(v as usize)))
-                .unwrap_or(true),
-            _ => true,
-        },
-        Some(_) => true,
-        None => true,
+        Some(LValue::Bit(_, mage_verilog::ast::Expr::Literal { value, .. })) => value
+            .to_u64()
+            .map(|v| bits.contains(&(v as usize)))
+            .unwrap_or(true),
+        _ => true,
     }
 }
 
@@ -691,9 +680,10 @@ fn assign_writes_bits(module: &Module, site: &AssignRef, bits: &[usize]) -> bool
 fn revert_site_to_golden(module: &mut Module, golden: &Module, site: &AssignRef) -> bool {
     match site {
         AssignRef::Item(i) => {
-            let (Some(Item::Assign { lhs, rhs }), Some(Item::Assign { lhs: gl, rhs: gr })) =
-                (module.items.get(*i).cloned().map(Some).unwrap_or(None), golden.items.get(*i))
-            else {
+            let (Some(Item::Assign { lhs, rhs }), Some(Item::Assign { lhs: gl, rhs: gr })) = (
+                module.items.get(*i).cloned().map(Some).unwrap_or(None),
+                golden.items.get(*i),
+            ) else {
                 return false;
             };
             let changed = &lhs != gl || &rhs != gr;
@@ -719,10 +709,9 @@ fn revert_site_to_golden(module: &mut Module, golden: &Module, site: &AssignRef)
 
 /// Copy the golden sensitivity list onto the always item at `ix`.
 fn revert_always_sensitivity(module: &mut Module, golden: &Module, ix: usize) -> bool {
-    let (Some(Item::Always { sens, .. }), Some(Item::Always { sens: gsens, .. })) = (
-        module.items.get_mut(ix),
-        golden.items.get(ix),
-    ) else {
+    let (Some(Item::Always { sens, .. }), Some(Item::Always { sens: gsens, .. })) =
+        (module.items.get_mut(ix), golden.items.get(ix))
+    else {
         return false;
     };
     let changed = sens != gsens;
@@ -843,7 +832,11 @@ mod tests {
         };
         let outputs: std::collections::HashSet<String> =
             (0..30).map(|_| m.generate_rtl(&req).value).collect();
-        assert!(outputs.len() > 3, "expected diverse outputs, got {}", outputs.len());
+        assert!(
+            outputs.len() > 3,
+            "expected diverse outputs, got {}",
+            outputs.len()
+        );
     }
 
     #[test]
@@ -881,11 +874,17 @@ mod tests {
                 conversation: &conv,
             });
             let golden = &m.oracle("p1").unwrap().golden_design;
-            if run_testbench(&out.value, golden).map(|r| r.passed()).unwrap_or(false) {
+            if run_testbench(&out.value, golden)
+                .map(|r| r.passed())
+                .unwrap_or(false)
+            {
                 correct += 1;
             }
         }
-        assert!(correct >= 30, "most benches should be correct, got {correct}/40");
+        assert!(
+            correct >= 30,
+            "most benches should be correct, got {correct}/40"
+        );
         assert!(correct < 40, "some benches should be corrupted");
     }
 
@@ -894,7 +893,12 @@ mod tests {
         let mut m = model_with(1.0, 5);
         let conv = Conversation::new();
         let oracle = m.oracle("p1").unwrap().clone();
-        let good = synthesize_testbench("t", &oracle.golden_design, &oracle.stimulus, CheckDensity::EveryStep);
+        let good = synthesize_testbench(
+            "t",
+            &oracle.golden_design,
+            &oracle.stimulus,
+            CheckDensity::EveryStep,
+        );
         let mut bad = good.clone();
         corrupt_testbench_for_test(&mut bad, 11);
         let mut good_votes = 0;
@@ -919,7 +923,10 @@ mod tests {
             good_votes += g.value as usize;
             bad_votes += b.value as usize;
         }
-        assert!(good_votes >= 24, "good bench judged correct: {good_votes}/30");
+        assert!(
+            good_votes >= 24,
+            "good bench judged correct: {good_votes}/30"
+        );
         assert!(bad_votes <= 6, "bad bench judged correct: {bad_votes}/30");
     }
 
@@ -952,7 +959,10 @@ mod tests {
             params: SamplingParams::high(),
             conversation: &conv,
         });
-        assert!(mage_verilog::parse(&out.value).is_err(), "must be corrupted");
+        assert!(
+            mage_verilog::parse(&out.value).is_err(),
+            "must be corrupted"
+        );
         // Repair loop (s = 5).
         let mut src = out.value;
         let mut fixed = false;

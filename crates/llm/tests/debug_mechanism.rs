@@ -40,8 +40,7 @@ fn fixture() -> (ProblemOracle, String, String) {
     let stim = Stimulus::exhaustive(&[("c".into(), 1), ("d".into(), 1)]);
     let oracle = ProblemOracle::new(golden, "top", stim.clone(), 1.0);
     let tb = synthesize_testbench("mux", &oracle.golden_design, &stim, CheckDensity::EveryStep);
-    let buggy_design =
-        std::sync::Arc::new(elaborate(&parse(BUGGY).unwrap(), "top").unwrap());
+    let buggy_design = std::sync::Arc::new(elaborate(&parse(BUGGY).unwrap(), "top").unwrap());
     let report = run_testbench(&tb, &buggy_design).unwrap();
     assert!(!report.passed(), "the buggy candidate must fail");
     let checkpoint = render_checkpoint_window(&report, 5);

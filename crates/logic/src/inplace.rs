@@ -246,8 +246,7 @@ mod tests {
     #[test]
     fn set_ops_match_allocating_ops() {
         for w in [1usize, 7, 64, 65, 100] {
-            let a = LogicVec::from_u128(w, 0xDEAD_BEEF_CAFE_F00D_1234u128)
-                .resized(w);
+            let a = LogicVec::from_u128(w, 0xDEAD_BEEF_CAFE_F00D_1234u128).resized(w);
             let mut b = LogicVec::from_u128(w, 0x1111_2222_3333_4444_5555u128).resized(w);
             if w > 2 {
                 b.set_bit(1, LogicBit::X);

@@ -119,9 +119,9 @@ pub fn parse_literal(text: &str) -> Result<ParsedLiteral, LiteralError> {
                         if !digits.chars().all(|c| c.is_ascii_digit()) {
                             return Err(LiteralError::new(format!("bad decimal `{text}`")));
                         }
-                        let v: u128 = digits.parse().map_err(|_| {
-                            LiteralError::new(format!("decimal overflow `{text}`"))
-                        })?;
+                        let v: u128 = digits
+                            .parse()
+                            .map_err(|_| LiteralError::new(format!("decimal overflow `{text}`")))?;
                         LogicVec::from_u128(width, v)
                     };
                     return Ok(ParsedLiteral { value, sized });
@@ -149,7 +149,11 @@ pub fn parse_literal(text: &str) -> Result<ParsedLiteral, LiteralError> {
             // Resize to declared width: truncate or extend. Verilog extends
             // with the top bit when it is X/Z, else with zeros.
             let top = *bits.last().expect("non-empty digits");
-            let ext = if top.is_unknown() { top } else { LogicBit::Zero };
+            let ext = if top.is_unknown() {
+                top
+            } else {
+                LogicBit::Zero
+            };
             bits.resize(width.max(bits.len()), ext);
             bits.truncate(width);
             if bits.is_empty() {

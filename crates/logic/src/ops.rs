@@ -195,11 +195,7 @@ impl LogicVec {
     // Arithmetic (unsigned, wrapping at the result width)
     // ------------------------------------------------------------------
 
-    fn arith_binary(
-        &self,
-        rhs: &LogicVec,
-        f: impl Fn(&[u64], &[u64], &mut [u64]),
-    ) -> LogicVec {
+    fn arith_binary(&self, rhs: &LogicVec, f: impl Fn(&[u64], &[u64], &mut [u64])) -> LogicVec {
         let (a, b, w) = self.binary_widths(rhs);
         if a.has_unknown() || b.has_unknown() {
             return LogicVec::all_x(w);
@@ -248,14 +244,14 @@ impl LogicVec {
     pub fn mul(&self, rhs: &LogicVec) -> LogicVec {
         self.arith_binary(rhs, |a, b, o| {
             // Schoolbook multiply, truncated to the result words.
-            for i in 0..a.len() {
+            for (i, &aw) in a.iter().enumerate() {
                 let mut carry = 0u128;
-                for j in 0..b.len() {
+                for (j, &bw) in b.iter().enumerate() {
                     let k = i + j;
                     if k >= o.len() {
                         break;
                     }
-                    let prod = (a[i] as u128) * (b[j] as u128) + (o[k] as u128) + carry;
+                    let prod = (aw as u128) * (bw as u128) + (o[k] as u128) + carry;
                     o[k] = prod as u64;
                     carry = prod >> 64;
                 }
@@ -265,16 +261,16 @@ impl LogicVec {
 
     /// Verilog `/`: all-`X` on unknown input or division by zero.
     pub fn div(&self, rhs: &LogicVec) -> LogicVec {
-        self.divmod(rhs).map(|(q, _)| q).unwrap_or_else(|| {
-            LogicVec::all_x(self.width().max(rhs.width()))
-        })
+        self.divmod(rhs)
+            .map(|(q, _)| q)
+            .unwrap_or_else(|| LogicVec::all_x(self.width().max(rhs.width())))
     }
 
     /// Verilog `%`: all-`X` on unknown input or division by zero.
     pub fn rem(&self, rhs: &LogicVec) -> LogicVec {
-        self.divmod(rhs).map(|(_, r)| r).unwrap_or_else(|| {
-            LogicVec::all_x(self.width().max(rhs.width()))
-        })
+        self.divmod(rhs)
+            .map(|(_, r)| r)
+            .unwrap_or_else(|| LogicVec::all_x(self.width().max(rhs.width())))
     }
 
     /// Quotient and remainder when both operands are fully defined and the
@@ -287,10 +283,7 @@ impl LogicVec {
         if b == 0 {
             return None;
         }
-        Some((
-            LogicVec::from_u128(w, a / b),
-            LogicVec::from_u128(w, a % b),
-        ))
+        Some((LogicVec::from_u128(w, a / b), LogicVec::from_u128(w, a % b)))
     }
 
     /// Verilog `?:` with four-state select semantics.
@@ -331,10 +324,7 @@ mod tests {
         assert_eq!(v(8, 0b1100).bit_or(&v(8, 0b1010)).to_u64(), Some(0b1110));
         assert_eq!(v(8, 0b1100).bit_xor(&v(8, 0b1010)).to_u64(), Some(0b0110));
         assert_eq!(v(4, 0b1100).bit_not().to_u64(), Some(0b0011));
-        assert_eq!(
-            v(4, 0b1100).bit_xnor(&v(4, 0b1010)).to_u64(),
-            Some(0b1001)
-        );
+        assert_eq!(v(4, 0b1100).bit_xnor(&v(4, 0b1010)).to_u64(), Some(0b1001));
     }
 
     #[test]

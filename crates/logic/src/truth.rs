@@ -65,6 +65,9 @@ impl Truth {
     }
 
     /// Verilog `!`.
+    // Inherent `not` matches the Verilog operator vocabulary of the
+    // sibling methods (`and`, `or`), like `LogicBit::not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,

@@ -296,10 +296,34 @@ impl LogicVec {
     }
 
     /// `true` when no bit is `X` or `Z`.
+    ///
+    /// Plane-level: a single word compare for inline vectors, a word
+    /// scan for heap ones — this is the per-signal gate the simulator's
+    /// two-state fast path checks before every dispatch, so it never
+    /// walks bits.
+    #[inline]
     pub fn is_fully_defined(&self) -> bool {
         match &self.repr {
             Repr::Small { bval, .. } => *bval == 0,
             Repr::Heap { bval, .. } => bval.iter().all(|&w| w == 0),
+        }
+    }
+
+    /// The unknown-ness (`bval`) plane of a narrow vector as a single
+    /// word: bit `i` is set iff bit `i` of the value is `X` or `Z`.
+    ///
+    /// Plane-level definedness query for the two-state interpreter —
+    /// reading one plane skips the aval fetch that [`LogicVec::planes_u64`]
+    /// pays for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is wider than 64 bits.
+    #[inline]
+    pub fn undef_mask_u64(&self) -> u64 {
+        match &self.repr {
+            Repr::Small { bval, .. } => *bval,
+            Repr::Heap { .. } => panic!("undef_mask_u64 on a wide vector"),
         }
     }
 
@@ -440,7 +464,7 @@ impl LogicVec {
     /// Panics if `n` is zero.
     pub fn replicate(&self, n: usize) -> Self {
         assert!(n > 0, "replication count must be non-zero");
-        let refs: Vec<&LogicVec> = std::iter::repeat(self).take(n).collect();
+        let refs: Vec<&LogicVec> = std::iter::repeat_n(self, n).collect();
         Self::concat_msb_first(&refs)
     }
 
@@ -546,9 +570,7 @@ impl LogicVec {
 
     pub(crate) fn planes_mut(&mut self) -> (&mut [u64], &mut [u64]) {
         match &mut self.repr {
-            Repr::Small { aval, bval } => {
-                (std::slice::from_mut(aval), std::slice::from_mut(bval))
-            }
+            Repr::Small { aval, bval } => (std::slice::from_mut(aval), std::slice::from_mut(bval)),
             Repr::Heap { aval, bval } => (aval, bval),
         }
     }

@@ -49,7 +49,9 @@ fn patterned(width: usize, seed: u8) -> LogicVec {
 fn slice_matches_reference_on_boundaries() {
     for &width in &[1usize, 7, 63, 64, 65, 127, 128, 129, 200] {
         let v = patterned(width, width as u8);
-        for &lsb in &[-130isize, -65, -64, -63, -1, 0, 1, 31, 63, 64, 65, 100, 200, 260] {
+        for &lsb in &[
+            -130isize, -65, -64, -63, -1, 0, 1, 31, 63, 64, 65, 100, 200, 260,
+        ] {
             for &w in &[1usize, 2, 63, 64, 65, 128, 130] {
                 let fast = v.slice(lsb, w);
                 let slow = slice_reference(&v, lsb, w);
@@ -65,7 +67,9 @@ fn write_slice_matches_reference_on_boundaries() {
         let dst = patterned(dwidth, 3);
         for &vwidth in &[1usize, 7, 64, 65, 128] {
             let val = patterned(vwidth, 11);
-            for &lsb in &[-130isize, -65, -64, -63, -1, 0, 1, 32, 63, 64, 65, 127, 199, 250] {
+            for &lsb in &[
+                -130isize, -65, -64, -63, -1, 0, 1, 32, 63, 64, 65, 127, 199, 250,
+            ] {
                 let mut fast = dst.clone();
                 fast.write_slice(lsb, &val);
                 let slow = write_slice_reference(&dst, lsb, &val);

@@ -255,7 +255,6 @@ fn random_comb<R: Rng>(inputs: &[(String, usize)], vectors: usize, rng: &mut R) 
     Stimulus::combinational(steps)
 }
 
-
 #[cfg(test)]
 mod tests {
     use crate::registry;

@@ -64,7 +64,10 @@ fn corpus_cones_reach_inputs() {
             let touches_input = cone.iter().any(|s| inputs.contains(s));
             // Free-running counters reach only clk/rst, which are inputs
             // too, so this must hold corpus-wide.
-            assert!(touches_input, "{id}: cone of `{out}` reaches no input: {cone:?}");
+            assert!(
+                touches_input,
+                "{id}: cone of `{out}` reaches no input: {cone:?}"
+            );
         }
     }
 }

@@ -23,8 +23,8 @@ fn every_golden_passes_its_own_checkpoint_bench() {
             p.id,
             tb.total_checks()
         );
-        let report = run_testbench(&tb, &oracle.golden_design)
-            .unwrap_or_else(|e| panic!("{}: {e}", p.id));
+        let report =
+            run_testbench(&tb, &oracle.golden_design).unwrap_or_else(|e| panic!("{}: {e}", p.id));
         assert!(
             report.passed(),
             "{}: golden fails its own bench: {:?} (fault {:?})",
@@ -60,7 +60,12 @@ fn every_golden_is_deterministic_across_runs() {
 fn check_comb(id: &str, f: impl Fn(&[(String, u64)]) -> Vec<(&'static str, u64)>) {
     let p = by_id(id).unwrap_or_else(|| panic!("unknown problem {id}"));
     let oracle = p.oracle(99);
-    let tb = synthesize_testbench(id, &oracle.golden_design, &oracle.stimulus, CheckDensity::EveryStep);
+    let tb = synthesize_testbench(
+        id,
+        &oracle.golden_design,
+        &oracle.stimulus,
+        CheckDensity::EveryStep,
+    );
     let report = run_testbench(&tb, &oracle.golden_design).unwrap();
     for rec in report.records() {
         let inputs: Vec<(String, u64)> = rec
@@ -116,12 +121,14 @@ fn reference_mux_and_code() {
         };
         vec![("y", v)]
     });
-    check_comb("prob016_dec3to8", |i| {
-        vec![("y", 1u64 << input(i, "sel"))]
-    });
+    check_comb("prob016_dec3to8", |i| vec![("y", 1u64 << input(i, "sel"))]);
     check_comb("prob017_prienc4", |i| {
         let v = input(i, "in");
-        let pos = if v == 0 { 0 } else { 63 - (v.leading_zeros() as u64) };
+        let pos = if v == 0 {
+            0
+        } else {
+            63 - (v.leading_zeros() as u64)
+        };
         vec![("pos", pos), ("valid", (v != 0) as u64)]
     });
     check_comb("prob018_bin2gray", |i| {
@@ -138,7 +145,10 @@ fn reference_arithmetic() {
     });
     check_comb("prob024_sub4", |i| {
         let (a, b) = (input(i, "a"), input(i, "b"));
-        vec![("diff", a.wrapping_sub(b) & 0xF), ("borrow", (a < b) as u64)]
+        vec![
+            ("diff", a.wrapping_sub(b) & 0xF),
+            ("borrow", (a < b) as u64),
+        ]
     });
     check_comb("prob029_alu4", |i| {
         let (a, b, op) = (input(i, "a"), input(i, "b"), input(i, "op"));
@@ -189,7 +199,12 @@ fn reference_fig3_mux() {
 fn reference_counter4_model() {
     let p = by_id("prob030_counter4").unwrap();
     let oracle = p.oracle(5);
-    let tb = synthesize_testbench(p.id, &oracle.golden_design, &oracle.stimulus, CheckDensity::EveryStep);
+    let tb = synthesize_testbench(
+        p.id,
+        &oracle.golden_design,
+        &oracle.stimulus,
+        CheckDensity::EveryStep,
+    );
     let report = run_testbench(&tb, &oracle.golden_design).unwrap();
     let mut model: u64 = u64::MAX; // unknown until reset
     for rec in report.records() {
@@ -215,7 +230,12 @@ fn reference_lfsr4_period() {
     // x^4 + x^3 + 1 is maximal: period 15 from a non-zero seed.
     let p = by_id("prob056_lfsr4").unwrap();
     let oracle = p.oracle(5);
-    let tb = synthesize_testbench(p.id, &oracle.golden_design, &oracle.stimulus, CheckDensity::EveryStep);
+    let tb = synthesize_testbench(
+        p.id,
+        &oracle.golden_design,
+        &oracle.stimulus,
+        CheckDensity::EveryStep,
+    );
     let report = run_testbench(&tb, &oracle.golden_design).unwrap();
     let states: Vec<u64> = report
         .records()

@@ -161,7 +161,10 @@ fn main() {
     println!();
     println!(
         "jobs        {:>8} done / {} pushed in {} steps ({} sim waves, {} overlapped)",
-        report.done, report.jobs, report.stats.rounds, report.stats.sim_waves,
+        report.done,
+        report.jobs,
+        report.stats.rounds,
+        report.stats.sim_waves,
         report.stats.overlap_steps
     );
     println!(

@@ -1,8 +1,8 @@
 //! The shared result caches: elaborations ([`DesignCache`]) and scoring
 //! outcomes ([`ScoreCache`]).
 
-use mage_core::solvejob::{SimOutcome, SimRequest};
 use mage_core::compile;
+use mage_core::solvejob::{SimOutcome, SimRequest};
 use mage_sim::Design;
 use mage_tb::Testbench;
 use std::collections::HashMap;

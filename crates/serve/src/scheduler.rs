@@ -771,8 +771,7 @@ impl<S: LlmService> ServeEngine<S> {
         if !sim_needs.is_empty() {
             self.stats.sim_requests += sim_needs.len();
             self.stats.sim_waves += 1;
-            let outcomes =
-                run_sim_batch(self.opts.workers, &self.cache, &self.scores, sim_needs);
+            let outcomes = run_sim_batch(self.opts.workers, &self.cache, &self.scores, sim_needs);
             for (id, outcome) in outcomes {
                 self.jobs[id].input = Some(StepInput::Sim(outcome));
             }

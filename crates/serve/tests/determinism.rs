@@ -6,9 +6,7 @@
 
 use mage_core::{Mage, MageConfig, SolveTrace, Task};
 use mage_llm::{SyntheticModel, SyntheticModelConfig};
-use mage_serve::{
-    synthetic_service, DesignCache, JobSpec, SchedMode, ServeEngine, ServeOptions,
-};
+use mage_serve::{synthetic_service, DesignCache, JobSpec, SchedMode, ServeEngine, ServeOptions};
 use std::sync::Arc;
 
 const PROBLEMS: [&str; 4] = [
@@ -212,7 +210,12 @@ fn run_registry_interrupted(opts: ServeOptions) -> Vec<SolveTrace> {
     }
     let cks: Vec<(usize, mage_serve::JobCheckpoint)> = lifted
         .iter()
-        .map(|&id| (id, engine.checkpoint(id).expect("job is running mid-stream")))
+        .map(|&id| {
+            (
+                id,
+                engine.checkpoint(id).expect("job is running mid-stream"),
+            )
+        })
         .collect();
     engine.run(); // drains everyone not paused or parked
     for &id in &paused {

@@ -560,9 +560,7 @@ pub fn run_proptest(
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
-                panic!(
-                    "proptest `{test_name}` failed at case {case_ix} (seed {seed:#x}): {msg}"
-                );
+                panic!("proptest `{test_name}` failed at case {case_ix} (seed {seed:#x}): {msg}");
             }
         }
     }
@@ -683,7 +681,9 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return Err($crate::TestCaseError::fail(format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($left), stringify!($right), l
+                stringify!($left),
+                stringify!($right),
+                l
             )));
         }
     }};
@@ -717,7 +717,7 @@ mod tests {
         #[test]
         fn map_and_flat_map_compose(v in evens(), (len, fill) in (1usize..5).prop_flat_map(|n| (Just(n), 0u8..10))) {
             prop_assert_eq!(v % 2, 0);
-            prop_assert!(len >= 1 && len < 5);
+            prop_assert!((1..5).contains(&len));
             prop_assert!(fill < 10);
         }
 

@@ -127,8 +127,7 @@ where
     let f = &f;
     // Feed items through per-slot mutexes so workers can claim work
     // with an atomic cursor and still return results in input order.
-    let input: Vec<Mutex<Option<T>>> =
-        items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let input: Vec<Mutex<Option<T>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
     let output: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -183,7 +182,11 @@ mod tests {
     #[test]
     fn matches_serial_for_pure_f() {
         let v: Vec<u64> = (0..257).collect();
-        let serial: Vec<u64> = v.clone().into_iter().map(|x| x.wrapping_mul(31) ^ 7).collect();
+        let serial: Vec<u64> = v
+            .clone()
+            .into_iter()
+            .map(|x| x.wrapping_mul(31) ^ 7)
+            .collect();
         let parallel: Vec<u64> = v.into_par_iter().map(|x| x.wrapping_mul(31) ^ 7).collect();
         assert_eq!(serial, parallel);
     }

@@ -293,8 +293,7 @@ impl Design {
     /// first use and shared by every simulator over this design (and,
     /// through the serve-layer design cache, across jobs).
     pub fn compiled(&self) -> &Arc<CompiledDesign> {
-        self.compiled
-            .get_or_init(|| Arc::new(compile_design(self)))
+        self.compiled.get_or_init(|| Arc::new(compile_design(self)))
     }
 
     /// Look up a signal id by (hierarchical) name.

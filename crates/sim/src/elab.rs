@@ -175,7 +175,11 @@ impl<'a> Elaborator<'a> {
                     collect_reads(&body, &mut reads);
                     let mut writes = Vec::new();
                     collect_writes(&body, &mut writes);
-                    self.processes.push(Process::Comb { reads, writes, body });
+                    self.processes.push(Process::Comb {
+                        reads,
+                        writes,
+                        body,
+                    });
                 }
                 Item::Always { sens, body } => {
                     let cbody = self.compile_stmt(&ctx, body)?;
@@ -523,9 +527,8 @@ impl<'a> Elaborator<'a> {
                     "module `{def_name}` has no parameter `{pname}`"
                 )));
             }
-            let v = fold_const(pexpr, &ctx.consts).map_err(|_| {
-                ElabError::NotConstant(format!("override of parameter `{pname}`"))
-            })?;
+            let v = fold_const(pexpr, &ctx.consts)
+                .map_err(|_| ElabError::NotConstant(format!("override of parameter `{pname}`")))?;
             overrides.insert(pname.clone(), v);
         }
         // Propose aliases for ports connected to plain identifiers.
@@ -562,8 +565,7 @@ impl<'a> Elaborator<'a> {
             }
         }
         let child_prefix = format!("{prefix}{inst_name}.");
-        let child_scope =
-            self.instantiate(def, &child_prefix, &overrides, &aliases, depth + 1)?;
+        let child_scope = self.instantiate(def, &child_prefix, &overrides, &aliases, depth + 1)?;
 
         // Bind connections.
         for (port, conn) in conn_pairs {
@@ -587,7 +589,11 @@ impl<'a> Elaborator<'a> {
                     collect_reads(&body, &mut reads);
                     let mut writes = Vec::new();
                     collect_writes(&body, &mut writes);
-                    self.processes.push(Process::Comb { reads, writes, body });
+                    self.processes.push(Process::Comb {
+                        reads,
+                        writes,
+                        body,
+                    });
                 }
                 Direction::Output => {
                     let lval = expr_as_lvalue(conn).ok_or_else(|| {
@@ -606,7 +612,11 @@ impl<'a> Elaborator<'a> {
                     collect_reads(&body, &mut reads);
                     let mut writes = Vec::new();
                     collect_writes(&body, &mut writes);
-                    self.processes.push(Process::Comb { reads, writes, body });
+                    self.processes.push(Process::Comb {
+                        reads,
+                        writes,
+                        body,
+                    });
                 }
             }
         }
@@ -619,11 +629,9 @@ fn expr_as_lvalue(e: &Expr) -> Option<LValue> {
     match e {
         Expr::Ident(n) => Some(LValue::Ident(n.clone())),
         Expr::Bit { base, index } => Some(LValue::Bit(base.clone(), (**index).clone())),
-        Expr::Part { base, msb, lsb } => Some(LValue::Part(
-            base.clone(),
-            (**msb).clone(),
-            (**lsb).clone(),
-        )),
+        Expr::Part { base, msb, lsb } => {
+            Some(LValue::Part(base.clone(), (**msb).clone(), (**lsb).clone()))
+        }
         Expr::Concat(parts) => {
             let mut out = Vec::with_capacity(parts.len());
             for p in parts {

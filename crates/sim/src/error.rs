@@ -80,7 +80,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::CombinationalLoop { iterations } => {
-                write!(f, "combinational loop: no fixpoint after {iterations} iterations")
+                write!(
+                    f,
+                    "combinational loop: no fixpoint after {iterations} iterations"
+                )
             }
             SimError::EdgeCascade { rounds } => {
                 write!(f, "edge cascade did not converge after {rounds} rounds")

@@ -36,7 +36,9 @@ pub fn eval(design: &Design, store: &Store, e: &CExpr, ctx: usize) -> LogicVec {
         CExpr::Unary(op, a) => {
             let self_w = a.width(design);
             match op {
-                UnaryOp::Not => eval(design, store, a, ctx.max(self_w)).bit_not().resized(ctx),
+                UnaryOp::Not => eval(design, store, a, ctx.max(self_w))
+                    .bit_not()
+                    .resized(ctx),
                 UnaryOp::Neg => eval(design, store, a, ctx.max(self_w)).neg().resized(ctx),
                 UnaryOp::Plus => eval(design, store, a, ctx.max(self_w)).resized(ctx),
                 UnaryOp::LogicNot => {
@@ -55,81 +57,79 @@ pub fn eval(design: &Design, store: &Store, e: &CExpr, ctx: usize) -> LogicVec {
                 }
             }
         }
-        CExpr::Binary(op, l, r) => {
-            match op {
-                BinaryOp::Add
-                | BinaryOp::Sub
-                | BinaryOp::Mul
-                | BinaryOp::Div
-                | BinaryOp::Mod
-                | BinaryOp::And
-                | BinaryOp::Or
-                | BinaryOp::Xor
-                | BinaryOp::Xnor => {
-                    let w = ctx.max(l.width(design)).max(r.width(design));
-                    let a = eval(design, store, l, w);
-                    let b = eval(design, store, r, w);
-                    let v = match op {
-                        BinaryOp::Add => a.add(&b),
-                        BinaryOp::Sub => a.sub(&b),
-                        BinaryOp::Mul => a.mul(&b),
-                        BinaryOp::Div => a.div(&b),
-                        BinaryOp::Mod => a.rem(&b),
-                        BinaryOp::And => a.bit_and(&b),
-                        BinaryOp::Or => a.bit_or(&b),
-                        BinaryOp::Xor => a.bit_xor(&b),
-                        BinaryOp::Xnor => a.bit_xnor(&b),
-                        _ => unreachable!(),
-                    };
-                    v.resized(ctx.max(1))
-                }
-                BinaryOp::Shl | BinaryOp::Shr => {
-                    let w = ctx.max(l.width(design));
-                    let a = eval(design, store, l, w);
-                    let amt = eval(design, store, r, r.width(design));
-                    let v = match op {
-                        BinaryOp::Shl => a.shl(&amt),
-                        BinaryOp::Shr => a.shr(&amt),
-                        _ => unreachable!(),
-                    };
-                    v.resized(ctx.max(1))
-                }
-                BinaryOp::LogicAnd | BinaryOp::LogicOr => {
-                    let a = eval(design, store, l, l.width(design)).truth();
-                    let b = eval(design, store, r, r.width(design)).truth();
-                    let t = match op {
-                        BinaryOp::LogicAnd => a.and(b),
-                        BinaryOp::LogicOr => a.or(b),
-                        _ => unreachable!(),
-                    };
-                    bit_result(t.to_bit(), ctx)
-                }
-                BinaryOp::Eq
-                | BinaryOp::Neq
-                | BinaryOp::CaseEq
-                | BinaryOp::CaseNeq
-                | BinaryOp::Lt
-                | BinaryOp::Le
-                | BinaryOp::Gt
-                | BinaryOp::Ge => {
-                    let w = l.width(design).max(r.width(design));
-                    let a = eval(design, store, l, w);
-                    let b = eval(design, store, r, w);
-                    let bit = match op {
-                        BinaryOp::Eq => a.logic_eq(&b),
-                        BinaryOp::Neq => a.logic_neq(&b),
-                        BinaryOp::CaseEq => mage_logic::LogicBit::from(a.case_eq(&b)),
-                        BinaryOp::CaseNeq => mage_logic::LogicBit::from(!a.case_eq(&b)),
-                        BinaryOp::Lt => a.lt(&b),
-                        BinaryOp::Le => a.le(&b),
-                        BinaryOp::Gt => a.gt(&b),
-                        BinaryOp::Ge => a.ge(&b),
-                        _ => unreachable!(),
-                    };
-                    bit_result(bit, ctx)
-                }
+        CExpr::Binary(op, l, r) => match op {
+            BinaryOp::Add
+            | BinaryOp::Sub
+            | BinaryOp::Mul
+            | BinaryOp::Div
+            | BinaryOp::Mod
+            | BinaryOp::And
+            | BinaryOp::Or
+            | BinaryOp::Xor
+            | BinaryOp::Xnor => {
+                let w = ctx.max(l.width(design)).max(r.width(design));
+                let a = eval(design, store, l, w);
+                let b = eval(design, store, r, w);
+                let v = match op {
+                    BinaryOp::Add => a.add(&b),
+                    BinaryOp::Sub => a.sub(&b),
+                    BinaryOp::Mul => a.mul(&b),
+                    BinaryOp::Div => a.div(&b),
+                    BinaryOp::Mod => a.rem(&b),
+                    BinaryOp::And => a.bit_and(&b),
+                    BinaryOp::Or => a.bit_or(&b),
+                    BinaryOp::Xor => a.bit_xor(&b),
+                    BinaryOp::Xnor => a.bit_xnor(&b),
+                    _ => unreachable!(),
+                };
+                v.resized(ctx.max(1))
             }
-        }
+            BinaryOp::Shl | BinaryOp::Shr => {
+                let w = ctx.max(l.width(design));
+                let a = eval(design, store, l, w);
+                let amt = eval(design, store, r, r.width(design));
+                let v = match op {
+                    BinaryOp::Shl => a.shl(&amt),
+                    BinaryOp::Shr => a.shr(&amt),
+                    _ => unreachable!(),
+                };
+                v.resized(ctx.max(1))
+            }
+            BinaryOp::LogicAnd | BinaryOp::LogicOr => {
+                let a = eval(design, store, l, l.width(design)).truth();
+                let b = eval(design, store, r, r.width(design)).truth();
+                let t = match op {
+                    BinaryOp::LogicAnd => a.and(b),
+                    BinaryOp::LogicOr => a.or(b),
+                    _ => unreachable!(),
+                };
+                bit_result(t.to_bit(), ctx)
+            }
+            BinaryOp::Eq
+            | BinaryOp::Neq
+            | BinaryOp::CaseEq
+            | BinaryOp::CaseNeq
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => {
+                let w = l.width(design).max(r.width(design));
+                let a = eval(design, store, l, w);
+                let b = eval(design, store, r, w);
+                let bit = match op {
+                    BinaryOp::Eq => a.logic_eq(&b),
+                    BinaryOp::Neq => a.logic_neq(&b),
+                    BinaryOp::CaseEq => mage_logic::LogicBit::from(a.case_eq(&b)),
+                    BinaryOp::CaseNeq => mage_logic::LogicBit::from(!a.case_eq(&b)),
+                    BinaryOp::Lt => a.lt(&b),
+                    BinaryOp::Le => a.le(&b),
+                    BinaryOp::Gt => a.gt(&b),
+                    BinaryOp::Ge => a.ge(&b),
+                    _ => unreachable!(),
+                };
+                bit_result(bit, ctx)
+            }
+        },
         CExpr::Ternary(c, t, f) => {
             let cond = eval(design, store, c, c.width(design)).truth();
             let w = ctx.max(t.width(design)).max(f.width(design));

@@ -14,6 +14,30 @@
 //!   identical (the tree-walker stays alive as the differential-testing
 //!   oracle — see `tests/compiled_vs_interp.rs`).
 //!
+//! # The interpreter stack
+//!
+//! Four loops share the instruction set, selected per process and per
+//! evaluation:
+//!
+//! * [`execute_wide`] — `LogicVec` slots, any width (four-state);
+//! * [`execute_narrow`] — raw `(aval, bval)` word pairs when every
+//!   value fits in 64 bits (four-state);
+//! * [`execute_two_state`] — narrow **two-state**: pure-value
+//!   instructions run over the aval plane with bval known zero,
+//!   bailing out (and rewinding) to `execute_narrow` when an `X`/`Z`
+//!   or an X-producing hazard appears mid-run;
+//! * [`execute_two_state_pure`] — narrow two-state over bare `u64`
+//!   aval registers for [`CompiledProcess::hazard_free`] streams,
+//!   which cannot bail: the Verilator model, and the steady-state hot
+//!   loop of defined kernels.
+//!
+//! Dispatch between four-state and two-state happens in [`execute`]:
+//! an eligible process takes the two-state path whenever its read set
+//! is fully defined ([`CompiledProcess::reads_fully_defined`]), so the
+//! all-`X` boot state runs four-state until the first defined values
+//! arrive, and any poked `X`/`Z` demotes exactly the processes that
+//! read it until it clears.
+//!
 //! The register file for each process is owned by the [`crate::Simulator`]
 //! and reused across executions, so steady-state simulation performs no
 //! per-activation setup beyond the `pc` loop itself.
@@ -54,19 +78,56 @@ fn set_bit_result(dst: &mut LogicVec, bit: LogicBit) {
 pub enum RegFile {
     /// `LogicVec` per slot.
     Wide(Vec<LogicVec>),
-    /// `(aval, bval)` per slot.
-    Narrow(Vec<(u64, u64)>),
+    /// Narrow state: `(aval, bval)` per slot, plus the two-state
+    /// machinery — a pure aval-plane file for hazard-free streams and
+    /// the pooled pre-run write-set snapshot the bailing two-state
+    /// path rewinds from.
+    Narrow {
+        /// `(aval, bval)` per slot.
+        regs: Vec<(u64, u64)>,
+        /// aval word per slot ([`CompiledProcess::hazard_free`]
+        /// streams only, else empty): the two-state interpreter for
+        /// those runs touches no bval storage at all.
+        aregs: Vec<u64>,
+        /// Plane pairs of `proc.writes`, captured before a bail-able
+        /// two-state attempt (empty between runs).
+        snap: Vec<(u64, u64)>,
+    },
 }
 
 impl RegFile {
     /// The matching register file for a compiled process.
     pub fn for_process(proc: &CompiledProcess) -> RegFile {
         if proc.narrow {
-            RegFile::Narrow(proc.make_narrow_regs())
+            RegFile::Narrow {
+                regs: proc.make_narrow_regs(),
+                aregs: if proc.hazard_free {
+                    vec![0; proc.slot_widths.len()]
+                } else {
+                    Vec::new()
+                },
+                snap: Vec::new(),
+            }
         } else {
             RegFile::Wide(proc.make_regs())
         }
     }
+}
+
+/// Which execution path serviced an [`execute`] call (feeds the
+/// scheduler's `two_state_evals`/`two_state_fallbacks` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The two-state (aval-plane-only) interpreter ran to completion.
+    TwoState,
+    /// The process is two-state eligible but ran four-state this time:
+    /// an `X`/`Z` in its read set at dispatch, or a mid-run bailout
+    /// (division by zero, out-of-range read, an unknown appearing on a
+    /// re-read of the process's own store writes).
+    Fallback,
+    /// The four-state path by construction (wide process, two-state
+    /// disabled, or compile-time ineligible).
+    FourState,
 }
 
 /// Execute one compiled process body.
@@ -74,16 +135,74 @@ impl RegFile {
 /// Blocking stores write through to `store` (recording changed signals
 /// in `changed`); non-blocking stores queue on `nba` exactly like the
 /// tree-walking executor.
+///
+/// When `two_state` is set and the process is eligible
+/// ([`CompiledProcess::two_state`]), execution first tries the
+/// aval-plane-only interpreter: the read set is scanned for definedness
+/// ([`CompiledProcess::reads_fully_defined`] — the all-`X` boot state
+/// fails this until the first defined store, so X-boot always runs
+/// four-state), the write set is snapshotted, and a mid-run bailout
+/// rewinds every observable effect (stores, queued NBAs, change
+/// records) before re-running the four-state narrow path — a completed
+/// two-state run is therefore store-exact by construction, which the
+/// corpus lockstep suites and `tests/two_state.rs` verify against both
+/// retained oracles.
 pub fn execute(
     proc: &CompiledProcess,
-    regs: &mut RegFile,
+    regfile: &mut RegFile,
     store: &mut Store,
     nba: &mut Vec<PendingWrite>,
     changed: &mut Vec<SignalId>,
-) {
-    match regs {
-        RegFile::Narrow(n) => execute_narrow(proc, n, store, nba, changed),
-        RegFile::Wide(w) => execute_wide(proc, w, store, nba, changed),
+    two_state: bool,
+) -> ExecOutcome {
+    match regfile {
+        RegFile::Narrow { regs, aregs, snap } => {
+            if two_state && proc.two_state {
+                if proc.reads_fully_defined(store) {
+                    if proc.hazard_free {
+                        // No bail site exists in the stream: run the
+                        // pure aval-plane interpreter — no snapshot, no
+                        // bval storage, no rewind path.
+                        execute_two_state_pure(proc, aregs, store, nba, changed);
+                        return ExecOutcome::TwoState;
+                    }
+                    // Bail-able stream: snapshot the write set so a
+                    // mid-run bailout can rewind.
+                    snap.clear();
+                    snap.extend(
+                        proc.writes
+                            .iter()
+                            .map(|sig| store[sig.index()].planes_u64()),
+                    );
+                    let nba_len = nba.len();
+                    let changed_len = changed.len();
+                    if execute_two_state(proc, regs, store, nba, changed) {
+                        snap.clear();
+                        return ExecOutcome::TwoState;
+                    }
+                    // Bailout: rewind the partial run so the four-state
+                    // re-execution sees exactly the dispatch-time state.
+                    nba.truncate(nba_len);
+                    changed.truncate(changed_len);
+                    for (sig, &(a, b)) in proc.writes.iter().zip(snap.iter()) {
+                        let cur = &mut store[sig.index()];
+                        if cur.planes_u64() != (a, b) {
+                            let width = cur.width();
+                            *cur = LogicVec::from_planes_u64(width, a, b);
+                        }
+                    }
+                    snap.clear();
+                }
+                execute_narrow(proc, regs, store, nba, changed);
+                return ExecOutcome::Fallback;
+            }
+            execute_narrow(proc, regs, store, nba, changed);
+            ExecOutcome::FourState
+        }
+        RegFile::Wide(w) => {
+            execute_wide(proc, w, store, nba, changed);
+            ExecOutcome::FourState
+        }
     }
 }
 
@@ -183,11 +302,7 @@ fn execute_wide(
                     Truth::True => d.assign_resized(&lo[*t as usize]),
                     Truth::False => d.assign_resized(&lo[*f as usize]),
                     Truth::Unknown => {
-                        let m = LogicVec::mux(
-                            Truth::Unknown,
-                            &lo[*t as usize],
-                            &lo[*f as usize],
-                        );
+                        let m = LogicVec::mux(Truth::Unknown, &lo[*t as usize], &lo[*f as usize]);
                         d.assign_resized(&m);
                     }
                 }
@@ -216,9 +331,7 @@ fn execute_wide(
                     Some(i) => {
                         let phys = i as i64 - lsb_index;
                         if phys >= 0 {
-                            store[sig.index()]
-                                .get(phys as usize)
-                                .unwrap_or(LogicBit::X)
+                            store[sig.index()].get(phys as usize).unwrap_or(LogicBit::X)
                         } else {
                             LogicBit::X
                         }
@@ -621,10 +734,7 @@ fn execute_narrow(
                     let phys = ia as i64 - lsb_index;
                     if phys >= 0 && (phys as usize) < value.width() {
                         let (sa, sb) = value.planes_u64();
-                        LogicBit::from_planes(
-                            (sa >> phys) & 1 == 1,
-                            (sb >> phys) & 1 == 1,
-                        )
+                        LogicBit::from_planes((sa >> phys) & 1 == 1, (sb >> phys) & 1 == 1)
                     } else {
                         LogicBit::X
                     }
@@ -749,4 +859,535 @@ fn execute_narrow(
         }
         pc += 1;
     }
+}
+
+// ----------------------------------------------------------------------
+// Two-state path: fully defined inputs → aval-plane-only execution
+// ----------------------------------------------------------------------
+
+/// The pure two-state interpreter for [`CompiledProcess::hazard_free`]
+/// streams: registers are bare aval words, no bval plane is read,
+/// written or even stored, and no bail site exists — by the hazard
+/// analysis, given a fully defined read set every intermediate value is
+/// defined (no division/modulo, no dynamic bit selects, statically
+/// in-bounds part selects, no undefined constants, and the process
+/// cannot store an `X` for its own loads to re-read). This is the
+/// Verilator execution model verbatim, and the steady-state hot loop of
+/// the grading path: defined corpus kernels dispatch here for every
+/// evaluation.
+fn execute_two_state_pure(
+    proc: &CompiledProcess,
+    regs: &mut [u64],
+    store: &mut Store,
+    nba: &mut Vec<PendingWrite>,
+    changed: &mut Vec<SignalId>,
+) {
+    debug_assert_eq!(regs.len(), proc.slot_widths.len());
+    debug_assert!(proc.hazard_free);
+    let masks = &proc.slot_masks;
+    let mut pc = 0usize;
+    while pc < proc.code.len() {
+        match &proc.code[pc] {
+            Instr::Const { dst, k } => {
+                // Hazard-free pools are fully defined: bval is 0.
+                regs[*dst as usize] = proc.narrow_consts[*k as usize].0;
+            }
+            Instr::Load { dst, sig } => {
+                let (a, _) = store[sig.index()].planes_u64();
+                regs[*dst as usize] = a & masks[*dst as usize];
+            }
+            Instr::Copy { dst, src } => {
+                regs[*dst as usize] = regs[*src as usize] & masks[*dst as usize];
+            }
+            Instr::Slice { dst, src, lsb } => {
+                regs[*dst as usize] = (regs[*src as usize] >> lsb) & masks[*dst as usize];
+            }
+            Instr::Not { dst, a } => {
+                regs[*dst as usize] = !regs[*a as usize] & masks[*dst as usize];
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let x = regs[*a as usize];
+                let y = regs[*b as usize];
+                let m = masks[*dst as usize];
+                regs[*dst as usize] = match op {
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Xnor => !(x ^ y) & m,
+                    BinOp::Add => x.wrapping_add(y) & m,
+                    BinOp::Sub => x.wrapping_sub(y) & m,
+                    BinOp::Mul => x.wrapping_mul(y) & m,
+                    // Excluded by the hazard analysis.
+                    BinOp::Div | BinOp::Mod => unreachable!("hazard-free stream has no div/mod"),
+                };
+            }
+            Instr::Shift { left, dst, a, amt } => {
+                let v = regs[*a as usize];
+                let n = regs[*amt as usize];
+                let w = proc.slot_widths[*dst as usize] as u64;
+                regs[*dst as usize] = if n >= w {
+                    0
+                } else if *left {
+                    (v << n) & masks[*dst as usize]
+                } else {
+                    v >> n
+                };
+            }
+            Instr::LogicBin { and, dst, a, b } => {
+                let ta = regs[*a as usize] != 0;
+                let tb = regs[*b as usize] != 0;
+                regs[*dst as usize] = (if *and { ta && tb } else { ta || tb }) as u64;
+            }
+            Instr::Reduce { op, dst, a } => {
+                let v = regs[*a as usize];
+                let am = masks[*a as usize];
+                regs[*dst as usize] = match op {
+                    ReduceOp::And => (v == am) as u64,
+                    ReduceOp::Nand => (v != am) as u64,
+                    ReduceOp::Or => (v != 0) as u64,
+                    ReduceOp::Nor => (v == 0) as u64,
+                    ReduceOp::Xor => (v.count_ones() & 1) as u64,
+                    ReduceOp::Xnor => (1 - (v.count_ones() & 1)) as u64,
+                    ReduceOp::LogicNot => (v == 0) as u64,
+                };
+            }
+            Instr::Cmp { op, dst, a, b } => {
+                let x = regs[*a as usize];
+                let y = regs[*b as usize];
+                regs[*dst as usize] = match op {
+                    // With every value defined, case equality *is*
+                    // logical equality.
+                    CmpOp::Eq | CmpOp::CaseEq => (x == y) as u64,
+                    CmpOp::Neq | CmpOp::CaseNeq => (x != y) as u64,
+                    CmpOp::Lt => (x < y) as u64,
+                    CmpOp::Le => (x <= y) as u64,
+                    CmpOp::Gt => (x > y) as u64,
+                    CmpOp::Ge => (x >= y) as u64,
+                };
+            }
+            Instr::Select { dst, c, t, f } => {
+                let r = if regs[*c as usize] != 0 {
+                    regs[*t as usize]
+                } else {
+                    regs[*f as usize]
+                };
+                regs[*dst as usize] = r & masks[*dst as usize];
+            }
+            Instr::Concat { dst, parts } => {
+                let mut acc = 0u64;
+                for (slot, offset) in parts {
+                    acc |= regs[*slot as usize] << offset;
+                }
+                regs[*dst as usize] = acc;
+            }
+            Instr::Repl { dst, src, n } => {
+                let v = regs[*src as usize];
+                let w = proc.slot_widths[*src as usize];
+                let mut acc = 0u64;
+                for k in 0..*n {
+                    acc |= v << (k * w);
+                }
+                regs[*dst as usize] = acc;
+            }
+            Instr::BitSelSig { .. } => unreachable!("hazard-free stream has no dynamic bit select"),
+            Instr::ReadSlice { dst, sig, lsb } => {
+                // Statically in bounds by the hazard analysis.
+                let (sa, _) = store[sig.index()].planes_u64();
+                regs[*dst as usize] = (sa >> lsb) & masks[*dst as usize];
+            }
+            Instr::Jump { target } => {
+                pc = *target;
+                continue;
+            }
+            Instr::JumpIfNotTrue { cond, target } => {
+                if regs[*cond as usize] == 0 {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Instr::JumpIfMatch {
+                sel,
+                label,
+                kind: _,
+                target,
+            } => {
+                // No undefined constants → no casez wildcards: both
+                // case flavors reduce to word equality.
+                if regs[*sel as usize] == regs[*label as usize] {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Instr::Store {
+                sig,
+                src,
+                lsb,
+                width,
+                nonblocking,
+            } => {
+                let va = regs[*src as usize];
+                if *nonblocking {
+                    nba.push(PendingWrite {
+                        signal: *sig,
+                        lsb: *lsb,
+                        width: *width,
+                        value: LogicVec::from_planes_u64(*width, va, 0),
+                    });
+                } else {
+                    let cur = &mut store[sig.index()];
+                    if *lsb == 0 && *width == cur.width() {
+                        if cur.planes_u64() != (va, 0) {
+                            *cur = LogicVec::from_planes_u64(*width, va, 0);
+                            changed.push(*sig);
+                        }
+                    } else {
+                        let value = LogicVec::from_planes_u64(*width, va, 0);
+                        apply_write(store, *sig, *lsb, *width, &value, changed);
+                    }
+                }
+            }
+            Instr::StoreBitDyn {
+                sig,
+                idx,
+                lsb_index,
+                src,
+                nonblocking,
+            } => {
+                let ia = regs[*idx as usize];
+                let width = store[sig.index()].width();
+                let phys = ia as i64 - lsb_index;
+                if phys >= 0 && (phys as usize) < width {
+                    let value = LogicVec::from_planes_u64(1, regs[*src as usize], 0);
+                    if *nonblocking {
+                        nba.push(PendingWrite {
+                            signal: *sig,
+                            lsb: phys,
+                            width: 1,
+                            value,
+                        });
+                    } else {
+                        apply_write(store, *sig, phys, 1, &value, changed);
+                    }
+                }
+            }
+        }
+        pc += 1;
+    }
+}
+
+/// The two-state interpreter (Verilator's execution model): pure-value
+/// instructions run over the aval plane alone with the bval plane known
+/// zero, skipping every four-state masking/merging formula of
+/// [`execute_narrow`].
+///
+/// Exactness is maintained by a three-part contract with
+/// [`crate::compile::two_state_eligible`]:
+///
+/// * **untainted slots hold `bval == 0`** — every pure-aval writer
+///   stores a zero bval, defined constants are pre-masked, and store
+///   reads bail on any unknown, so the induction never breaks;
+/// * **tainted slots (undefined constants and their plane-exact
+///   closure) hold exact four-state pairs** — `Const`, `Copy`,
+///   `Slice`, `Select`, `Concat` and `Repl` copy both planes, and the
+///   eligibility analysis guarantees tainted values only ever reach
+///   plane-exact consumers (case dispatch, case equality, stores);
+/// * **X-producing operations bail out** (`return false`) before
+///   computing a wrong value: division/modulo by zero, out-of-range or
+///   unknown-index reads, and any store read whose bval plane is
+///   non-zero (the process re-reading an `X` it just stored).
+///
+/// `false` means the caller must rewind (writes snapshot, `nba`,
+/// `changed`) and re-run [`execute_narrow`]; `true` means the stores
+/// performed are bit-identical to what the four-state path would have
+/// produced.
+fn execute_two_state(
+    proc: &CompiledProcess,
+    regs: &mut [(u64, u64)],
+    store: &mut Store,
+    nba: &mut Vec<PendingWrite>,
+    changed: &mut Vec<SignalId>,
+) -> bool {
+    debug_assert_eq!(regs.len(), proc.slot_widths.len());
+    let masks = &proc.slot_masks;
+    let mut pc = 0usize;
+    while pc < proc.code.len() {
+        match &proc.code[pc] {
+            Instr::Const { dst, k } => {
+                // Full pair: undefined constants (casez labels) keep
+                // their planes for the plane-exact consumers.
+                regs[*dst as usize] = proc.narrow_consts[*k as usize];
+            }
+            Instr::Load { dst, sig } => {
+                let v = &store[sig.index()];
+                if v.undef_mask_u64() != 0 {
+                    return false;
+                }
+                let (a, _) = v.planes_u64();
+                regs[*dst as usize] = (a & masks[*dst as usize], 0);
+            }
+            Instr::Copy { dst, src } => {
+                let (a, b) = regs[*src as usize];
+                let m = masks[*dst as usize];
+                regs[*dst as usize] = (a & m, b & m);
+            }
+            Instr::Slice { dst, src, lsb } => {
+                let (a, b) = regs[*src as usize];
+                let m = masks[*dst as usize];
+                regs[*dst as usize] = ((a >> lsb) & m, (b >> lsb) & m);
+            }
+            Instr::Not { dst, a } => {
+                let v = regs[*a as usize].0;
+                regs[*dst as usize] = (!v & masks[*dst as usize], 0);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let x = regs[*a as usize].0;
+                let y = regs[*b as usize].0;
+                let m = masks[*dst as usize];
+                let r = match op {
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Xnor => !(x ^ y) & m,
+                    BinOp::Add => x.wrapping_add(y) & m,
+                    BinOp::Sub => x.wrapping_sub(y) & m,
+                    BinOp::Mul => x.wrapping_mul(y) & m,
+                    BinOp::Div => {
+                        if y == 0 {
+                            return false;
+                        }
+                        (x / y) & m
+                    }
+                    BinOp::Mod => {
+                        if y == 0 {
+                            return false;
+                        }
+                        (x % y) & m
+                    }
+                };
+                regs[*dst as usize] = (r, 0);
+            }
+            Instr::Shift { left, dst, a, amt } => {
+                let v = regs[*a as usize].0;
+                let n = regs[*amt as usize].0;
+                let w = proc.slot_widths[*dst as usize] as u64;
+                let r = if n >= w {
+                    0
+                } else if *left {
+                    (v << n) & masks[*dst as usize]
+                } else {
+                    v >> n
+                };
+                regs[*dst as usize] = (r, 0);
+            }
+            Instr::LogicBin { and, dst, a, b } => {
+                let ta = regs[*a as usize].0 != 0;
+                let tb = regs[*b as usize].0 != 0;
+                let r = if *and { ta && tb } else { ta || tb };
+                regs[*dst as usize] = (r as u64, 0);
+            }
+            Instr::Reduce { op, dst, a } => {
+                let v = regs[*a as usize].0;
+                let am = masks[*a as usize];
+                let bit = match op {
+                    ReduceOp::And => v == am,
+                    ReduceOp::Nand => v != am,
+                    ReduceOp::Or => v != 0,
+                    ReduceOp::Nor => v == 0,
+                    ReduceOp::Xor => v.count_ones() & 1 == 1,
+                    ReduceOp::Xnor => v.count_ones() & 1 == 0,
+                    ReduceOp::LogicNot => v == 0,
+                };
+                regs[*dst as usize] = (bit as u64, 0);
+            }
+            Instr::Cmp { op, dst, a, b } => {
+                let (aa, ax) = regs[*a as usize];
+                let (ba, bx) = regs[*b as usize];
+                let bit = match op {
+                    // Defined operands (compile-enforced): aval compares
+                    // are exact.
+                    CmpOp::Eq => aa == ba,
+                    CmpOp::Neq => aa != ba,
+                    // Plane-exact (tainted operands allowed).
+                    CmpOp::CaseEq => aa == ba && ax == bx,
+                    CmpOp::CaseNeq => !(aa == ba && ax == bx),
+                    CmpOp::Lt => aa < ba,
+                    CmpOp::Le => aa <= ba,
+                    CmpOp::Gt => aa > ba,
+                    CmpOp::Ge => aa >= ba,
+                };
+                regs[*dst as usize] = (bit as u64, 0);
+            }
+            Instr::Select { dst, c, t, f } => {
+                // Plane-exact: an undefined-constant condition merges
+                // exactly as the four-state path would.
+                let (ca, cx) = regs[*c as usize];
+                let (ta, tx) = regs[*t as usize];
+                let (fa, fx) = regs[*f as usize];
+                let m = masks[*dst as usize];
+                regs[*dst as usize] = if ca & !cx != 0 {
+                    (ta & m, tx & m)
+                } else if cx == 0 {
+                    (fa & m, fx & m)
+                } else {
+                    let (nt, nf) = (ta | tx, fa | fx);
+                    let eq = !((nt ^ nf) | (tx ^ fx));
+                    (((nt & eq) | !eq) & m, ((tx & eq) | !eq) & m)
+                };
+            }
+            Instr::Concat { dst, parts } => {
+                let mut acc = (0u64, 0u64);
+                for (slot, offset) in parts {
+                    let (pa, pb) = regs[*slot as usize];
+                    acc.0 |= pa << offset;
+                    acc.1 |= pb << offset;
+                }
+                regs[*dst as usize] = acc;
+            }
+            Instr::Repl { dst, src, n } => {
+                let (pa, pb) = regs[*src as usize];
+                let w = proc.slot_widths[*src as usize];
+                let mut acc = (0u64, 0u64);
+                for k in 0..*n {
+                    acc.0 |= pa << (k * w);
+                    acc.1 |= pb << (k * w);
+                }
+                regs[*dst as usize] = acc;
+            }
+            Instr::BitSelSig {
+                dst,
+                sig,
+                idx,
+                lsb_index,
+            } => {
+                let (ia, ix) = regs[*idx as usize];
+                if ix != 0 {
+                    // Unknown index (an undefined-constant expression):
+                    // the result would be X.
+                    return false;
+                }
+                let value = &store[sig.index()];
+                let phys = ia as i64 - lsb_index;
+                if phys < 0 || phys as usize >= value.width() {
+                    // Out-of-range reads X.
+                    return false;
+                }
+                let (sa, sb) = value.planes_u64();
+                if (sb >> phys) & 1 != 0 {
+                    return false;
+                }
+                regs[*dst as usize] = ((sa >> phys) & 1, 0);
+            }
+            Instr::ReadSlice { dst, sig, lsb } => {
+                let value = &store[sig.index()];
+                let w = proc.slot_widths[*dst as usize];
+                let m = masks[*dst as usize];
+                let sw = value.width() as i64;
+                if *lsb < 0 || lsb + (w as i64) > sw {
+                    // Out-of-range positions read X.
+                    return false;
+                }
+                let (sa, sb) = value.planes_u64();
+                if (sb >> lsb) & m != 0 {
+                    return false;
+                }
+                regs[*dst as usize] = ((sa >> lsb) & m, 0);
+            }
+            Instr::Jump { target } => {
+                pc = *target;
+                continue;
+            }
+            Instr::JumpIfNotTrue { cond, target } => {
+                // Plane-exact truth: definitely-true iff a defined 1
+                // bit exists (ca & !cx != 0) — same cost as the pure
+                // two-state test, correct for tainted conditions too.
+                let (ca, cx) = regs[*cond as usize];
+                if ca & !cx == 0 {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Instr::JumpIfMatch {
+                sel,
+                label,
+                kind,
+                target,
+            } => {
+                let (sa, sx) = regs[*sel as usize];
+                let (la, lx) = regs[*label as usize];
+                let hit = match kind {
+                    CaseKind::Case => sa == la && sx == lx,
+                    CaseKind::Casez => {
+                        let wild = lx & !la;
+                        ((sa ^ la) | (sx ^ lx)) & !wild == 0
+                    }
+                };
+                if hit {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Instr::Store {
+                sig,
+                src,
+                lsb,
+                width,
+                nonblocking,
+            } => {
+                // Plane-exact (a stored undefined constant must land as
+                // X/Z in the store, poisoning downstream read gates).
+                let (va, vb) = regs[*src as usize];
+                if *nonblocking {
+                    nba.push(PendingWrite {
+                        signal: *sig,
+                        lsb: *lsb,
+                        width: *width,
+                        value: LogicVec::from_planes_u64(*width, va, vb),
+                    });
+                } else {
+                    let cur = &mut store[sig.index()];
+                    if *lsb == 0 && *width == cur.width() {
+                        if cur.planes_u64() != (va, vb) {
+                            *cur = LogicVec::from_planes_u64(*width, va, vb);
+                            changed.push(*sig);
+                        }
+                    } else {
+                        let value = LogicVec::from_planes_u64(*width, va, vb);
+                        apply_write(store, *sig, *lsb, *width, &value, changed);
+                    }
+                }
+            }
+            Instr::StoreBitDyn {
+                sig,
+                idx,
+                lsb_index,
+                src,
+                nonblocking,
+            } => {
+                let (ia, ix) = regs[*idx as usize];
+                let width = store[sig.index()].width();
+                let valid_phys = if ix != 0 {
+                    None
+                } else {
+                    let phys = ia as i64 - lsb_index;
+                    (phys >= 0 && (phys as usize) < width).then_some(phys)
+                };
+                if let Some(phys) = valid_phys {
+                    let (va, vb) = regs[*src as usize];
+                    let value = LogicVec::from_planes_u64(1, va, vb);
+                    if *nonblocking {
+                        nba.push(PendingWrite {
+                            signal: *sig,
+                            lsb: phys,
+                            width: 1,
+                            value,
+                        });
+                    } else {
+                        apply_write(store, *sig, phys, 1, &value, changed);
+                    }
+                }
+            }
+        }
+        pc += 1;
+    }
+    true
 }

@@ -17,15 +17,22 @@
 //! stream — once per [`Design`], shared by every simulator over it —
 //! that the interpreter ([`interp`]) runs over pre-sized register
 //! files, with a narrow fast path on raw plane words when every value
-//! fits in 64 bits. Scheduling is event-driven: a two-region event
-//! wheel (active combinational events + an NBA commit region) fans each
-//! signal change out to exactly the processes whose bytecode reads it,
-//! and dispatches clock edges through per-edge trigger lists computed
-//! at elaboration — see the [`sim`](Simulator) module docs. The
-//! original tree-walking evaluator ([`eval`]/[`exec`]) with its
-//! scan-based worklist scheduler remains available as the
-//! differential-testing oracle via [`ExecMode::Legacy`] (or the
-//! `MAGE_SIM_EXEC=legacy` environment hook).
+//! fits in 64 bits and a **two-state fast path** on top of it: when an
+//! eligible process's inputs are fully defined, its bytecode executes
+//! over the aval plane only (Verilator-style), falling back to
+//! four-state on demand — an `X`/`Z` appearing on any read, or an
+//! X-producing hazard mid-run, rewinds and re-runs the four-state
+//! path. Scheduling is event-driven: a two-region event wheel (active
+//! combinational events + an NBA commit region) fans each signal
+//! change out to exactly the processes whose bytecode reads it, and
+//! dispatches clock edges through per-edge trigger lists computed at
+//! elaboration — see the [`sim`](Simulator) module docs for the full
+//! three-executor stack. The original tree-walking evaluator
+//! ([`eval`]/[`exec`]) with its scan-based worklist scheduler remains
+//! available as the differential-testing oracle via
+//! [`ExecMode::Legacy`] (or the `MAGE_SIM_EXEC=legacy` environment
+//! hook); `MAGE_SIM_TWO_STATE=off` pins the compiled executor to pure
+//! four-state.
 //!
 //! # Example
 //!

@@ -39,7 +39,12 @@ fn lockstep(design: &Arc<Design>, schedule: &[(&str, u64)]) -> Option<SimError> 
         let rf = fast.poke(name, v.clone());
         let rs = slow.poke(name, v);
         assert_eq!(rf, rs, "poke #{i} ({name}={value}) outcome diverged");
-        compare_stores(design, &fast, &slow, &format!("after poke #{i} {name}={value}"));
+        compare_stores(
+            design,
+            &fast,
+            &slow,
+            &format!("after poke #{i} {name}={value}"),
+        );
         if rf.is_err() {
             return rf.err();
         }

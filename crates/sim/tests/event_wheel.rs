@@ -339,12 +339,8 @@ fn settled_wheel_drains_in_constant_work() {
     let d = design_of(DUAL_COUNTER, "top");
     let mut s = Simulator::with_mode(Arc::clone(&d), ExecMode::Compiled);
     s.settle().unwrap();
-    s.poke_many([
-        ("rst", v(1, 1)),
-        ("clka", v(1, 0)),
-        ("clkb", v(1, 0)),
-    ])
-    .unwrap();
+    s.poke_many([("rst", v(1, 1)), ("clka", v(1, 0)), ("clkb", v(1, 0))])
+        .unwrap();
     s.poke("rst", v(1, 0)).unwrap();
     s.reset_eval_counts();
     for _ in 0..100 {

@@ -1,0 +1,45 @@
+//! `MAGE_SIM_TWO_STATE` environment-hook test, isolated in its own
+//! binary: env vars are process-global, so this must not share a
+//! process with tests that construct simulators in parallel (the main
+//! two-state suite lives in `two_state.rs`).
+
+use mage_sim::{elaborate, ExecMode, Simulator};
+use std::sync::Arc;
+
+#[test]
+fn env_hook_disables_two_state_dispatch() {
+    let file =
+        mage_verilog::parse("module top(input a, output y); assign y = ~a; endmodule").unwrap();
+    let design = Arc::new(elaborate(&file, "top").unwrap());
+
+    std::env::set_var("MAGE_SIM_TWO_STATE", "off");
+    let off = Simulator::with_mode(Arc::clone(&design), ExecMode::Compiled);
+    std::env::set_var("MAGE_SIM_TWO_STATE", "0");
+    let zero = Simulator::with_mode(Arc::clone(&design), ExecMode::Compiled);
+    std::env::remove_var("MAGE_SIM_TWO_STATE");
+    let on = Simulator::with_mode(Arc::clone(&design), ExecMode::Compiled);
+
+    assert!(!off.two_state(), "MAGE_SIM_TWO_STATE=off must disable");
+    assert!(!zero.two_state(), "MAGE_SIM_TWO_STATE=0 must disable");
+    assert!(on.two_state(), "default is on");
+
+    // The legacy executor never has a two-state path, whatever the env.
+    let legacy = Simulator::with_mode(design, ExecMode::Legacy);
+    assert!(!legacy.two_state());
+
+    // And the counters actually stay silent when disabled.
+    let mut sim = {
+        std::env::set_var("MAGE_SIM_TWO_STATE", "off");
+        let file =
+            mage_verilog::parse("module top(input a, output y); assign y = ~a; endmodule").unwrap();
+        let design = Arc::new(elaborate(&file, "top").unwrap());
+        let s = Simulator::new(design);
+        std::env::remove_var("MAGE_SIM_TWO_STATE");
+        s
+    };
+    sim.settle().unwrap();
+    sim.poke("a", mage_logic::LogicVec::from_bool(true))
+        .unwrap();
+    assert_eq!(sim.eval_counts().two_state_evals, 0);
+    assert_eq!(sim.eval_counts().two_state_fallbacks, 0);
+}

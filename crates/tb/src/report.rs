@@ -158,7 +158,12 @@ mod tests {
     fn score_is_eq2() {
         let r = TbReport::new(
             "t".into(),
-            vec![rec(0, "y", true), rec(1, "y", false), rec(2, "y", true), rec(3, "y", false)],
+            vec![
+                rec(0, "y", true),
+                rec(1, "y", false),
+                rec(2, "y", true),
+                rec(3, "y", false),
+            ],
             None,
         );
         assert_eq!(r.mismatches(), 2);
@@ -192,7 +197,11 @@ mod tests {
 
     #[test]
     fn window_clamps_at_zero() {
-        let r = TbReport::new("t".into(), vec![rec(0, "y", false), rec(1, "y", true)], None);
+        let r = TbReport::new(
+            "t".into(),
+            vec![rec(0, "y", false), rec(1, "y", true)],
+            None,
+        );
         let w = r.window(5);
         assert_eq!(w.len(), 1);
         assert_eq!(w[0].step, 0);

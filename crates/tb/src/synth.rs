@@ -68,7 +68,9 @@ pub fn synthesize_testbench(
         }
         if !faulted {
             if let Some(clk) = &stim.clock {
-                faulted = sim.poke(clk, mage_logic::LogicVec::from_bool(true)).is_err();
+                faulted = sim
+                    .poke(clk, mage_logic::LogicVec::from_bool(true))
+                    .is_err();
             }
         }
         let keep = match density {

@@ -152,7 +152,10 @@ fn collect_proc(
             }
         }
         Stmt::Case {
-            expr, arms, default, ..
+            expr,
+            arms,
+            default,
+            ..
         } => {
             let mut added = HashSet::new();
             expr_reads(expr, &mut added);
@@ -234,7 +237,10 @@ pub fn cone_of_influence(file: &SourceFile, module: &Module, target: &str) -> Ha
     // input-connected signals.
     let mut inst_edges: Vec<(HashSet<String>, HashSet<String>)> = Vec::new(); // (writes, reads)
     for item in &module.items {
-        if let Item::Instance { module: def, conns, .. } = item {
+        if let Item::Instance {
+            module: def, conns, ..
+        } = item
+        {
             let def_mod = file.module(def);
             let mut writes = HashSet::new();
             let mut reads = HashSet::new();
@@ -279,7 +285,7 @@ pub fn cone_of_influence(file: &SourceFile, module: &Module, target: &str) -> Ha
     let mut frontier: Vec<String> = vec![target.to_string()];
     while let Some(sig) = frontier.pop() {
         for info in &infos {
-            if info.targets.iter().any(|t| *t == sig) {
+            if info.targets.contains(&sig) {
                 for dep in info.data_reads.iter().chain(info.ctrl_reads.iter()) {
                     if cone.insert(dep.clone()) {
                         frontier.push(dep.clone());
@@ -420,6 +426,6 @@ mod tests {
         .unwrap();
         let map = driver_map(&m);
         assert_eq!(map.get("q").map(|v| v.len()), Some(1));
-        assert!(map.get("a").is_none());
+        assert!(!map.contains_key("a"));
     }
 }

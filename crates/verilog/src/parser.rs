@@ -151,26 +151,25 @@ impl Parser {
         let mut ports: Vec<Port> = Vec::new();
         let mut port_order: Vec<String> = Vec::new();
         let mut non_ansi = false;
-        if self.eat_punct("(") {
-            if !self.eat_punct(")") {
-                // ANSI if a direction keyword appears, else non-ANSI names.
-                if matches!(
-                    self.peek(),
-                    TokenKind::Keyword(Keyword::Input) | TokenKind::Keyword(Keyword::Output)
-                        | TokenKind::Keyword(Keyword::Inout)
-                ) {
-                    self.ansi_ports(&mut ports)?;
-                } else {
-                    non_ansi = true;
-                    loop {
-                        port_order.push(self.expect_ident()?);
-                        if !self.eat_punct(",") {
-                            break;
-                        }
+        if self.eat_punct("(") && !self.eat_punct(")") {
+            // ANSI if a direction keyword appears, else non-ANSI names.
+            if matches!(
+                self.peek(),
+                TokenKind::Keyword(Keyword::Input)
+                    | TokenKind::Keyword(Keyword::Output)
+                    | TokenKind::Keyword(Keyword::Inout)
+            ) {
+                self.ansi_ports(&mut ports)?;
+            } else {
+                non_ansi = true;
+                loop {
+                    port_order.push(self.expect_ident()?);
+                    if !self.eat_punct(",") {
+                        break;
                     }
                 }
-                self.expect_punct(")")?;
             }
+            self.expect_punct(")")?;
         }
         self.expect_punct(";")?;
 
@@ -276,7 +275,11 @@ impl Parser {
         }
     }
 
-    fn port_type(&mut self, kind: &mut NetKind, range: &mut Option<Range>) -> Result<(), ParseError> {
+    fn port_type(
+        &mut self,
+        kind: &mut NetKind,
+        range: &mut Option<Range>,
+    ) -> Result<(), ParseError> {
         if self.eat_keyword(Keyword::Wire) {
             *kind = NetKind::Wire;
         } else if self.eat_keyword(Keyword::Reg) {
@@ -517,10 +520,9 @@ impl Parser {
                     conns,
                 });
             }
-            TokenKind::Keyword(k @ (Keyword::Initial
-            | Keyword::Generate
-            | Keyword::Function
-            | Keyword::Task)) => {
+            TokenKind::Keyword(
+                k @ (Keyword::Initial | Keyword::Generate | Keyword::Function | Keyword::Task),
+            ) => {
                 return Err(ParseError::new(
                     self.pos(),
                     format!("`{}` blocks are outside the MAGE subset", k.as_str()),
@@ -832,8 +834,8 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Number(text) => {
                 self.bump();
-                let lit = parse_literal(&text)
-                    .map_err(|e| ParseError::new(self.pos(), e.to_string()))?;
+                let lit =
+                    parse_literal(&text).map_err(|e| ParseError::new(self.pos(), e.to_string()))?;
                 Ok(Expr::Literal {
                     value: lit.value,
                     form: if lit.sized {
@@ -918,10 +920,9 @@ mod tests {
 
     #[test]
     fn parses_simple_module() {
-        let m = parse_module(
-            "module top(input a, input b, output y);\n assign y = a & b;\nendmodule",
-        )
-        .unwrap();
+        let m =
+            parse_module("module top(input a, input b, output y);\n assign y = a & b;\nendmodule")
+                .unwrap();
         assert_eq!(m.name, "top");
         assert_eq!(m.ports.len(), 3);
         assert_eq!(m.items.len(), 1);
@@ -1058,7 +1059,10 @@ mod tests {
 
     #[test]
     fn precedence_binds_correctly() {
-        let m = parse_module("module p(input a, input b, input c, output y); assign y = a | b & c; endmodule").unwrap();
+        let m = parse_module(
+            "module p(input a, input b, input c, output y); assign y = a | b & c; endmodule",
+        )
+        .unwrap();
         let Item::Assign { rhs, .. } = &m.items[0] else {
             panic!()
         };
@@ -1067,7 +1071,13 @@ mod tests {
             panic!()
         };
         assert_eq!(*op, BinaryOp::Or);
-        assert!(matches!(**r, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            **r,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1118,11 +1128,13 @@ mod tests {
     fn rejects_out_of_subset() {
         assert!(parse_module("module m(inout a); endmodule").is_err());
         assert!(parse_module("module m(input a); initial a = 0; endmodule").is_err());
+        assert!(parse_module(
+            "module m(input signed [3:0] a, output y); assign y = a[0]; endmodule"
+        )
+        .is_err());
         assert!(
-            parse_module("module m(input signed [3:0] a, output y); assign y = a[0]; endmodule")
-                .is_err()
+            parse_module("module m(input a, output y); assign y = a[1+:2]; endmodule").is_err()
         );
-        assert!(parse_module("module m(input a, output y); assign y = a[1+:2]; endmodule").is_err());
     }
 
     #[test]
@@ -1146,7 +1158,13 @@ mod tests {
         let Stmt::NonBlocking { rhs, .. } = body else {
             panic!("expected nonblocking assign")
         };
-        assert!(matches!(rhs, Expr::Binary { op: BinaryOp::Le, .. }));
+        assert!(matches!(
+            rhs,
+            Expr::Binary {
+                op: BinaryOp::Le,
+                ..
+            }
+        ));
     }
 
     #[test]

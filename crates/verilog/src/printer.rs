@@ -411,8 +411,12 @@ impl Printer {
                 self.out.push_str(op.symbol());
                 // Avoid `--a` lexing hazards and keep operand atomic.
                 match **operand {
-                    Expr::Literal { .. } | Expr::Ident(_) | Expr::Bit { .. }
-                    | Expr::Part { .. } | Expr::Concat(_) | Expr::Repl { .. } => {
+                    Expr::Literal { .. }
+                    | Expr::Ident(_)
+                    | Expr::Bit { .. }
+                    | Expr::Part { .. }
+                    | Expr::Concat(_)
+                    | Expr::Repl { .. } => {
                         self.expr(operand, 13);
                     }
                     Expr::Unary { .. } => {
@@ -635,9 +639,10 @@ mod tests {
 
     #[test]
     fn expr_printer_parenthesizes_minimally() {
-        let m =
-            parse_module("module p(input a, input b, input c, output y); assign y = a | b & c; endmodule")
-                .unwrap();
+        let m = parse_module(
+            "module p(input a, input b, input c, output y); assign y = a | b & c; endmodule",
+        )
+        .unwrap();
         let Item::Assign { rhs, .. } = &m.items[0] else {
             panic!()
         };

@@ -64,6 +64,9 @@ macro_rules! keywords {
 
         impl Keyword {
             /// Look up a keyword from its source text.
+            // Inherent, fallible lookup; `FromStr` would force a
+            // `Result` error type the lexer has no use for.
+            #[allow(clippy::should_implement_trait)]
             pub fn from_str(s: &str) -> Option<Keyword> {
                 match s {
                     $($text => Some(Keyword::$variant),)+

@@ -69,11 +69,7 @@ pub fn for_each_stmt<'a>(m: &'a Module, mut f: impl FnMut(&StmtPath, &'a Stmt)) 
     }
 }
 
-fn walk_stmt<'a>(
-    s: &'a Stmt,
-    path: &mut StmtPath,
-    f: &mut impl FnMut(&StmtPath, &'a Stmt),
-) {
+fn walk_stmt<'a>(s: &'a Stmt, path: &mut StmtPath, f: &mut impl FnMut(&StmtPath, &'a Stmt)) {
     f(path, s);
     match s {
         Stmt::Block(stmts) => {
@@ -172,10 +168,7 @@ fn step_into_mut(s: &mut Stmt, step: StmtStep) -> Option<&mut Stmt> {
 
 /// Visit every assignment in the module: continuous `assign` items and
 /// procedural (non)blocking assignment statements.
-pub fn for_each_assignment<'a>(
-    m: &'a Module,
-    mut f: impl FnMut(AssignRef, &'a LValue, &'a Expr),
-) {
+pub fn for_each_assignment<'a>(m: &'a Module, mut f: impl FnMut(AssignRef, &'a LValue, &'a Expr)) {
     for (i, item) in m.items.iter().enumerate() {
         if let Item::Assign { lhs, rhs } = item {
             f(AssignRef::Item(i), lhs, rhs);

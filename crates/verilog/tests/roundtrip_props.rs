@@ -97,8 +97,11 @@ fn lvalue() -> impl Strategy<Value = LValue> {
     prop_oneof![
         ident().prop_map(LValue::Ident),
         (ident(), 0usize..8).prop_map(|(b, i)| LValue::Bit(b, Expr::number(i as u64))),
-        (ident(), 1usize..7)
-            .prop_map(|(b, m)| LValue::Part(b, Expr::number(m as u64), Expr::number(0))),
+        (ident(), 1usize..7).prop_map(|(b, m)| LValue::Part(
+            b,
+            Expr::number(m as u64),
+            Expr::number(0)
+        )),
     ]
 }
 
@@ -110,16 +113,19 @@ fn stmt() -> impl Strategy<Value = Stmt> {
     assign.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 1..4).prop_map(Stmt::Block),
-            (expr(), inner.clone(), proptest::option::of(inner.clone())).prop_map(
-                |(c, t, e)| Stmt::If {
+            (expr(), inner.clone(), proptest::option::of(inner.clone())).prop_map(|(c, t, e)| {
+                Stmt::If {
                     cond: c,
                     then_branch: Box::new(t),
                     else_branch: e.map(Box::new),
                 }
-            ),
+            }),
             (
                 expr(),
-                proptest::collection::vec((proptest::collection::vec(literal(), 1..3), inner.clone()), 1..3),
+                proptest::collection::vec(
+                    (proptest::collection::vec(literal(), 1..3), inner.clone()),
+                    1..3
+                ),
                 proptest::option::of(inner.clone())
             )
                 .prop_map(|(sel, arm_data, def)| Stmt::Case {

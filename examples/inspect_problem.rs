@@ -21,7 +21,10 @@ fn main() {
         std::process::exit(1);
     });
 
-    println!("=== {} (difficulty {:.1}, {:?}) ===", problem.id, problem.difficulty, problem.category);
+    println!(
+        "=== {} (difficulty {:.1}, {:?}) ===",
+        problem.id, problem.difficulty, problem.category
+    );
     println!("\n--- specification ---\n{}", problem.spec);
     println!("\n--- golden RTL ---\n{}", problem.golden);
 
@@ -40,7 +43,12 @@ fn main() {
         design.processes.len()
     );
 
-    let tb = synthesize_testbench(problem.id, design, &oracle.stimulus, CheckDensity::EveryStep);
+    let tb = synthesize_testbench(
+        problem.id,
+        design,
+        &oracle.stimulus,
+        CheckDensity::EveryStep,
+    );
     println!(
         "\n--- synthesized checkpoint testbench: {} steps, {} checkpoints ---",
         tb.steps.len(),
@@ -53,12 +61,21 @@ fn main() {
     for line in log.lines().take(24) {
         println!("{line}");
     }
-    println!("  … ({} checkpoints total, score {:.3})", report.total_checks(), report.score());
+    println!(
+        "  … ({} checkpoints total, score {:.3})",
+        report.total_checks(),
+        report.score()
+    );
 
     // A peek at raw simulation too.
     let mut sim = Simulator::new(Arc::clone(design));
     sim.settle().expect("golden settles");
-    println!("\nall signals start at X: {}", design.signals.iter().all(|s| {
-        sim.peek_by_name(&s.name).map(|v| v.has_unknown()).unwrap_or(false)
-    }));
+    println!(
+        "\nall signals start at X: {}",
+        design.signals.iter().all(|s| {
+            sim.peek_by_name(&s.name)
+                .map(|v| v.has_unknown())
+                .unwrap_or(false)
+        })
+    );
 }

@@ -47,7 +47,10 @@ fn main() {
         "token usage:             {} prompt + {} completion",
         trace.usage.prompt, trace.usage.completion
     );
-    println!("\n--- final RTL (score {:.3}) ---\n{}", trace.final_score, trace.final_source);
+    println!(
+        "\n--- final RTL (score {:.3}) ---\n{}",
+        trace.final_score, trace.final_source
+    );
 
     // Grade the answer against the benchmark's reference bench, like the
     // evaluation harness does.
@@ -55,7 +58,7 @@ fn main() {
     let grading = synthesize_testbench(
         format!("{}-golden", problem.id),
         &oracle.golden_design,
-        &problem.grading_stimulus(0xD0C5_EED),
+        &problem.grading_stimulus(0x0D0C_5EED),
         CheckDensity::EveryStep,
     );
     match compile(&trace.final_source) {

@@ -8,7 +8,10 @@ fn trace_for(system: SystemKind, difficulty_id: &str, seed: u64) -> mage::core::
     let p = by_id(difficulty_id).expect("corpus problem");
     let mut model = SyntheticModel::new(SyntheticModelConfig::default(), seed);
     model.register(p.id, p.oracle(seed));
-    let mut engine = Mage::new(&mut model, MageConfig::high_temperature().with_system(system));
+    let mut engine = Mage::new(
+        &mut model,
+        MageConfig::high_temperature().with_system(system),
+    );
     engine.solve(&Task {
         id: p.id,
         spec: p.spec,
@@ -33,7 +36,11 @@ fn final_never_worse_than_best_sample() {
 #[test]
 fn round_means_monotone_under_rollback() {
     for seed in 0..6u64 {
-        for system in [SystemKind::Mage, SystemKind::SingleAgent, SystemKind::TwoAgent] {
+        for system in [
+            SystemKind::Mage,
+            SystemKind::SingleAgent,
+            SystemKind::TwoAgent,
+        ] {
             let t = trace_for(system, "prob062_fsm_seq101", seed);
             for w in t.round_mean_scores.windows(2) {
                 assert!(
