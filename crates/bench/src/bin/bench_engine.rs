@@ -20,7 +20,10 @@
 //! wave dispatch calls ≤ BSP's on the registry stream, wave overlap
 //! strictly positive, BSP overlap exactly zero, identical per-job work
 //! either way, and batched calls < requests (the PR 2 acceptance
-//! invariant).
+//! invariant). A `resilience` section re-runs the wave stream under the
+//! canonical fault plan and asserts the retry machinery both fires
+//! (nonzero retries and rate-limit defers) and absorbs (zero failed
+//! jobs), while the empty plan leaves every counter at zero.
 //!
 //! Usage:
 //! `cargo run --release -p mage-bench --bin bench_engine [--smoke] [out.json]`
@@ -34,9 +37,12 @@
 
 use mage_core::experiments::unit_seed;
 use mage_core::{Mage, MageConfig, SystemKind, Task};
-use mage_llm::{SyntheticModel, SyntheticModelConfig};
+use mage_llm::{DispatchPolicy, FaultPlan, SyntheticModel, SyntheticModelConfig};
 use mage_problems::SuiteId;
-use mage_serve::{synthetic_service, JobSpec, SchedMode, ServeEngine, ServeOptions, ServeStats};
+use mage_serve::{
+    synthetic_service, synthetic_service_with, JobSpec, SchedMode, ServeEngine, ServeOptions,
+    ServeStats,
+};
 use std::time::Instant;
 
 const RUNS_PER_PROBLEM: usize = 2;
@@ -72,6 +78,7 @@ fn run_serve(sched: SchedMode, batch_llm: bool) -> (f64, ServeStats, usize, usiz
             batch_llm,
             max_in_flight: 0,
             sched,
+            ..ServeOptions::default()
         },
         service,
     );
@@ -83,6 +90,33 @@ fn run_serve(sched: SchedMode, batch_llm: bool) -> (f64, ServeStats, usize, usiz
     let secs = t.elapsed().as_secs_f64();
     let report = engine.report();
     (secs, report.stats, report.cache_hits, report.cache_misses)
+}
+
+/// One wave pass under an explicit fault plan (ignores
+/// `$MAGE_FAULT_PLAN` — the resilience gate must check both the empty
+/// and the canonical plan whatever environment the harness runs in).
+/// Returns (stats, jobs failed, jobs pushed).
+fn run_faulted(plan: FaultPlan) -> (ServeStats, usize, usize) {
+    let specs = stream_specs();
+    let service = synthetic_service_with(&specs, plan, DispatchPolicy::default());
+    let mut engine = ServeEngine::new(
+        ServeOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            batch_llm: true,
+            max_in_flight: 0,
+            sched: SchedMode::Wave,
+            ..ServeOptions::default()
+        },
+        service,
+    );
+    for spec in specs {
+        engine.push_job(spec);
+    }
+    engine.run();
+    let report = engine.report();
+    (report.stats, report.failed, report.jobs)
 }
 
 /// The pre-serve baseline: blocking solves in sequence.
@@ -167,6 +201,33 @@ fn main() {
     );
     assert_eq!(sstats.llm_batch_calls, sstats.llm_requests);
 
+    // Resilience invariants: the empty plan leaves every counter at
+    // zero (the fault machinery is a strict passthrough when unused);
+    // the canonical plan lights the retry and rate-limit paths while
+    // failing nothing (every canonical fault is absorbable).
+    let (clean, clean_failed, _) = run_faulted(FaultPlan::none());
+    assert_eq!(clean_failed, 0, "empty plan failed a job");
+    assert_eq!(
+        (
+            clean.retries,
+            clean.hedges,
+            clean.rate_limit_defers,
+            clean.failovers,
+        ),
+        (0, 0, 0, 0),
+        "empty plan left nonzero resilience counters"
+    );
+    let (faulted, faulted_failed, faulted_jobs) = run_faulted(FaultPlan::canonical());
+    assert_eq!(
+        faulted_failed, 0,
+        "canonical plan must be fully absorbed ({faulted_failed}/{faulted_jobs} jobs failed)"
+    );
+    assert!(faulted.retries > 0, "canonical plan triggered no retries");
+    assert!(
+        faulted.rate_limit_defers > 0,
+        "canonical plan shed no calls"
+    );
+
     let line = |name: &str, secs: f64| {
         println!(
             "{name:16} {jobs:4} jobs in {:8.3}s  ({:7.2} jobs/s)",
@@ -188,6 +249,11 @@ fn main() {
         bstats.llm_batch_calls,
         sstats.llm_batch_calls,
     );
+    println!(
+        "canonical faults: {} retries, {} hedges, {} rate-limit defers, {} failovers, \
+         0/{faulted_jobs} jobs failed",
+        faulted.retries, faulted.hedges, faulted.rate_limit_defers, faulted.failovers,
+    );
 
     let sched_mode = |stats: &ServeStats| {
         format!(
@@ -206,12 +272,18 @@ fn main() {
          \"scalar_calls\": {},\n    \"avg_wave_batch_size\": {:.2}\n  }},\n  \
          \"scheduler\": {{\n    \
          \"wave\": {},\n    \"bsp\": {}\n  }},\n  \
+         \"resilience\": {{\n    \
+         \"plan\": \"canonical\",\n    \"retries\": {},\n    \"hedges\": {},\n    \
+         \"rate_limit_defers\": {},\n    \"failovers\": {},\n    \"jobs_failed\": {}\n  }},\n  \
          \"design_cache\": {{ \"hits\": {hits}, \"misses\": {misses} }},\n  \
          \"notes\": \"serve_wave = overlapped wave scheduler (default; coalescing join keeps \
          dispatch calls <= BSP, asserted in-process along with overlap_steps > 0); serve_bsp = \
          the retained BSP round oracle, batching on; serve_scalar = BSP with batching off; \
          solo_loop = sequential Mage::solve without serve. All serve modes use per-job \
-         synthetic models and the shared design+score caches. Stream = VerilogEval-Human x \
+         synthetic models and the shared design+score caches. The resilience section drives \
+         the same wave stream through the canonical fault plan (every fault kind, all \
+         absorbable): counters are asserted zero fault-free and nonzero (with zero failed \
+         jobs) under faults. Stream = VerilogEval-Human x \
          {RUNS_PER_PROBLEM} runs, high-temperature MAGE config, seed 0xBE. Wall times are \
          interleaved best-of-{samples} minima; this container has a single CPU, so the \
          background sim wave shows no wall gain here — the scheduler section's deterministic \
@@ -228,6 +300,11 @@ fn main() {
         wstats.llm_requests as f64 / wstats.llm_batch_calls.max(1) as f64,
         sched_mode(&wstats),
         sched_mode(&bstats),
+        faulted.retries,
+        faulted.hedges,
+        faulted.rate_limit_defers,
+        faulted.failovers,
+        faulted_failed,
     );
     std::fs::write(&out_path, json).expect("write baseline");
     println!("wrote {out_path}");

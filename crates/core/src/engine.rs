@@ -132,6 +132,33 @@ pub struct Candidate {
     pub report: Option<TbReport>,
 }
 
+/// How a solve terminated.
+///
+/// The blocking loop and a fault-free served run always finish
+/// [`JobOutcome::Completed`]; only the fault-tolerant dispatch layer in
+/// `mage-serve` produces [`JobOutcome::Failed`] — a job whose LLM
+/// retry budget, deadline, or backend pool was exhausted is finished
+/// *as a value* (partial trace, structured reason) instead of poisoning
+/// the scheduler round it died in.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum JobOutcome {
+    /// The workflow ran to its normal end.
+    #[default]
+    Completed,
+    /// The solve was cut short by the serving layer.
+    Failed {
+        /// Human-readable cause (e.g. `"llm retry budget exhausted: ..."`).
+        reason: String,
+    },
+}
+
+impl JobOutcome {
+    /// `true` for [`JobOutcome::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobOutcome::Failed { .. })
+    }
+}
+
 /// The full trace of one engine run on one task (feeds every figure).
 ///
 /// `PartialEq` compares every field bit-for-bit — the differential and
@@ -166,6 +193,9 @@ pub struct SolveTrace {
     /// point of the run, after any [`MageConfig::context_budget`]
     /// compaction. The memory-accounting metric of long debug loops.
     pub peak_context_tokens: usize,
+    /// How the solve terminated (always `Completed` outside the
+    /// fault-tolerant serving layer).
+    pub outcome: JobOutcome,
 }
 
 /// The MAGE engine, generic over the language-model backend.
@@ -258,6 +288,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
             syntax_failures: 0,
             usage,
             peak_context_tokens: 0,
+            outcome: JobOutcome::Completed,
         };
 
         // --- Vanilla baseline: one pass, nothing else. ---

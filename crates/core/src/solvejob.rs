@@ -33,7 +33,7 @@
 
 use crate::config::{MageConfig, SystemKind};
 use crate::engine::{
-    bench_digest, compile, strip_scoring, AgentRole, Candidate, Contexts, SolveTrace,
+    bench_digest, compile, strip_scoring, AgentRole, Candidate, Contexts, JobOutcome, SolveTrace,
 };
 use mage_llm::{
     DebugCall, JudgeTbCall, LlmRequest, LlmResponse, RtlGenCall, SyntaxFixCall, TaskKind,
@@ -268,6 +268,7 @@ impl SolveJob {
             syntax_failures: 0,
             usage: TokenUsage::default(),
             peak_context_tokens: 0,
+            outcome: JobOutcome::Completed,
         };
         SolveJob {
             config,
@@ -301,6 +302,44 @@ impl SolveJob {
     /// `true` once [`SolveStep::Done`] has been yielded.
     pub fn is_finished(&self) -> bool {
         matches!(self.phase, Phase::Finished)
+    }
+
+    /// Terminate the solve early with [`JobOutcome::Failed`], from any
+    /// non-finished phase. The fault-tolerant dispatch layer calls this
+    /// when a job's retry budget, deadline, or backend pool is
+    /// exhausted: the job finishes *as a value* — the partial trace is
+    /// closed out with the best candidate seen so far (possibly none)
+    /// and the structured `reason` — so the scheduler retires it like
+    /// any completed job instead of panicking or hanging.
+    ///
+    /// Any outstanding request is abandoned; the job accepts no further
+    /// input afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job already finished (a driver bug: a finished
+    /// job cannot fail).
+    pub fn fail(&mut self, reason: impl Into<String>) -> Box<SolveTrace> {
+        assert!(
+            !self.is_finished(),
+            "SolveJob::fail on `{}`: job already finished",
+            self.problem_id
+        );
+        self.phase = Phase::Finished;
+        // Close the trace out with the best evidence gathered so far,
+        // mirroring `finish` — a failed job still reports its partial
+        // progress (initial score, sampled scores, usage...).
+        let best = self.selected.first().cloned().or_else(|| self.best.clone());
+        if let Some(best) = best {
+            self.trace.final_source = best.source;
+            self.trace.final_score = best.score;
+        }
+        self.trace.usage = self.usage;
+        self.trace.peak_context_tokens = self.ctx.peak_tokens;
+        self.trace.outcome = JobOutcome::Failed {
+            reason: reason.into(),
+        };
+        Box::new(self.trace.clone())
     }
 
     /// The (partial until finished) trace.
@@ -845,6 +884,43 @@ mod tests {
             report: None,
             score: 0.0,
         }));
+    }
+
+    #[test]
+    fn fail_terminates_with_partial_trace() {
+        let mut model = fixture_model(2.0, 5);
+        let mut job = SolveJob::new("and4", "4-bit AND", MageConfig::high_temperature());
+        let mut step = job.advance(StepInput::Start);
+        for _ in 0..3 {
+            step = match step {
+                SolveStep::NeedLlm(req) => {
+                    let resp = model.dispatch(&req);
+                    job.advance(StepInput::Llm(resp))
+                }
+                SolveStep::NeedSim(req) => job.advance(StepInput::Sim(execute_sim(&req))),
+                SolveStep::Done(_) => panic!("fixture should not finish in 3 steps"),
+            };
+        }
+        let trace = job.fail("llm retry budget exhausted");
+        assert!(job.is_finished());
+        assert_eq!(
+            trace.outcome,
+            crate::JobOutcome::Failed {
+                reason: "llm retry budget exhausted".into()
+            }
+        );
+        // Partial evidence survives: six steps in, tokens were spent.
+        assert!(trace.usage.prompt > 0);
+        assert_eq!(job.trace(), trace.as_ref());
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn fail_after_finish_panics() {
+        let mut model = fixture_model(0.2, 3);
+        let mut job = SolveJob::new("and4", "4-bit AND", MageConfig::high_temperature());
+        let _ = drive(&mut job, &mut model);
+        let _ = job.fail("too late");
     }
 
     #[test]

@@ -45,8 +45,11 @@
 
 mod api;
 mod batch;
+pub mod faults;
 pub mod mutate;
+pub mod policy;
 mod synthetic;
+pub mod transport;
 
 pub use api::{
     approx_tokens, ChatMessage, Conversation, DebugRequest, JudgeTbRequest, ModelOutput, Role,
@@ -56,7 +59,13 @@ pub use api::{
 pub use batch::{
     DebugCall, JudgeTbCall, LlmRequest, LlmResponse, RtlGenCall, SyntaxFixCall, TbGenCall,
 };
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
+pub use policy::{
+    BackendHealth, DispatchCall, DispatchError, DispatchPolicy, DispatchResult, Dispatcher,
+    HealthSnapshot, ResilienceCounters,
+};
 pub use synthetic::{
     corrupt_testbench_for_test, parse_feedback, ParsedFeedback, ProblemOracle, SyntheticModel,
     SyntheticModelConfig,
 };
+pub use transport::{Attempt, FaultInjectedTransport, Transport, TransportCall, TransportError};

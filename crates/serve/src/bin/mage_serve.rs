@@ -10,6 +10,12 @@
 //!   --seed S              master seed                    [0xCAFE]
 //!   --budget T            per-agent context token budget [4000]
 //!   --sched bsp|wave      scheduler mode                 [wave]
+//!   --fault-plan P        fault plan: name or seed:name  [$MAGE_FAULT_PLAN]
+//!                         (none|canonical|single-transient|burst-rate-limit|
+//!                          one-backend-dead|all-dead|mid-wave-timeout)
+//!   --retries N           engine re-dispatches per request [2]
+//!   --hedge-after-ms MS   hedge threshold (0 = off)      [80]
+//!   --deadline-ms MS      per-job virtual deadline (0 = off) [off]
 //!   --low                 low-temperature config (default high)
 //!   --scalar              disable LLM batching (one call per request)
 //!   --no-grade            skip grading final answers
@@ -17,8 +23,9 @@
 
 use mage_core::experiments::unit_seed;
 use mage_core::{MageConfig, SystemKind};
+use mage_llm::{DispatchPolicy, FaultPlan};
 use mage_problems::SuiteId;
-use mage_serve::{synthetic_service, JobSpec, SchedMode, ServeEngine, ServeOptions};
+use mage_serve::{synthetic_service_with, JobSpec, SchedMode, ServeEngine, ServeOptions};
 
 struct Args {
     suite: String,
@@ -28,6 +35,10 @@ struct Args {
     seed: u64,
     budget: usize,
     sched: SchedMode,
+    fault_plan: FaultPlan,
+    retries: u32,
+    hedge_after_ms: u64,
+    deadline_ms: u64,
     low: bool,
     scalar: bool,
     grade: bool,
@@ -44,6 +55,10 @@ fn parse_args() -> Args {
         seed: 0xCAFE,
         budget: 4000,
         sched: SchedMode::default(),
+        fault_plan: FaultPlan::from_env(),
+        retries: 2,
+        hedge_after_ms: 80,
+        deadline_ms: 0,
         low: false,
         scalar: false,
         grade: true,
@@ -67,6 +82,20 @@ fn parse_args() -> Args {
                 let v = value("--sched");
                 args.sched = SchedMode::parse(&v)
                     .unwrap_or_else(|| panic!("unknown scheduler `{v}` (bsp|wave)"));
+            }
+            "--fault-plan" => {
+                let v = value("--fault-plan");
+                args.fault_plan =
+                    FaultPlan::parse(&v).unwrap_or_else(|e| panic!("--fault-plan: {e}"));
+            }
+            "--retries" => args.retries = value("--retries").parse().expect("--retries N"),
+            "--hedge-after-ms" => {
+                args.hedge_after_ms = value("--hedge-after-ms")
+                    .parse()
+                    .expect("--hedge-after-ms MS")
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms").parse().expect("--deadline-ms MS")
             }
             "--low" => args.low = true,
             "--scalar" => args.scalar = true,
@@ -113,13 +142,27 @@ fn main() {
         }
     }
 
-    let service = synthetic_service(&specs);
+    let policy = DispatchPolicy {
+        hedge_after_ms: if args.hedge_after_ms == 0 {
+            None
+        } else {
+            Some(args.hedge_after_ms)
+        },
+        ..DispatchPolicy::default()
+    };
+    let service = synthetic_service_with(&specs, args.fault_plan.clone(), policy);
 
     let opts = ServeOptions {
         workers: args.workers,
         batch_llm: !args.scalar,
         max_in_flight: args.max_in_flight,
         sched: args.sched,
+        llm_retry_budget: args.retries,
+        deadline_ms: if args.deadline_ms == 0 {
+            None
+        } else {
+            Some(args.deadline_ms)
+        },
     };
     println!(
         "mage-serve: {} jobs ({} problems x {} runs), {} sched, {} workers, batching {}, cap {}",
@@ -135,6 +178,23 @@ fn main() {
             opts.max_in_flight.to_string()
         },
     );
+    if !args.fault_plan.is_empty() {
+        println!(
+            "faults: seed {:#x}, retry budget {}, hedge {}, deadline {}",
+            args.fault_plan.seed,
+            args.retries,
+            if args.hedge_after_ms == 0 {
+                "off".to_string()
+            } else {
+                format!("{}ms", args.hedge_after_ms)
+            },
+            if args.deadline_ms == 0 {
+                "off".to_string()
+            } else {
+                format!("{}ms", args.deadline_ms)
+            },
+        );
+    }
 
     let mut engine = ServeEngine::new(opts, service);
     for spec in specs {
@@ -149,6 +209,12 @@ fn main() {
     let mut score_sum = 0.0f64;
     if args.grade {
         for (_, trace) in engine.traces() {
+            // A failed job's trace may carry no final candidate at all;
+            // it is counted, never graded as a pass.
+            if trace.outcome.is_failed() || trace.final_source.is_empty() {
+                graded += 1;
+                continue;
+            }
             let p = mage_problems::by_id(&trace.problem_id).expect("registry problem");
             graded += 1;
             score_sum += trace.final_score;
@@ -167,6 +233,16 @@ fn main() {
         report.stats.sim_waves,
         report.stats.overlap_steps
     );
+    if report.failed > 0 || report.stats.retries > 0 || report.stats.rate_limit_defers > 0 {
+        println!(
+            "resilience  {:>8} retries, {} hedges, {} rate-limit defers, {} failovers, {} jobs failed",
+            report.stats.retries,
+            report.stats.hedges,
+            report.stats.rate_limit_defers,
+            report.stats.failovers,
+            report.failed
+        );
+    }
     println!(
         "throughput  {:>8.2} jobs/s   wall {:.2}s   latency mean {:.2}s max {:.2}s",
         report.jobs_per_sec, report.wall_s, report.mean_latency_s, report.max_latency_s

@@ -67,6 +67,42 @@
 //! admitted at the next boundary; an idle engine parks on the intake
 //! and `run` returns once it is closed and drained.
 //!
+//! # Fault tolerance
+//!
+//! LLM dispatch rides a resilience stack (`mage_llm`): a
+//! [`mage_llm::Transport`] carries batched calls to one of several
+//! backends, a [`mage_llm::Dispatcher`] wraps it with bounded retries
+//! (jittered exponential backoff), hedged duplicates past a latency
+//! threshold, rate-limit-aware batch down-sizing, and per-backend
+//! health scoring (error/latency EMAs) that routes around sick or
+//! scripted-dead backends. The [`FaultyService`] returned by
+//! [`synthetic_service`] injects a seeded [`mage_llm::FaultPlan`]
+//! (`$MAGE_FAULT_PLAN`, or [`synthetic_service_with`] explicitly):
+//! transient errors, timeouts, rate limits, garbled replies and hard
+//! backend outages, each decided purely by `(plan seed, request key,
+//! attempt)` — never by wall clock or thread timing.
+//!
+//! Determinism survives the faults. A faulted attempt is dropped
+//! *before* the model is consulted, so the per-job model streams
+//! advance exactly once per request, and an absorbable plan yields
+//! traces bit-identical to the fault-free run — the chaos suite sweeps
+//! plans × modes × worker counts against exactly that invariant. All
+//! virtual channel latency (fault draws, backoff, retry-after, hedges)
+//! accrues on a per-job virtual clock that [`ServeOptions::deadline_ms`]
+//! is checked against.
+//!
+//! When the dispatcher gives up ([`mage_llm::DispatchError`]), the
+//! engine re-parks the request and re-dispatches it up to
+//! [`ServeOptions::llm_retry_budget`] times; an exhausted budget, a
+//! blown deadline, or a total backend outage finishes the job as a
+//! structured [`mage_core::JobOutcome::Failed`] — the engine drains
+//! gracefully (every job retires with a complete [`ServeReport`];
+//! `run` always returns). [`ServeStats`] counts `retries`, `hedges`,
+//! `rate_limit_defers`, `failovers` and `jobs_failed`; checkpoints
+//! carry the in-flight retry state (attempt counts, emit sequence,
+//! virtual clock) so a restored job resumes its retry schedule
+//! bit-exactly.
+//!
 //! # Cache keying
 //!
 //! The [`DesignCache`] maps `fnv1a(source text) → elaboration result`
@@ -102,4 +138,7 @@ pub use scheduler::{
     JobCheckpoint, JobId, JobIntake, JobSpec, SchedMode, ServeEngine, ServeOptions, ServeReport,
     ServeStats,
 };
-pub use service::{synthetic_service, LlmService, PerJobModels, SharedModel};
+pub use service::{
+    synthetic_service, synthetic_service_with, FaultyService, LlmCall, LlmOutcome, LlmService,
+    PerJobModels, ServiceTransport, SharedModel, SyntheticPerJob, SYNTHETIC_BACKENDS,
+};

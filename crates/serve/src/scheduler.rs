@@ -3,13 +3,13 @@
 //! the crate docs for the protocol.
 
 use crate::cache::{DesignCache, ScoreCache};
-use crate::service::LlmService;
+use crate::service::{LlmCall, LlmOutcome, LlmService};
 use crate::wave::WaveState;
 use mage_core::solvejob::{
     execute_sim_with, PendingWork, SimOutcome, SimRequest, SolveJob, SolveStep, StepInput,
 };
 use mage_core::{MageConfig, SolveTrace};
-use mage_llm::{LlmRequest, TokenUsage};
+use mage_llm::{DispatchError, LlmRequest, TokenUsage};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -82,6 +82,16 @@ pub struct ServeOptions {
     pub max_in_flight: usize,
     /// Scheduler mode: overlapped waves (default) or the BSP oracle.
     pub sched: SchedMode,
+    /// Engine-level retry budget per LLM request: how many *terminal*
+    /// dispatch failures (the service already retried internally) are
+    /// re-parked and re-dispatched before the job fails with a
+    /// structured [`mage_core::JobOutcome::Failed`].
+    pub llm_retry_budget: u32,
+    /// Per-job virtual-latency deadline: once a job's accumulated LLM
+    /// dispatch latency (virtual ms, deterministic) exceeds this, the
+    /// job is cancelled with a deadline failure instead of retrying
+    /// stuck work forever. `None` disables.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -93,6 +103,8 @@ impl Default for ServeOptions {
             batch_llm: true,
             max_in_flight: 0,
             sched: SchedMode::default(),
+            llm_retry_budget: 2,
+            deadline_ms: None,
         }
     }
 }
@@ -122,8 +134,22 @@ pub struct ServeStats {
     pub overlap_steps: usize,
     /// Jobs retired.
     pub jobs_done: usize,
+    /// Jobs that retired with [`mage_core::JobOutcome::Failed`]
+    /// (retry budget exhausted, deadline exceeded, or every backend
+    /// down) — a subset of `jobs_done`.
+    pub jobs_failed: usize,
     /// Token usage summed over retired jobs.
     pub total_usage: TokenUsage,
+    /// Failed dispatch attempts the service retried (from the
+    /// service's [`LlmService::resilience`] counters; zero under an
+    /// empty fault plan).
+    pub retries: u64,
+    /// Hedged duplicate requests issued for slow successes.
+    pub hedges: u64,
+    /// Rate-limit sheds honored with a deferred retry.
+    pub rate_limit_defers: u64,
+    /// Requests that routed around (or retried past) a down backend.
+    pub failovers: u64,
 }
 
 /// Aggregated results of an engine run (see [`ServeEngine::report`]).
@@ -133,6 +159,8 @@ pub struct ServeReport {
     pub jobs: usize,
     /// Jobs retired.
     pub done: usize,
+    /// Jobs retired with a failure outcome (subset of `done`).
+    pub failed: usize,
     /// Dispatch counters.
     pub stats: ServeStats,
     /// Design-cache hits at report time.
@@ -188,6 +216,18 @@ pub(crate) struct JobSlot {
     /// time spent paused or parked is never charged to the job.
     pub(crate) accrued: Duration,
     pub(crate) latency: Option<Duration>,
+    /// LLM requests this job has *emitted* so far (the per-job request
+    /// sequence number). Incremented at emit time only — never on a
+    /// re-park or restored-checkpoint sweep — so it is identical across
+    /// scheduler modes and worker counts, and carries through
+    /// checkpoints: the fault-key salt derives from it.
+    pub(crate) llm_seq: u64,
+    /// Terminal dispatch failures of the *current* request (reset on
+    /// success); compared against [`ServeOptions::llm_retry_budget`].
+    pub(crate) llm_attempts: u32,
+    /// Accumulated virtual LLM dispatch latency, ms — the deterministic
+    /// clock [`ServeOptions::deadline_ms`] is checked against.
+    pub(crate) llm_virtual_ms: u64,
 }
 
 impl JobSlot {
@@ -219,6 +259,29 @@ pub struct JobCheckpoint {
     model_state: Option<Box<dyn std::any::Any + Send>>,
     /// Active time spent before the checkpoint (latency carries over).
     accrued: Duration,
+    /// In-flight retry state (see the [`JobSlot`] fields of the same
+    /// names): carried so a restored job neither replays fault draws
+    /// nor double-charges virtual latency.
+    llm_seq: u64,
+    llm_attempts: u32,
+    llm_virtual_ms: u64,
+}
+
+impl JobCheckpoint {
+    /// Emitted-request count at checkpoint time.
+    pub fn llm_seq(&self) -> u64 {
+        self.llm_seq
+    }
+
+    /// Terminal dispatch failures of the in-flight request.
+    pub fn llm_attempts(&self) -> u32 {
+        self.llm_attempts
+    }
+
+    /// Virtual LLM latency accumulated before the checkpoint, ms.
+    pub fn llm_virtual_ms(&self) -> u64 {
+        self.llm_virtual_ms
+    }
 }
 
 struct IntakeState {
@@ -395,6 +458,9 @@ impl<S: LlmService> ServeEngine<S> {
             started_at: None,
             accrued: Duration::ZERO,
             latency: None,
+            llm_seq: 0,
+            llm_attempts: 0,
+            llm_virtual_ms: 0,
         });
         self.live.push(id);
         id
@@ -431,6 +497,18 @@ impl<S: LlmService> ServeEngine<S> {
     /// The service (e.g. to inspect live model count).
     pub fn service(&self) -> &S {
         &self.service
+    }
+
+    /// The service, mutably (e.g. to import a health snapshot on
+    /// restore).
+    pub fn service_mut(&mut self) -> &mut S {
+        &mut self.service
+    }
+
+    /// Virtual LLM dispatch latency a job has accumulated, ms —
+    /// deterministic, and carried across checkpoints.
+    pub fn job_virtual_ms(&self, id: JobId) -> Option<u64> {
+        self.jobs.get(id).map(|s| s.llm_virtual_ms)
     }
 
     /// The trace of a retired job.
@@ -509,6 +587,8 @@ impl<S: LlmService> ServeEngine<S> {
         self.wave.sim_q.retain(|&lid| lid != id);
         self.running -= 1;
         slot.stop_clock();
+        let (llm_seq, llm_attempts, llm_virtual_ms) =
+            (slot.llm_seq, slot.llm_attempts, slot.llm_virtual_ms);
         Some(JobCheckpoint {
             spec: slot.spec.clone(),
             job,
@@ -516,6 +596,9 @@ impl<S: LlmService> ServeEngine<S> {
             pending: slot.pending.take(),
             model_state: self.service.export_job(id),
             accrued: slot.accrued,
+            llm_seq,
+            llm_attempts,
+            llm_virtual_ms,
         })
     }
 
@@ -558,6 +641,9 @@ impl<S: LlmService> ServeEngine<S> {
             started_at: None,
             accrued: ck.accrued,
             latency: None,
+            llm_seq: ck.llm_seq,
+            llm_attempts: ck.llm_attempts,
+            llm_virtual_ms: ck.llm_virtual_ms,
         });
         self.live.push(id);
         self.running += 1;
@@ -626,7 +712,10 @@ impl<S: LlmService> ServeEngine<S> {
 
     /// Resolve one batch of LLM requests — one coalesced service call,
     /// or scalar calls when batching is off — and route every tagged
-    /// response to its job's input slot.
+    /// outcome: responses to their job's input slot, terminal dispatch
+    /// failures to a re-park (retry budget permitting) or a structured
+    /// job failure. Deadlines are checked against the job's *virtual*
+    /// dispatch clock, so every decision here is deterministic.
     pub(crate) fn dispatch_llm(&mut self, batch: Vec<(JobId, LlmRequest)>) {
         if batch.is_empty() {
             return;
@@ -640,28 +729,140 @@ impl<S: LlmService> ServeEngine<S> {
             .map(|(id, req)| (*id, req.task_kind()))
             .collect();
         let n = expected.len();
-        let mut responses = Vec::with_capacity(batch.len());
+        let calls: Vec<LlmCall> = batch
+            .into_iter()
+            .map(|(id, req)| {
+                let slot = &self.jobs[id];
+                LlmCall {
+                    job: id,
+                    req,
+                    // llm_seq was incremented at emit; the salt indexes
+                    // the request itself (0-based), so a re-dispatch of
+                    // the same request keeps the same salt.
+                    salt: fault_salt(slot.spec.seed, slot.llm_seq.saturating_sub(1)),
+                    prior_attempts: slot.llm_attempts,
+                }
+            })
+            .collect();
+        let mut outcomes = Vec::with_capacity(n);
         if self.opts.batch_llm {
             self.stats.llm_batch_calls += 1;
-            responses = self.service.run_batch(batch);
+            outcomes = self.service.run_calls(calls);
         } else {
-            for item in batch {
+            for call in calls {
                 self.stats.llm_batch_calls += 1;
-                responses.extend(self.service.run_batch(vec![item]));
+                outcomes.extend(self.service.run_calls(vec![call]));
             }
         }
-        assert_eq!(responses.len(), n, "LlmService returned a short batch");
-        for (id, resp) in responses {
+        assert_eq!(outcomes.len(), n, "LlmService returned a short batch");
+        let mut failed: Vec<(JobId, String)> = Vec::new();
+        for (id, outcome) in outcomes {
             let want = expected.remove(&id).unwrap_or_else(|| {
                 panic!("LlmService answered unknown or already-answered job {id}")
             });
-            assert_eq!(
-                resp.task_kind(),
-                want,
-                "LlmService response for job {id} answers the wrong task"
-            );
-            self.jobs[id].input = Some(StepInput::Llm(resp));
+            match outcome {
+                LlmOutcome::Ok { resp, latency_ms } => {
+                    assert_eq!(
+                        resp.task_kind(),
+                        want,
+                        "LlmService response for job {id} answers the wrong task"
+                    );
+                    let slot = &mut self.jobs[id];
+                    slot.llm_attempts = 0;
+                    slot.llm_virtual_ms += latency_ms;
+                    if let Some(deadline) = self.opts.deadline_ms {
+                        if slot.llm_virtual_ms > deadline {
+                            failed.push((
+                                id,
+                                format!(
+                                    "deadline exceeded: {}ms of virtual LLM latency \
+                                     (limit {deadline}ms)",
+                                    slot.llm_virtual_ms
+                                ),
+                            ));
+                            continue;
+                        }
+                    }
+                    slot.input = Some(StepInput::Llm(resp));
+                }
+                LlmOutcome::Failed {
+                    req,
+                    error,
+                    latency_ms,
+                } => {
+                    let slot = &mut self.jobs[id];
+                    slot.llm_virtual_ms += latency_ms;
+                    if matches!(error, DispatchError::AllBackendsDown) {
+                        // Nothing to retry against — fail the job now
+                        // so a total outage drains instead of hanging.
+                        failed.push((id, format!("llm dispatch failed: {error}")));
+                        continue;
+                    }
+                    slot.llm_attempts += 1;
+                    let over_deadline = self
+                        .opts
+                        .deadline_ms
+                        .is_some_and(|d| slot.llm_virtual_ms > d);
+                    if over_deadline {
+                        failed.push((
+                            id,
+                            format!(
+                                "deadline exceeded: {}ms of virtual LLM latency after {error}",
+                                slot.llm_virtual_ms
+                            ),
+                        ));
+                    } else if slot.llm_attempts > self.opts.llm_retry_budget {
+                        failed.push((
+                            id,
+                            format!(
+                                "llm retry budget exhausted after {} dispatches: {error}",
+                                slot.llm_attempts
+                            ),
+                        ));
+                    } else {
+                        // Re-park the unanswered request; the restored
+                        // sweep re-enqueues it at the next boundary in
+                        // either scheduler mode.
+                        slot.pending = Some(PendingWork::Llm(req));
+                        self.restored.push(id);
+                    }
+                }
+            }
         }
+        // Mirror the service's monotone resilience totals into the
+        // engine stats (absolute assignment — these are totals).
+        let c = self.service.resilience();
+        self.stats.retries = c.retries;
+        self.stats.hedges = c.hedges;
+        self.stats.rate_limit_defers = c.rate_limit_defers;
+        self.stats.failovers = c.failovers;
+        self.fail_jobs(failed);
+    }
+
+    /// Finish `failed` jobs with a structured failure outcome: the
+    /// job's partial trace is completed via [`SolveJob::fail`], counted
+    /// in `jobs_done`/`jobs_failed`, and the slot retires exactly like
+    /// a success — a drained engine's report is complete either way.
+    fn fail_jobs(&mut self, failed: Vec<(JobId, String)>) {
+        if failed.is_empty() {
+            return;
+        }
+        let mut retired: Vec<JobId> = Vec::new();
+        for (id, reason) in failed {
+            let slot = &mut self.jobs[id];
+            let JobPhase::Running(job) = &mut slot.phase else {
+                continue;
+            };
+            let trace = job.fail(reason);
+            self.stats.jobs_done += 1;
+            self.stats.jobs_failed += 1;
+            self.stats.total_usage += trace.usage;
+            slot.stop_clock();
+            slot.latency = Some(slot.accrued);
+            slot.phase = JobPhase::Done(trace);
+            retired.push(id);
+        }
+        self.retire(retired);
     }
 
     /// Is there anything a further step could do?
@@ -749,7 +950,10 @@ impl<S: LlmService> ServeEngine<S> {
             };
             advanced += 1;
             match job.advance(input) {
-                SolveStep::NeedLlm(req) => llm_needs.push((id, req)),
+                SolveStep::NeedLlm(req) => {
+                    slot.llm_seq += 1;
+                    llm_needs.push((id, req));
+                }
                 SolveStep::NeedSim(req) => sim_needs.push((id, req)),
                 SolveStep::Done(trace) => {
                     self.stats.jobs_done += 1;
@@ -816,6 +1020,7 @@ impl<S: LlmService> ServeEngine<S> {
         ServeReport {
             jobs: self.jobs.len(),
             done: self.stats.jobs_done,
+            failed: self.stats.jobs_failed,
             stats: self.stats.clone(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
@@ -848,6 +1053,16 @@ impl<S: LlmService> Drop for ServeEngine<S> {
             let _ = handle.join();
         }
     }
+}
+
+/// The fault-key salt of one job request: a mix of the job's model
+/// seed and the request's per-job sequence number. Pure in those two
+/// coordinates — so it is identical across scheduler modes and worker
+/// counts, and survives checkpoints (both inputs are checkpoint
+/// freight) — while decorrelating textually identical prompts emitted
+/// by different jobs or at different points of one solve.
+pub(crate) fn fault_salt(seed: u64, seq: u64) -> u64 {
+    seed.rotate_left(32) ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5A17_F001
 }
 
 /// Run one batch of sim requests on `workers` pool threads, resolving

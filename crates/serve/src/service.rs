@@ -2,9 +2,53 @@
 //! model backends.
 
 use crate::scheduler::{JobId, JobSpec};
-use mage_llm::{LlmRequest, LlmResponse, RtlLanguageModel, SyntheticModel, SyntheticModelConfig};
+use mage_llm::{
+    Attempt, DispatchCall, DispatchError, DispatchPolicy, Dispatcher, FaultPlan, HealthSnapshot,
+    LlmRequest, LlmResponse, ResilienceCounters, RtlLanguageModel, SyntheticModel,
+    SyntheticModelConfig, Transport, TransportCall,
+};
 use std::any::Any;
 use std::collections::HashMap;
+
+/// One request of a fault-aware dispatch batch: the request plus the
+/// coordinates resilience needs — a per-request fault-key salt and how
+/// many dispatches already failed (so a re-dispatch resumes the fault
+/// plan's draw sequence instead of replaying it).
+#[derive(Debug)]
+pub struct LlmCall {
+    /// The job the response must route back to.
+    pub job: JobId,
+    /// The request.
+    pub req: LlmRequest,
+    /// Fault-key salt (the engine derives it from the job's seed and
+    /// per-job request sequence number, so it is scheduler-mode- and
+    /// worker-count-invariant, and carried across checkpoints).
+    pub salt: u64,
+    /// Completed-and-failed dispatches of this same request.
+    pub prior_attempts: u32,
+}
+
+/// How one [`LlmCall`] resolved.
+#[derive(Debug)]
+pub enum LlmOutcome {
+    /// The request succeeded (possibly after internal retries/hedges).
+    Ok {
+        /// The response.
+        resp: LlmResponse,
+        /// Virtual ms of dispatch latency charged to the job.
+        latency_ms: u64,
+    },
+    /// The dispatch failed terminally; the request comes back so the
+    /// engine can re-park it (retry budget permitting) or fail the job.
+    Failed {
+        /// The unanswered request.
+        req: LlmRequest,
+        /// Why the dispatch gave up.
+        error: DispatchError,
+        /// Virtual ms burned before giving up.
+        latency_ms: u64,
+    },
+}
 
 /// The scheduler-facing dispatch surface. One call resolves one
 /// dispatch point's batch of `(job, request)` pairs; every response
@@ -27,6 +71,46 @@ use std::collections::HashMap;
 pub trait LlmService {
     /// Resolve a batch; each response is tagged with the job it answers.
     fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<(JobId, LlmResponse)>;
+
+    /// Fault-aware dispatch: like [`LlmService::run_batch`] but every
+    /// call may come back as a structured failure instead of a
+    /// response. The engine drives this surface; the default forwards
+    /// to `run_batch` (an infallible service never fails a call and
+    /// charges no latency), so plain services need not care.
+    fn run_calls(&mut self, calls: Vec<LlmCall>) -> Vec<(JobId, LlmOutcome)> {
+        let batch: Vec<(JobId, LlmRequest)> = calls.into_iter().map(|c| (c.job, c.req)).collect();
+        self.run_batch(batch)
+            .into_iter()
+            .map(|(id, resp)| {
+                (
+                    id,
+                    LlmOutcome::Ok {
+                        resp,
+                        latency_ms: 0,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Monotone resilience counters (retries, hedges, rate-limit
+    /// defers, failovers) accumulated so far. Default: an infallible
+    /// service has nothing to count.
+    fn resilience(&self) -> ResilienceCounters {
+        ResilienceCounters::default()
+    }
+
+    /// Per-backend health scores, if this service tracks any.
+    fn health(&self) -> Option<HealthSnapshot> {
+        None
+    }
+
+    /// Adopt health scores exported by another service instance (the
+    /// checkpoint/restore path — a restored engine must not treat a
+    /// sick backend as pristine). Default: nothing to adopt.
+    fn import_health(&mut self, snap: HealthSnapshot) {
+        let _ = snap;
+    }
 
     /// A job retired; drop any per-job state so a long stream's memory
     /// stays bounded. Default: nothing to drop.
@@ -115,20 +199,42 @@ where
     }
 }
 
+/// The per-job service underlying [`synthetic_service`].
+pub type SyntheticPerJob = PerJobModels<SyntheticModel, Box<dyn Fn(JobId) -> SyntheticModel>>;
+
+/// Backend routes the synthetic fault transport advertises (matches the
+/// `all-dead` plan preset, which scripts three dead backends).
+pub const SYNTHETIC_BACKENDS: usize = 3;
+
 /// The standard service for a synthetic-channel job stream: job `id`'s
 /// model is a fresh [`SyntheticModel`] seeded with `specs[id].seed` and
 /// registered with that problem's oracle (looked up in the registry by
-/// `specs[id].problem_id`). Shared by the `mage-serve` binary,
-/// `bench_engine`, and the determinism suite, so they all seed
-/// identically.
-pub fn synthetic_service(
+/// `specs[id].problem_id`), behind a [`FaultyService`] whose plan comes
+/// from `MAGE_FAULT_PLAN` (empty ⇒ zero-overhead passthrough). Shared
+/// by the `mage-serve` binary, `bench_engine`, and the determinism
+/// suite, so they all seed identically.
+pub fn synthetic_service(specs: &[JobSpec]) -> FaultyService<SyntheticPerJob> {
+    synthetic_service_with(specs, FaultPlan::from_env(), DispatchPolicy::default())
+}
+
+/// [`synthetic_service`] with an explicit fault plan and policy (the
+/// chaos suite's entry point — no environment variable involved).
+pub fn synthetic_service_with(
     specs: &[JobSpec],
-) -> PerJobModels<SyntheticModel, impl Fn(JobId) -> SyntheticModel> {
+    plan: FaultPlan,
+    policy: DispatchPolicy,
+) -> FaultyService<SyntheticPerJob> {
+    let inner = synthetic_per_job(specs);
+    FaultyService::new(inner, plan, SYNTHETIC_BACKENDS, policy)
+}
+
+/// The bare per-job synthetic service (no fault wrapper).
+fn synthetic_per_job(specs: &[JobSpec]) -> SyntheticPerJob {
     let keyed: Vec<(String, u64)> = specs
         .iter()
         .map(|s| (s.problem_id.clone(), s.seed))
         .collect();
-    PerJobModels::new(move |id: JobId| {
+    PerJobModels::new(Box::new(move |id: JobId| {
         // A lookup past the spec table means a job this service never
         // knew about is asking for a model — typically a checkpoint
         // restored from a service that did not export model state (see
@@ -144,7 +250,7 @@ pub fn synthetic_service(
         let mut model = SyntheticModel::new(SyntheticModelConfig::default(), *seed);
         model.register(p.id, p.oracle(*seed));
         model
-    })
+    }))
 }
 
 /// One shared backend serving every job: each round's coalesced batch
@@ -165,5 +271,271 @@ impl<M: RtlLanguageModel> LlmService for SharedModel<M> {
             "generate_batch returned a short batch"
         );
         ids.into_iter().zip(responses).collect()
+    }
+}
+
+/// A [`mage_llm::Transport`] whose "model" is an inner [`LlmService`]:
+/// the clean subset of each attempted batch rides one `run_batch` call
+/// (tags route per-job backend state), while faulted attempts never
+/// reach the service at all — the same never-touch-the-model invariant
+/// as [`mage_llm::FaultInjectedTransport`], lifted to the serve layer
+/// so per-job models keep bit-identical completion streams under any
+/// absorbable fault plan.
+pub struct ServiceTransport<S> {
+    inner: S,
+    plan: FaultPlan,
+    n_backends: usize,
+}
+
+impl<S: LlmService> Transport for ServiceTransport<S> {
+    fn name(&self) -> &str {
+        "faulty-service"
+    }
+
+    fn backends(&self) -> usize {
+        self.n_backends
+    }
+
+    fn backend_alive(&self, backend: usize) -> bool {
+        !self.plan.dead(backend)
+    }
+
+    fn send_batch(&mut self, backend: usize, batch: &[TransportCall<'_>]) -> Vec<Attempt> {
+        use mage_llm::{FaultKind, TransportError};
+        if self.plan.dead(backend) {
+            return batch
+                .iter()
+                .map(|_| Attempt {
+                    result: Err(TransportError::BackendDown),
+                    latency_ms: 1,
+                })
+                .collect();
+        }
+        let mut out: Vec<Option<Attempt>> = Vec::with_capacity(batch.len());
+        let mut clean: Vec<usize> = Vec::new();
+        for (ix, call) in batch.iter().enumerate() {
+            match self.plan.decide(call.key, call.attempt) {
+                None => {
+                    clean.push(ix);
+                    out.push(None);
+                }
+                Some(kind) => {
+                    let (err, latency_ms) = match kind {
+                        FaultKind::Transient => (
+                            TransportError::Transient,
+                            self.plan.latency_ms(call.key, call.attempt),
+                        ),
+                        FaultKind::Timeout => (
+                            TransportError::Timeout {
+                                after_ms: self.plan.spec.timeout_ms,
+                            },
+                            self.plan.spec.timeout_ms,
+                        ),
+                        FaultKind::RateLimited { retry_after_ms } => (
+                            TransportError::RateLimited { retry_after_ms },
+                            self.plan.latency_ms(call.key, call.attempt),
+                        ),
+                        FaultKind::Garbled => (
+                            TransportError::Garbled,
+                            self.plan.latency_ms(call.key, call.attempt),
+                        ),
+                        FaultKind::BackendDown => (TransportError::BackendDown, 1),
+                    };
+                    out.push(Some(Attempt {
+                        result: Err(err),
+                        latency_ms,
+                    }));
+                }
+            }
+        }
+        if !clean.is_empty() {
+            let reqs: Vec<(JobId, LlmRequest)> = clean
+                .iter()
+                .map(|&ix| (batch[ix].tag, batch[ix].req.clone()))
+                .collect();
+            let responses = self.inner.run_batch(reqs);
+            assert_eq!(
+                responses.len(),
+                clean.len(),
+                "inner service returned a short batch"
+            );
+            let mut by_tag: HashMap<JobId, LlmResponse> = responses.into_iter().collect();
+            for &ix in &clean {
+                let call = &batch[ix];
+                let resp = by_tag
+                    .remove(&call.tag)
+                    .expect("inner service answered every tagged job");
+                out[ix] = Some(Attempt {
+                    result: Ok(resp),
+                    latency_ms: self.plan.latency_ms(call.key, call.attempt),
+                });
+            }
+        }
+        out.into_iter()
+            .map(|a| a.expect("every slot filled"))
+            .collect()
+    }
+
+    fn hedge_latency_ms(&self, _backend: usize, key: u64, attempt: u32) -> u64 {
+        // Backend-independent on purpose: hedge schedules must not vary
+        // with health-driven routing (see mage_llm::faults docs).
+        self.plan.hedge_latency_ms(key, attempt)
+    }
+}
+
+/// A fault-tolerant wrapper around any [`LlmService`]: dispatch rides a
+/// [`Dispatcher`] (bounded jittered-backoff retries, hedging past the
+/// latency threshold, rate-limit batch down-sizing, health-ranked
+/// failover) over a [`ServiceTransport`] scripted by a [`FaultPlan`].
+///
+/// With an empty plan the wrapper is a zero-overhead passthrough —
+/// every call is one `run_batch` on the inner service with zero
+/// latency, no counters, byte-identical behaviour to no wrapper.
+pub struct FaultyService<S> {
+    dispatcher: Dispatcher<ServiceTransport<S>>,
+}
+
+impl<S: LlmService> FaultyService<S> {
+    /// Wrap `inner` behind `plan` on an `n_backends`-route channel.
+    pub fn new(inner: S, plan: FaultPlan, n_backends: usize, policy: DispatchPolicy) -> Self {
+        FaultyService {
+            dispatcher: Dispatcher::new(
+                ServiceTransport {
+                    inner,
+                    plan,
+                    n_backends,
+                },
+                policy,
+            ),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.dispatcher.transport().inner
+    }
+
+    /// The wrapped service, mutably.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.dispatcher.transport_mut().inner
+    }
+
+    /// The fault plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.dispatcher.transport().plan
+    }
+
+    /// The dispatch policy in force.
+    pub fn policy(&self) -> &DispatchPolicy {
+        self.dispatcher.policy()
+    }
+}
+
+impl<S: LlmService> LlmService for FaultyService<S> {
+    fn run_batch(&mut self, batch: Vec<(JobId, LlmRequest)>) -> Vec<(JobId, LlmResponse)> {
+        // The infallible legacy surface: valid only when dispatch
+        // cannot fail terminally (empty plan, or absorbable faults
+        // within the policy's attempt budget). A terminal failure here
+        // is a contract violation, not a recoverable event.
+        let calls = batch
+            .into_iter()
+            .map(|(job, req)| LlmCall {
+                job,
+                req,
+                salt: 0,
+                prior_attempts: 0,
+            })
+            .collect();
+        self.run_calls(calls)
+            .into_iter()
+            .map(|(id, outcome)| match outcome {
+                LlmOutcome::Ok { resp, .. } => (id, resp),
+                LlmOutcome::Failed { error, .. } => {
+                    panic!("FaultyService::run_batch cannot surface failure ({error})")
+                }
+            })
+            .collect()
+    }
+
+    fn run_calls(&mut self, calls: Vec<LlmCall>) -> Vec<(JobId, LlmOutcome)> {
+        if self.dispatcher.transport().plan.is_empty() {
+            // Zero-overhead passthrough: one inner batch, no latency,
+            // no counters — byte-identical to running unwrapped.
+            let batch: Vec<(JobId, LlmRequest)> =
+                calls.into_iter().map(|c| (c.job, c.req)).collect();
+            return self
+                .dispatcher
+                .transport_mut()
+                .inner
+                .run_batch(batch)
+                .into_iter()
+                .map(|(id, resp)| {
+                    (
+                        id,
+                        LlmOutcome::Ok {
+                            resp,
+                            latency_ms: 0,
+                        },
+                    )
+                })
+                .collect();
+        }
+        let max_attempts = self.dispatcher.policy().max_attempts;
+        let dcalls: Vec<DispatchCall<'_>> = calls
+            .iter()
+            .map(|c| DispatchCall {
+                tag: c.job,
+                req: &c.req,
+                salt: c.salt,
+                // Continue the per-request draw sequence across
+                // re-dispatches: a deterministic plan must not fail the
+                // same request the same way forever.
+                base_attempt: c.prior_attempts.saturating_mul(max_attempts),
+            })
+            .collect();
+        let results = self.dispatcher.dispatch_batch(&dcalls);
+        drop(dcalls);
+        calls
+            .into_iter()
+            .zip(results)
+            .map(|(c, r)| {
+                let outcome = match r.result {
+                    Ok(resp) => LlmOutcome::Ok {
+                        resp,
+                        latency_ms: r.latency_ms,
+                    },
+                    Err(error) => LlmOutcome::Failed {
+                        req: c.req,
+                        error,
+                        latency_ms: r.latency_ms,
+                    },
+                };
+                (c.job, outcome)
+            })
+            .collect()
+    }
+
+    fn finish_job(&mut self, id: JobId) {
+        self.inner_mut().finish_job(id);
+    }
+
+    fn export_job(&mut self, id: JobId) -> Option<Box<dyn Any + Send>> {
+        self.inner_mut().export_job(id)
+    }
+
+    fn import_job(&mut self, id: JobId, state: Box<dyn Any + Send>) {
+        self.inner_mut().import_job(id, state);
+    }
+
+    fn resilience(&self) -> ResilienceCounters {
+        self.dispatcher.counters()
+    }
+
+    fn health(&self) -> Option<HealthSnapshot> {
+        Some(self.dispatcher.health_snapshot())
+    }
+
+    fn import_health(&mut self, snap: HealthSnapshot) {
+        self.dispatcher.import_health(snap);
     }
 }

@@ -171,7 +171,13 @@ impl<S: LlmService> ServeEngine<S> {
             match job.advance(input).into_pending() {
                 Ok(work) => {
                     match &work {
-                        PendingWork::Llm(_) => self.wave.llm_q.push_back(id),
+                        PendingWork::Llm(_) => {
+                            // Emit-time sequence bump (the fault-key
+                            // salt's coordinate) — matches step_bsp; a
+                            // re-park or restored sweep never bumps.
+                            slot.llm_seq += 1;
+                            self.wave.llm_q.push_back(id);
+                        }
                         PendingWork::Sim(_) => self.wave.sim_q.push_back(id),
                     }
                     slot.pending = Some(work);

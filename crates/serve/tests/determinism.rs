@@ -58,6 +58,7 @@ fn opts(sched: SchedMode, workers: usize) -> ServeOptions {
         batch_llm: true,
         max_in_flight: 0,
         sched,
+        ..ServeOptions::default()
     }
 }
 

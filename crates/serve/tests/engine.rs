@@ -50,6 +50,7 @@ fn batching_strictly_beats_scalar_dispatch_counts() {
             batch_llm: true,
             max_in_flight: 0,
             sched,
+            ..ServeOptions::default()
         });
         batched.run();
         let b = batched.stats().clone();
@@ -59,6 +60,7 @@ fn batching_strictly_beats_scalar_dispatch_counts() {
             batch_llm: false,
             max_in_flight: 0,
             sched,
+            ..ServeOptions::default()
         });
         scalar.run();
         let s = scalar.stats().clone();
@@ -86,6 +88,7 @@ fn wave_mode_overlaps_sim_under_llm_dispatch() {
         batch_llm: true,
         max_in_flight: 0,
         sched: SchedMode::Wave,
+        ..ServeOptions::default()
     });
     wave.run();
     let w = wave.stats().clone();
@@ -99,6 +102,7 @@ fn wave_mode_overlaps_sim_under_llm_dispatch() {
         batch_llm: true,
         max_in_flight: 0,
         sched: SchedMode::Bsp,
+        ..ServeOptions::default()
     });
     bsp.run();
     let b = bsp.stats().clone();
@@ -177,7 +181,7 @@ fn finished_jobs_release_their_models() {
     engine.run();
     assert_eq!(engine.stats().jobs_done, n);
     assert_eq!(
-        engine.service().live_models(),
+        engine.service().inner().live_models(),
         0,
         "a drained stream must hold no per-job models"
     );
@@ -240,6 +244,7 @@ fn shared_model_routes_dispatch_points_through_generate_batch() {
                 batch_llm: true,
                 max_in_flight: 0,
                 sched,
+                ..ServeOptions::default()
             },
             service,
         );
@@ -271,6 +276,7 @@ fn idle_steps_are_not_counted_as_rounds() {
             batch_llm: true,
             max_in_flight: 0,
             sched,
+            ..ServeOptions::default()
         });
         for id in 0..specs().len() {
             engine.pause_job(id);
