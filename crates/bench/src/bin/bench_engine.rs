@@ -10,6 +10,9 @@
 //!   round's requests across all jobs coalesce into one dispatch call;
 //! * `serve_scalar` — the BSP scheduler, batching off (one dispatch
 //!   call per request): isolates the batching win in call counts;
+//! * `serve_fleet`  — the same stream sharded across `FLEET_SHARDS`
+//!   wave engines behind the `mage-fleet` affinity router (rebalancer
+//!   on), with the tiered cache fabric underneath;
 //! * `solo_loop`    — the pre-serve baseline: one blocking
 //!   `Mage::solve` after another, no shared design cache.
 //!
@@ -23,7 +26,11 @@
 //! invariant). A `resilience` section re-runs the wave stream under the
 //! canonical fault plan and asserts the retry machinery both fires
 //! (nonzero retries and rate-limit defers) and absorbs (zero failed
-//! jobs), while the empty plan leaves every counter at zero.
+//! jobs), while the empty plan leaves every counter at zero. A `fleet`
+//! section shards the stream, records per-shard dispatch calls,
+//! migration counts and cache-fabric hit rates, and asserts in-process
+//! that the fleet does identical per-job work and that a pinned replay
+//! of its placement trace is bit-identical.
 //!
 //! Usage:
 //! `cargo run --release -p mage-bench --bin bench_engine [--smoke] [out.json]`
@@ -37,6 +44,7 @@
 
 use mage_core::experiments::unit_seed;
 use mage_core::{Mage, MageConfig, SystemKind, Task};
+use mage_fleet::{FleetEngine, FleetOptions, FleetReport, PlacementTrace};
 use mage_llm::{DispatchPolicy, FaultPlan, SyntheticModel, SyntheticModelConfig};
 use mage_problems::SuiteId;
 use mage_serve::{
@@ -44,6 +52,9 @@ use mage_serve::{
     ServeStats,
 };
 use std::time::Instant;
+
+/// Shards in the fleet mode.
+const FLEET_SHARDS: usize = 4;
 
 const RUNS_PER_PROBLEM: usize = 2;
 const MASTER_SEED: u64 = 0xBE;
@@ -119,6 +130,34 @@ fn run_faulted(plan: FaultPlan) -> (ServeStats, usize, usize) {
     (report.stats, report.failed, report.jobs)
 }
 
+/// One fleet pass over the canonical stream: `FLEET_SHARDS` wave
+/// engines behind the affinity router with the rebalancer on. Passing
+/// a recorded trace replays it pinned (the determinism gate).
+fn run_fleet(pinned: Option<PlacementTrace>) -> (f64, FleetReport) {
+    let specs = stream_specs();
+    let mut fleet = FleetEngine::synthetic(FleetOptions {
+        shards: FLEET_SHARDS,
+        serve: ServeOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            batch_llm: true,
+            max_in_flight: 0,
+            sched: SchedMode::Wave,
+            ..ServeOptions::default()
+        },
+        migrate_after_steps: 8,
+        pinned,
+        ..FleetOptions::default()
+    });
+    for spec in specs {
+        fleet.push_job(spec);
+    }
+    let t = Instant::now();
+    let report = fleet.run();
+    (t.elapsed().as_secs_f64(), report)
+}
+
 /// The pre-serve baseline: blocking solves in sequence.
 fn run_solo() -> f64 {
     let specs = stream_specs();
@@ -158,6 +197,8 @@ fn main() {
     let mut wave_stats: Option<(ServeStats, usize, usize)> = None;
     let mut bsp_stats: Option<ServeStats> = None;
     let mut scalar_stats: Option<ServeStats> = None;
+    let mut fleet_s = f64::INFINITY;
+    let mut fleet_report: Option<FleetReport> = None;
     for _ in 0..samples {
         let (s, stats, hits, misses) = run_serve(SchedMode::Wave, true);
         wave_s = wave_s.min(s);
@@ -168,6 +209,9 @@ fn main() {
         let (s, stats, _, _) = run_serve(SchedMode::Bsp, false);
         scalar_s = scalar_s.min(s);
         scalar_stats.get_or_insert(stats);
+        let (s, report) = run_fleet(None);
+        fleet_s = fleet_s.min(s);
+        fleet_report.get_or_insert(report);
         solo_s = solo_s.min(run_solo());
     }
     let (wstats, hits, misses) = wave_stats.expect("ran");
@@ -228,6 +272,32 @@ fn main() {
         "canonical plan shed no calls"
     );
 
+    // Fleet invariants: a sharded run does exactly the same per-job
+    // work as one engine, retires everything, and its placement record
+    // replays bit-identically (same trace re-recorded, same solve
+    // traces out) when pinned.
+    let fleet = fleet_report.expect("ran");
+    assert_eq!(fleet.done, jobs, "fleet dropped a job");
+    assert_eq!(fleet.stats.llm_requests, wstats.llm_requests);
+    assert_eq!(fleet.stats.sim_requests, wstats.sim_requests);
+    assert_eq!(fleet.placements, jobs, "every job placed exactly once");
+    let per_shard_calls: Vec<usize> = fleet
+        .shards
+        .iter()
+        .map(|s| s.stats.llm_batch_calls)
+        .collect();
+    assert_eq!(
+        per_shard_calls.iter().sum::<usize>(),
+        fleet.stats.llm_batch_calls,
+        "per-shard dispatch calls must sum to the aggregate"
+    );
+    let (_, replayed) = run_fleet(Some(fleet.trace.clone()));
+    let placement_deterministic = replayed.trace == fleet.trace && replayed.traces == fleet.traces;
+    assert!(
+        placement_deterministic,
+        "pinned replay diverged from the recorded fleet run"
+    );
+
     let line = |name: &str, secs: f64| {
         println!(
             "{name:16} {jobs:4} jobs in {:8.3}s  ({:7.2} jobs/s)",
@@ -238,7 +308,19 @@ fn main() {
     line("serve_wave", wave_s);
     line("serve_bsp", bsp_s);
     line("serve_scalar", scalar_s);
+    line("serve_fleet", fleet_s);
     line("solo_loop", solo_s);
+    println!(
+        "fleet ({FLEET_SHARDS} shards): {} migrations, per-shard dispatch calls {:?}, \
+         design fabric local {}/{} (hit/miss, {} promoted) global {}/{}; replay pinned: ok",
+        fleet.migrations,
+        per_shard_calls,
+        fleet.fabric.design_local.hits,
+        fleet.fabric.design_local.misses,
+        fleet.fabric.design_local.promotions,
+        fleet.fabric.design_global.hits,
+        fleet.fabric.design_global.misses,
+    );
     println!(
         "wave llm: {} requests in {} dispatch calls ({:.1} avg, {} overlapped steps); \
          bsp: {} calls; scalar: {} calls; cache {hits} hits / {misses} misses",
@@ -275,6 +357,14 @@ fn main() {
          \"resilience\": {{\n    \
          \"plan\": \"canonical\",\n    \"retries\": {},\n    \"hedges\": {},\n    \
          \"rate_limit_defers\": {},\n    \"failovers\": {},\n    \"jobs_failed\": {}\n  }},\n  \
+         \"fleet\": {{\n    \
+         \"shards\": {FLEET_SHARDS},\n    \"wall_s\": {fleet_s:.6},\n    \
+         \"jobs_per_sec\": {:.3},\n    \"per_shard_dispatch_calls\": {per_shard_calls:?},\n    \
+         \"migrations\": {},\n    \"placements\": {},\n    \
+         \"placement_deterministic\": {placement_deterministic},\n    \
+         \"fabric\": {{ \"design_local_hit_rate\": {:.3}, \"score_local_hit_rate\": {:.3}, \
+         \"design_promotions\": {}, \"score_promotions\": {}, \"design_global_hits\": {}, \
+         \"score_global_hits\": {} }}\n  }},\n  \
          \"design_cache\": {{ \"hits\": {hits}, \"misses\": {misses} }},\n  \
          \"notes\": \"serve_wave = overlapped wave scheduler (default; coalescing join keeps \
          dispatch calls <= BSP, asserted in-process along with overlap_steps > 0); serve_bsp = \
@@ -283,7 +373,13 @@ fn main() {
          synthetic models and the shared design+score caches. The resilience section drives \
          the same wave stream through the canonical fault plan (every fault kind, all \
          absorbable): counters are asserted zero fault-free and nonzero (with zero failed \
-         jobs) under faults. Stream = VerilogEval-Human x \
+         jobs) under faults. The fleet section shards the same stream across \
+         {FLEET_SHARDS} wave engines behind the affinity router (rebalancer on, cadence 8): \
+         per-job work is asserted identical to the single engine, and the recorded placement \
+         trace is replayed pinned in-process — placement_deterministic means the replay \
+         re-recorded the identical trace and produced bit-identical solve traces. Fabric hit \
+         rates are telemetry (cross-shard publish timing makes them run-varying); the \
+         determinism gate is on traces, never counters. Stream = VerilogEval-Human x \
          {RUNS_PER_PROBLEM} runs, high-temperature MAGE config, seed 0xBE. Wall times are \
          interleaved best-of-{samples} minima; this container has a single CPU, so the \
          background sim wave shows no wall gain here — the scheduler section's deterministic \
@@ -305,6 +401,17 @@ fn main() {
         faulted.rate_limit_defers,
         faulted.failovers,
         faulted_failed,
+        jobs as f64 / fleet_s,
+        fleet.migrations,
+        fleet.placements,
+        fleet.fabric.design_local.hits as f64
+            / (fleet.fabric.design_local.hits + fleet.fabric.design_local.misses).max(1) as f64,
+        fleet.fabric.score_local.hits as f64
+            / (fleet.fabric.score_local.hits + fleet.fabric.score_local.misses).max(1) as f64,
+        fleet.fabric.design_local.promotions,
+        fleet.fabric.score_local.promotions,
+        fleet.fabric.design_global.hits,
+        fleet.fabric.score_global.hits,
     );
     std::fs::write(&out_path, json).expect("write baseline");
     println!("wrote {out_path}");

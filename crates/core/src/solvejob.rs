@@ -247,6 +247,11 @@ pub struct SolveJob {
     gen_source: String,
     /// Prompt of the outstanding LLM request (recorded with its reply).
     pending_prompt: String,
+    /// Count of `advance` calls accepted so far — the job's position on
+    /// its own timeline. Pure bookkeeping for schedulers (a cluster
+    /// rebalancer prefers migrating the job with the most work left);
+    /// never read by the state machine itself.
+    advances: u64,
     phase: Phase,
 }
 
@@ -285,6 +290,7 @@ impl SolveJob {
             selected: Vec::new(),
             gen_source: String::new(),
             pending_prompt: String::new(),
+            advances: 0,
             phase: Phase::Start,
         }
     }
@@ -302,6 +308,32 @@ impl SolveJob {
     /// `true` once [`SolveStep::Done`] has been yielded.
     pub fn is_finished(&self) -> bool {
         matches!(self.phase, Phase::Finished)
+    }
+
+    /// How many [`advance`](Self::advance) calls this job has accepted.
+    /// Deterministic at any scheduler boundary — the count depends only
+    /// on the job's own input stream, never on placement or timing —
+    /// so a cluster can use it to pick migration victims without
+    /// perturbing traces.
+    pub fn advances(&self) -> u64 {
+        self.advances
+    }
+
+    /// A stable label for the job's current control-flow position
+    /// (report freight; the `Phase` enum itself stays private).
+    pub fn phase_name(&self) -> &'static str {
+        match &self.phase {
+            Phase::Start => "start",
+            Phase::VanillaRtl => "vanilla-rtl",
+            Phase::TbGen { .. } => "tb-gen",
+            Phase::GenRtl { .. } => "gen-rtl",
+            Phase::GenCompile { .. } => "gen-compile",
+            Phase::GenFix { .. } => "gen-fix",
+            Phase::Judge { .. } => "judge",
+            Phase::Score { .. } => "score",
+            Phase::DebugLlm { .. } => "debug-llm",
+            Phase::Finished => "finished",
+        }
     }
 
     /// Terminate the solve early with [`JobOutcome::Failed`], from any
@@ -356,6 +388,7 @@ impl SolveJob {
     /// driver bug): e.g. a `Sim` outcome while an LLM request is
     /// pending, `Start` on a running job, or any input after `Done`.
     pub fn advance(&mut self, input: StepInput) -> SolveStep {
+        self.advances += 1;
         let phase = std::mem::replace(&mut self.phase, Phase::Finished);
         match (phase, input) {
             (Phase::Start, StepInput::Start) => self.start(),

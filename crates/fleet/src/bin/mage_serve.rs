@@ -1,5 +1,6 @@
 //! `mage-serve`: drive the full problem registry as a concurrent job
-//! stream and report throughput, latency, token and batching stats.
+//! stream — on one engine or a sharded fleet — and report throughput,
+//! latency, token and batching stats.
 //!
 //! ```text
 //! Usage: mage-serve [options]
@@ -10,6 +11,10 @@
 //!   --seed S              master seed                    [0xCAFE]
 //!   --budget T            per-agent context token budget [4000]
 //!   --sched bsp|wave      scheduler mode                 [wave]
+//!   --shards N            fleet shards (1 = single engine) [1]
+//!   --migrate-after-steps K  rebalance cadence in fleet rounds (0 = off) [0]
+//!   --placement-trace F   pin placement from F if it exists, else
+//!                         record this run's placement into F
 //!   --fault-plan P        fault plan: name or seed:name  [$MAGE_FAULT_PLAN]
 //!                         (none|canonical|single-transient|burst-rate-limit|
 //!                          one-backend-dead|all-dead|mid-wave-timeout)
@@ -20,9 +25,16 @@
 //!   --scalar              disable LLM batching (one call per request)
 //!   --no-grade            skip grading final answers
 //! ```
+//!
+//! With `--shards 1` the stream runs on a plain [`ServeEngine`] exactly
+//! as before; `--shards N` (N ≥ 2) routes it through a
+//! [`FleetEngine`] and adds per-shard, migration and cache-fabric
+//! report lines. `--placement-trace` closes the determinism loop from
+//! the shell: run once to record, run again to replay pinned.
 
 use mage_core::experiments::unit_seed;
-use mage_core::{MageConfig, SystemKind};
+use mage_core::{MageConfig, SolveTrace, SystemKind};
+use mage_fleet::{FleetEngine, FleetOptions, PlacementTrace};
 use mage_llm::{DispatchPolicy, FaultPlan};
 use mage_problems::SuiteId;
 use mage_serve::{synthetic_service_with, JobSpec, SchedMode, ServeEngine, ServeOptions};
@@ -35,6 +47,9 @@ struct Args {
     seed: u64,
     budget: usize,
     sched: SchedMode,
+    shards: usize,
+    migrate_after_steps: u64,
+    placement_trace: Option<String>,
     fault_plan: FaultPlan,
     retries: u32,
     hedge_after_ms: u64,
@@ -55,6 +70,9 @@ fn parse_args() -> Args {
         seed: 0xCAFE,
         budget: 4000,
         sched: SchedMode::default(),
+        shards: 1,
+        migrate_after_steps: 0,
+        placement_trace: None,
         fault_plan: FaultPlan::from_env(),
         retries: 2,
         hedge_after_ms: 80,
@@ -83,6 +101,13 @@ fn parse_args() -> Args {
                 args.sched = SchedMode::parse(&v)
                     .unwrap_or_else(|| panic!("unknown scheduler `{v}` (bsp|wave)"));
             }
+            "--shards" => args.shards = value("--shards").parse().expect("--shards N"),
+            "--migrate-after-steps" => {
+                args.migrate_after_steps = value("--migrate-after-steps")
+                    .parse()
+                    .expect("--migrate-after-steps K")
+            }
+            "--placement-trace" => args.placement_trace = Some(value("--placement-trace")),
             "--fault-plan" => {
                 let v = value("--fault-plan");
                 args.fault_plan =
@@ -101,13 +126,35 @@ fn parse_args() -> Args {
             "--scalar" => args.scalar = true,
             "--no-grade" => args.grade = false,
             "--help" | "-h" => {
-                println!("see module docs: cargo doc -p mage-serve --bin mage-serve");
+                println!("see module docs: cargo doc -p mage-fleet --bin mage-serve");
                 std::process::exit(0);
             }
             other => panic!("unknown flag `{other}` (try --help)"),
         }
     }
+    assert!(args.shards >= 1, "--shards must be at least 1");
     args
+}
+
+fn grade_traces<'a>(traces: impl Iterator<Item = &'a SolveTrace>) -> (usize, usize, f64) {
+    let mut passed = 0usize;
+    let mut graded = 0usize;
+    let mut score_sum = 0.0f64;
+    for trace in traces {
+        // A failed job's trace may carry no final candidate at all;
+        // it is counted, never graded as a pass.
+        if trace.outcome.is_failed() || trace.final_source.is_empty() {
+            graded += 1;
+            continue;
+        }
+        let p = mage_problems::by_id(&trace.problem_id).expect("registry problem");
+        graded += 1;
+        score_sum += trace.final_score;
+        if mage_core::experiments::grade(p, &trace.final_source) {
+            passed += 1;
+        }
+    }
+    (passed, graded, score_sum)
 }
 
 fn main() {
@@ -150,7 +197,6 @@ fn main() {
         },
         ..DispatchPolicy::default()
     };
-    let service = synthetic_service_with(&specs, args.fault_plan.clone(), policy);
 
     let opts = ServeOptions {
         workers: args.workers,
@@ -165,7 +211,7 @@ fn main() {
         },
     };
     println!(
-        "mage-serve: {} jobs ({} problems x {} runs), {} sched, {} workers, batching {}, cap {}",
+        "mage-serve: {} jobs ({} problems x {} runs), {} sched, {} workers, batching {}, cap {}{}",
         specs.len(),
         problems.len(),
         args.runs,
@@ -176,6 +222,11 @@ fn main() {
             "unlimited".to_string()
         } else {
             opts.max_in_flight.to_string()
+        },
+        if args.shards > 1 {
+            format!(", {} shards", args.shards)
+        } else {
+            String::new()
         },
     );
     if !args.fault_plan.is_empty() {
@@ -196,33 +247,23 @@ fn main() {
         );
     }
 
+    if args.shards > 1 {
+        run_fleet(&args, specs, opts, policy);
+    } else {
+        run_single(&args, specs, opts, policy);
+    }
+}
+
+/// The classic single-engine path (`--shards 1`), byte-identical in
+/// behavior to the pre-fleet binary.
+fn run_single(args: &Args, specs: Vec<JobSpec>, opts: ServeOptions, policy: DispatchPolicy) {
+    let service = synthetic_service_with(&specs, args.fault_plan.clone(), policy);
     let mut engine = ServeEngine::new(opts, service);
     for spec in specs {
         engine.push_job(spec);
     }
     engine.run();
     let report = engine.report();
-
-    // Grade final answers against the (cached) benchmark benches.
-    let mut passed = 0usize;
-    let mut graded = 0usize;
-    let mut score_sum = 0.0f64;
-    if args.grade {
-        for (_, trace) in engine.traces() {
-            // A failed job's trace may carry no final candidate at all;
-            // it is counted, never graded as a pass.
-            if trace.outcome.is_failed() || trace.final_source.is_empty() {
-                graded += 1;
-                continue;
-            }
-            let p = mage_problems::by_id(&trace.problem_id).expect("registry problem");
-            graded += 1;
-            score_sum += trace.final_score;
-            if mage_core::experiments::grade(p, &trace.final_source) {
-                passed += 1;
-            }
-        }
-    }
 
     println!();
     println!(
@@ -268,11 +309,134 @@ fn main() {
         "tokens      {:>8} prompt + {} completion",
         report.stats.total_usage.prompt, report.stats.total_usage.completion
     );
-    if args.grade && graded > 0 {
+    if args.grade {
+        let (passed, graded, score_sum) = grade_traces(engine.traces().into_iter().map(|(_, t)| t));
+        if graded > 0 {
+            println!(
+                "grading     {:>8.3} pass rate ({passed}/{graded})   mean engine score {:.3}",
+                passed as f64 / graded as f64,
+                score_sum / graded as f64
+            );
+        }
+    }
+}
+
+/// The sharded path (`--shards N`, N ≥ 2).
+fn run_fleet(args: &Args, specs: Vec<JobSpec>, opts: ServeOptions, policy: DispatchPolicy) {
+    let pinned = args.placement_trace.as_ref().and_then(|path| {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let trace = PlacementTrace::parse(&text)
+                    .unwrap_or_else(|e| panic!("--placement-trace {path}: {e}"));
+                println!(
+                    "placement: pinned from {path} ({} placements, {} migrations)",
+                    trace.placements.len(),
+                    trace.migrations.len()
+                );
+                Some(trace)
+            }
+            Err(_) => None, // absent: record this run into it below
+        }
+    });
+    let recording = pinned.is_none();
+
+    let fleet_opts = FleetOptions {
+        shards: args.shards,
+        serve: opts,
+        migrate_after_steps: args.migrate_after_steps,
+        pinned,
+        ..FleetOptions::default()
+    };
+    let mut fleet = FleetEngine::synthetic_with(fleet_opts, args.fault_plan.clone(), policy);
+    for spec in specs {
+        fleet.push_job(spec);
+    }
+    let report = fleet.run();
+
+    if recording {
+        if let Some(path) = &args.placement_trace {
+            std::fs::write(path, report.trace.render())
+                .unwrap_or_else(|e| panic!("--placement-trace {path}: write failed: {e}"));
+            println!(
+                "placement: recorded {} placements, {} migrations into {path}",
+                report.trace.placements.len(),
+                report.trace.migrations.len()
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "fleet       {:>8} done / {} pushed on {} shards in {} rounds",
+        report.done,
+        report.jobs,
+        report.shards.len(),
+        report.rounds
+    );
+    println!(
+        "placement   {:>8} placements, {} migrations, {} restarts",
+        report.placements, report.migrations, report.restarts
+    );
+    for (ix, shard) in report.shards.iter().enumerate() {
         println!(
-            "grading     {:>8.3} pass rate ({passed}/{graded})   mean engine score {:.3}",
-            passed as f64 / graded as f64,
-            score_sum / graded as f64
+            "  shard {ix}   {:>6} done / {} pushed   {} llm calls   {} sim requests   {} steps",
+            shard.done,
+            shard.jobs,
+            shard.stats.llm_batch_calls,
+            shard.stats.sim_requests,
+            shard.stats.rounds
         );
+    }
+    if report.failed > 0 || report.stats.retries > 0 || report.stats.rate_limit_defers > 0 {
+        println!(
+            "resilience  {:>8} retries, {} hedges, {} rate-limit defers, {} failovers, {} jobs failed",
+            report.stats.retries,
+            report.stats.hedges,
+            report.stats.rate_limit_defers,
+            report.stats.failovers,
+            report.failed
+        );
+    }
+    println!(
+        "throughput  {:>8.2} jobs/s   wall {:.2}s",
+        report.done as f64 / report.wall_s.max(1e-9),
+        report.wall_s
+    );
+    println!(
+        "llm         {:>8} requests in {} dispatch calls ({:.1} avg/batch)",
+        report.stats.llm_requests,
+        report.stats.llm_batch_calls,
+        report.stats.llm_requests as f64 / report.stats.llm_batch_calls.max(1) as f64
+    );
+    let f = &report.fabric;
+    println!(
+        "fabric      design local {} hits / {} misses / {} promoted; global {} hits / {} misses",
+        f.design_local.hits,
+        f.design_local.misses,
+        f.design_local.promotions,
+        f.design_global.hits,
+        f.design_global.misses
+    );
+    println!(
+        "            scores local {} hits / {} misses / {} promoted; global {} hits / {} misses",
+        f.score_local.hits,
+        f.score_local.misses,
+        f.score_local.promotions,
+        f.score_global.hits,
+        f.score_global.misses
+    );
+    println!(
+        "tokens      {:>8} prompt + {} completion",
+        report.stats.total_usage.prompt, report.stats.total_usage.completion
+    );
+    if args.grade {
+        let (passed, graded, score_sum) = grade_traces(report.traces.iter().map(|(_, t)| t));
+        if graded > 0 {
+            println!(
+                "grading     {:>8.3} pass rate ({passed}/{graded})   mean engine score {:.3}",
+                passed as f64 / graded as f64,
+                score_sum / graded as f64
+            );
+        }
     }
 }

@@ -1,0 +1,176 @@
+//! The replayable placement record: every routing decision a
+//! [`FleetEngine`](crate::FleetEngine) makes, as a plain value.
+//!
+//! A recorded trace pins a later run: replayed placements and
+//! migrations are applied verbatim at the same round boundaries, so
+//! the replay's schedule — which shard runs which job, when each job
+//! moves — is bit-identical to the recording. The text form is
+//! line-oriented and diff-friendly:
+//!
+//! ```text
+//! # mage-fleet placement trace v1
+//! place 0 1
+//! place 1 0
+//! migrate 4 0 1 2
+//! ```
+//!
+//! `place <job> <shard>` records an admission; `migrate <round> <job>
+//! <from> <to>` records a checkpoint-based move applied in the
+//! inter-barrier window after fleet round `<round>`.
+
+/// Magic first line of the text serialization.
+const HEADER: &str = "# mage-fleet placement trace v1";
+
+/// One admission decision: fleet job → shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Fleet-wide job id (push order).
+    pub job: usize,
+    /// The shard the job was admitted to.
+    pub shard: usize,
+}
+
+/// One checkpoint-based job move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The fleet round after whose barrier the move was applied.
+    pub round: u64,
+    /// Fleet-wide job id.
+    pub job: usize,
+    /// Source shard.
+    pub from: usize,
+    /// Target shard.
+    pub to: usize,
+}
+
+/// Every placement decision of one fleet run, in decision order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementTrace {
+    /// Admissions, in fleet-job order.
+    pub placements: Vec<Placement>,
+    /// Migrations, in application order.
+    pub migrations: Vec<Migration>,
+}
+
+impl PlacementTrace {
+    /// The recorded admission shard of `job`, when present.
+    pub fn shard_of(&self, job: usize) -> Option<usize> {
+        self.placements
+            .iter()
+            .find(|p| p.job == job)
+            .map(|p| p.shard)
+    }
+
+    /// Migrations recorded in the inter-barrier window after `round`,
+    /// in application order.
+    pub fn migrations_at(&self, round: u64) -> Vec<Migration> {
+        self.migrations
+            .iter()
+            .filter(|m| m.round == round)
+            .copied()
+            .collect()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty() && self.migrations.is_empty()
+    }
+
+    /// The line-oriented text form (see the module docs).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(32 + 16 * (self.placements.len() + 1));
+        out.push_str(HEADER);
+        out.push('\n');
+        for p in &self.placements {
+            out.push_str(&format!("place {} {}\n", p.job, p.shard));
+        }
+        for m in &self.migrations {
+            out.push_str(&format!(
+                "migrate {} {} {} {}\n",
+                m.round, m.job, m.from, m.to
+            ));
+        }
+        out
+    }
+
+    /// Parse the text form back. Unknown directives, short lines and
+    /// non-numeric fields are structured errors, not panics — a pinned
+    /// trace usually comes from a file.
+    pub fn parse(text: &str) -> Result<PlacementTrace, String> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first.trim() == HEADER => {}
+            Some((_, first)) => {
+                return Err(format!("bad header `{first}` (expected `{HEADER}`)"));
+            }
+            None => return Err("empty placement trace".to_string()),
+        }
+        let mut trace = PlacementTrace::default();
+        for (ln, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let num = |s: &str, what: &str| -> Result<u64, String> {
+                s.parse::<u64>()
+                    .map_err(|_| format!("line {}: bad {what} `{s}`", ln + 1))
+            };
+            match fields.as_slice() {
+                ["place", job, shard] => trace.placements.push(Placement {
+                    job: num(job, "job")? as usize,
+                    shard: num(shard, "shard")? as usize,
+                }),
+                ["migrate", round, job, from, to] => trace.migrations.push(Migration {
+                    round: num(round, "round")?,
+                    job: num(job, "job")? as usize,
+                    from: num(from, "shard")? as usize,
+                    to: num(to, "shard")? as usize,
+                }),
+                _ => return Err(format!("line {}: unparseable `{line}`", ln + 1)),
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trips() {
+        let trace = PlacementTrace {
+            placements: vec![
+                Placement { job: 0, shard: 1 },
+                Placement { job: 1, shard: 0 },
+                Placement { job: 2, shard: 1 },
+            ],
+            migrations: vec![Migration {
+                round: 4,
+                job: 2,
+                from: 1,
+                to: 0,
+            }],
+        };
+        let text = trace.render();
+        assert_eq!(PlacementTrace::parse(&text).unwrap(), trace);
+        assert_eq!(trace.shard_of(1), Some(0));
+        assert_eq!(trace.shard_of(9), None);
+        assert_eq!(trace.migrations_at(4).len(), 1);
+        assert!(trace.migrations_at(3).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_structured_errors() {
+        assert!(PlacementTrace::parse("").is_err());
+        assert!(PlacementTrace::parse("not a trace\n").is_err());
+        let bad_directive = format!("{HEADER}\nteleport 1 2\n");
+        assert!(PlacementTrace::parse(&bad_directive).is_err());
+        let bad_number = format!("{HEADER}\nplace one 2\n");
+        assert!(PlacementTrace::parse(&bad_number).is_err());
+        // Comments and blank lines are tolerated.
+        let ok = format!("{HEADER}\n\n# note\nplace 0 0\n");
+        assert_eq!(PlacementTrace::parse(&ok).unwrap().placements.len(), 1);
+    }
+}

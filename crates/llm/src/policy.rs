@@ -116,6 +116,29 @@ impl BackendHealth {
     pub fn quarantined(&self) -> bool {
         self.calls >= 3 && self.err_ema > 0.9
     }
+
+    /// Fold another health record for the *same backend* in, weighting
+    /// each side's EMAs by its observation count. Either side with zero
+    /// calls contributes nothing (a fresh record adopts the other
+    /// verbatim), so checkpoint restore into a pristine dispatcher
+    /// still round-trips exactly. Merging only ever reshapes routing
+    /// scores — by the module contract that cannot change any outcome.
+    pub fn merge(&mut self, other: &BackendHealth) {
+        if other.calls == 0 {
+            return;
+        }
+        if self.calls == 0 {
+            *self = other.clone();
+            return;
+        }
+        let w_self = self.calls as f64;
+        let w_other = other.calls as f64;
+        let total = w_self + w_other;
+        self.err_ema = (self.err_ema * w_self + other.err_ema * w_other) / total;
+        self.latency_ema_ms =
+            (self.latency_ema_ms * w_self + other.latency_ema_ms * w_other) / total;
+        self.calls += other.calls;
+    }
 }
 
 /// Portable snapshot of a dispatcher's health table — checkpoint
@@ -124,6 +147,21 @@ impl BackendHealth {
 pub struct HealthSnapshot {
     /// Per-backend health, indexed by backend.
     pub backends: Vec<BackendHealth>,
+}
+
+impl HealthSnapshot {
+    /// Merge another snapshot in, backend by backend (calls-weighted —
+    /// see [`BackendHealth::merge`]). Backend counts must match.
+    pub fn merge(&mut self, other: &HealthSnapshot) {
+        assert_eq!(
+            self.backends.len(),
+            other.backends.len(),
+            "health snapshot backend count mismatch"
+        );
+        for (h, o) in self.backends.iter_mut().zip(&other.backends) {
+            h.merge(o);
+        }
+    }
 }
 
 /// Monotone resilience counters of one dispatcher (and, summed, of one
@@ -279,15 +317,22 @@ impl<T: Transport> Dispatcher<T> {
         }
     }
 
-    /// Adopt a health snapshot (checkpoint restore): scores survive,
-    /// so a restored engine does not treat a sick backend as pristine.
+    /// Fold a health snapshot in (checkpoint restore, job migration):
+    /// scores survive, so a restored engine does not treat a sick
+    /// backend as pristine. Importing **merges** calls-weighted rather
+    /// than clobbering — a shard with live EMAs that receives a
+    /// migrated job keeps its own observations and gains the source
+    /// shard's, instead of forgetting everything it learned. A fresh
+    /// dispatcher (zero calls everywhere) adopts the snapshot exactly.
     pub fn import_health(&mut self, snap: HealthSnapshot) {
         assert_eq!(
             snap.backends.len(),
             self.health.len(),
             "health snapshot backend count mismatch"
         );
-        self.health = snap.backends;
+        for (h, s) in self.health.iter_mut().zip(&snap.backends) {
+            h.merge(s);
+        }
     }
 
     /// The current rate-limit-adapted batch ceiling.
@@ -806,6 +851,74 @@ mod tests {
             .filter(|r| matches!(r.result, Err(DispatchError::DeadlineExceeded { .. })))
             .count();
         assert!(deadline_hits > 0, "5s timeouts must trip a 1s deadline");
+    }
+
+    #[test]
+    fn health_merge_is_calls_weighted() {
+        let mut a = BackendHealth {
+            err_ema: 0.8,
+            latency_ema_ms: 400.0,
+            calls: 30,
+        };
+        let b = BackendHealth {
+            err_ema: 0.2,
+            latency_ema_ms: 100.0,
+            calls: 10,
+        };
+        a.merge(&b);
+        assert_eq!(a.calls, 40);
+        assert!((a.err_ema - 0.65).abs() < 1e-9, "{}", a.err_ema);
+        assert!((a.latency_ema_ms - 325.0).abs() < 1e-9);
+        // Zero-call sides are inert in both directions.
+        let mut fresh = BackendHealth::default();
+        fresh.merge(&b);
+        assert_eq!(fresh, b);
+        let mut seen = b.clone();
+        seen.merge(&BackendHealth::default());
+        assert_eq!(seen, b);
+    }
+
+    #[test]
+    fn import_health_merges_into_live_emas_instead_of_clobbering() {
+        // The migration regression: a shard that watched backend 0 fail
+        // imports a snapshot from a shard that saw it healthy. The old
+        // clobber semantics would forget the local outage entirely; the
+        // merge must land strictly between the two observations.
+        let spec = FaultSpec {
+            transient: 1.0,
+            ..FaultSpec::none()
+        };
+        let mut d = dispatcher(FaultPlan::new(3, spec), DispatchPolicy::default(), 2);
+        let _ = run(&mut d, &[req("p")]);
+        let local = d.health_snapshot();
+        assert!(local.backends[0].err_ema > 0.5, "local EMAs are live");
+        let local_calls = local.backends[0].calls;
+        assert!(local_calls > 0);
+
+        let healthy = HealthSnapshot {
+            backends: vec![
+                BackendHealth {
+                    err_ema: 0.0,
+                    latency_ema_ms: 40.0,
+                    calls: 20,
+                },
+                BackendHealth::default(),
+            ],
+        };
+        d.import_health(healthy.clone());
+        let merged = d.health_snapshot();
+        assert!(
+            merged.backends[0].err_ema > 0.0
+                && merged.backends[0].err_ema < local.backends[0].err_ema,
+            "merge must keep both sides: {:?}",
+            merged.backends[0]
+        );
+        assert_eq!(merged.backends[0].calls, local_calls + 20);
+
+        // HealthSnapshot::merge mirrors the dispatcher-level semantics.
+        let mut snap = local.clone();
+        snap.merge(&healthy);
+        assert_eq!(snap, merged);
     }
 
     #[test]

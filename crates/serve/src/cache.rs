@@ -1,5 +1,20 @@
 //! The shared result caches: elaborations ([`DesignCache`]) and scoring
 //! outcomes ([`ScoreCache`]).
+//!
+//! # Tiered fabric
+//!
+//! Both caches can be built with [`DesignCache::tiered`] /
+//! [`ScoreCache::tiered`]: a small local tier backed by a shared global
+//! parent. A local miss consults the parent before computing; a parent
+//! hit is **promoted** into the local tier (counted by
+//! [`DesignCache::promotions`]), and every fresh computation is
+//! published to the parent so sibling tiers can reuse it. Entries are
+//! schedule-independent facts (pure functions of their key text), so
+//! the fabric can only change *where* work happens, never *what* any
+//! lookup returns — tiering is invisible to traces by construction.
+//! Lock discipline: a tier only ever holds its own mutex (parent calls
+//! happen outside the local lock), so local/global tiers cannot
+//! deadlock however many shards share one parent.
 
 use mage_core::compile;
 use mage_core::solvejob::{SimOutcome, SimRequest};
@@ -86,9 +101,12 @@ pub struct DesignCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
     hasher: SourceHasher,
+    /// Shared global tier consulted on local misses (see module docs).
+    parent: Option<Arc<DesignCache>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     collisions: AtomicUsize,
+    promotions: AtomicUsize,
 }
 
 impl Default for DesignCache {
@@ -116,10 +134,22 @@ impl DesignCache {
             inner: Mutex::new(CacheInner::default()),
             capacity,
             hasher,
+            parent: None,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             collisions: AtomicUsize::new(0),
+            promotions: AtomicUsize::new(0),
         }
+    }
+
+    /// A local tier bounded to `capacity` entries, backed by `parent`:
+    /// local misses consult the parent (promoting hits locally) and
+    /// fresh compiles are published to it. The parent uses its own
+    /// hasher; the local tier uses the production hasher.
+    pub fn tiered(capacity: usize, parent: Arc<DesignCache>) -> Self {
+        let mut cache = Self::with_capacity(capacity);
+        cache.parent = Some(parent);
+        cache
     }
 
     /// Look up `source`, elaborating on a miss. Two workers racing on
@@ -145,10 +175,62 @@ impl DesignCache {
                 collided = true;
             }
         }
+        // Not answered locally. Try the global tier first: a sibling
+        // shard may already have paid for this compile.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(parent) = &self.parent {
+            if let Some(result) = parent.lookup(source) {
+                self.promotions.fetch_add(1, Ordering::Relaxed);
+                return self.store(key, source, result, collided);
+            }
+        }
         // Compile outside the lock: elaboration is the expensive part,
         // and serializing it would defeat the sim worker pool.
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let result = compile(source);
+        if let Some(parent) = &self.parent {
+            parent.insert(source, result.clone());
+        }
+        self.store(key, source, result, collided)
+    }
+
+    /// Probe for `source` without compiling: the tiered fabric's
+    /// parent-side lookup. Counts a hit (with LRU promotion) or a miss
+    /// on *this* cache; a colliding entry counts a collision and
+    /// reports a miss. Does not recurse into this cache's own parent.
+    pub fn lookup(&self, source: &str) -> Option<Result<Arc<Design>, String>> {
+        let key = (self.hasher)(source);
+        let mut inner = self.inner.lock().expect("design cache poisoned");
+        let tick = inner.next_tick();
+        if let Some(entry) = inner.map.get_mut(&key) {
+            if entry.source == source {
+                entry.stamp = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.result.clone());
+            }
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert an already-computed elaboration result (the tiered
+    /// fabric's publish path). No counters move: the work was paid for
+    /// by whichever tier computed it.
+    pub fn insert(&self, source: &str, result: Result<Arc<Design>, String>) {
+        let key = (self.hasher)(source);
+        let _ = self.store(key, source, result, false);
+    }
+
+    /// Store `result` under `key`, honoring races (first insert wins),
+    /// collisions (most recent source keeps the slot), and the LRU
+    /// bound. Returns the canonical result for this source.
+    fn store(
+        &self,
+        key: u64,
+        source: &str,
+        result: Result<Arc<Design>, String>,
+        collided: bool,
+    ) -> Result<Arc<Design>, String> {
         let mut inner = self.inner.lock().expect("design cache poisoned");
         let tick = inner.next_tick();
         match inner.map.get_mut(&key) {
@@ -215,6 +297,17 @@ impl DesignCache {
     /// design).
     pub fn collisions(&self) -> usize {
         self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Local misses answered by the global tier (a subset of
+    /// [`misses`](Self::misses)). Always 0 on an untiered cache.
+    pub fn promotions(&self) -> usize {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// The shared global tier, when this cache is tiered.
+    pub fn parent(&self) -> Option<&Arc<DesignCache>> {
+        self.parent.as_ref()
     }
 }
 
@@ -297,9 +390,12 @@ pub struct ScoreCache {
     inner: Mutex<ScoreInner>,
     capacity: usize,
     hasher: SourceHasher,
+    /// Shared global tier consulted on local misses (see module docs).
+    parent: Option<Arc<ScoreCache>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     collisions: AtomicUsize,
+    promotions: AtomicUsize,
 }
 
 impl Default for ScoreCache {
@@ -327,10 +423,20 @@ impl ScoreCache {
             inner: Mutex::new(ScoreInner::default()),
             capacity,
             hasher,
+            parent: None,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             collisions: AtomicUsize::new(0),
+            promotions: AtomicUsize::new(0),
         }
+    }
+
+    /// A local tier bounded to `capacity` entries, backed by `parent` —
+    /// the scoring side of the tiered fabric (see the module docs).
+    pub fn tiered(capacity: usize, parent: Arc<ScoreCache>) -> Self {
+        let mut cache = Self::with_capacity(capacity);
+        cache.parent = Some(parent);
+        cache
     }
 
     /// Resolve `req` through the cache: a scoring request whose
@@ -366,9 +472,64 @@ impl ScoreCache {
                 collided = true;
             }
         }
-        // Simulate outside the lock; scoring dwarfs the map ops.
+        // Not answered locally: try the global tier, then simulate
+        // outside the lock (scoring dwarfs the map ops).
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(parent) = &self.parent {
+            if let Some(outcome) = parent.lookup_identity(&identity) {
+                self.promotions.fetch_add(1, Ordering::Relaxed);
+                return self.store(key, identity, outcome, collided);
+            }
+        }
         let outcome = execute(req);
+        if let Some(parent) = &self.parent {
+            parent.insert_identity(&identity, outcome.clone());
+        }
+        self.store(key, identity, outcome, collided)
+    }
+
+    /// Probe for a scored outcome without simulating: the tiered
+    /// fabric's parent-side lookup. Returns `None` (and counts nothing)
+    /// for compile-only probes, which this cache never holds.
+    pub fn lookup(&self, req: &SimRequest) -> Option<SimOutcome> {
+        let bench = req.bench.as_ref()?;
+        self.lookup_identity(&score_identity(&req.source, bench))
+    }
+
+    /// Insert an already-computed scoring outcome (the tiered fabric's
+    /// publish path). Compile-only probes are ignored.
+    pub fn insert(&self, req: &SimRequest, outcome: SimOutcome) {
+        if let Some(bench) = &req.bench {
+            self.insert_identity(&score_identity(&req.source, bench), outcome);
+        }
+    }
+
+    /// Probe by identity text, counting a hit (with LRU promotion) or
+    /// a miss on this cache; collisions count and report a miss.
+    fn lookup_identity(&self, identity: &str) -> Option<SimOutcome> {
+        let key = (self.hasher)(identity);
+        let mut inner = self.inner.lock().expect("score cache poisoned");
+        let tick = inner.next_tick();
+        if let Some(entry) = inner.map.get_mut(&key) {
+            if entry.identity == identity {
+                entry.stamp = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.outcome.clone());
+            }
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn insert_identity(&self, identity: &str, outcome: SimOutcome) {
+        let key = (self.hasher)(identity);
+        self.store(key, identity.to_string(), outcome, false);
+    }
+
+    /// Store `outcome` under `key`, honoring races, collisions, and
+    /// the LRU bound; returns the canonical outcome for this identity.
+    fn store(&self, key: u64, identity: String, outcome: SimOutcome, collided: bool) -> SimOutcome {
         let mut inner = self.inner.lock().expect("score cache poisoned");
         let tick = inner.next_tick();
         match inner.map.get_mut(&key) {
@@ -433,6 +594,17 @@ impl ScoreCache {
     /// fell through to a real simulation).
     pub fn collisions(&self) -> usize {
         self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Local misses answered by the global tier (a subset of
+    /// [`misses`](Self::misses)). Always 0 on an untiered cache.
+    pub fn promotions(&self) -> usize {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// The shared global tier, when this cache is tiered.
+    pub fn parent(&self) -> Option<&Arc<ScoreCache>> {
+        self.parent.as_ref()
     }
 }
 
@@ -654,6 +826,84 @@ mod tests {
         assert_eq!(a.score, 0.1, "hit returns the original outcome");
         cache.get_or_run(&req("m_b"), |_| fake_outcome(0.2));
         assert_eq!(cache.misses(), misses + 1, "unpromoted entry evicted");
+    }
+
+    #[test]
+    fn tiered_design_miss_promotes_from_global() {
+        let global = Arc::new(DesignCache::with_capacity(64));
+        let shard_a = DesignCache::tiered(8, Arc::clone(&global));
+        let shard_b = DesignCache::tiered(8, Arc::clone(&global));
+        let s = src("m_shared");
+        // Shard A compiles once and publishes to the global tier.
+        shard_a.get_or_compile(&s).unwrap();
+        assert_eq!(shard_a.misses(), 1);
+        assert_eq!(shard_a.promotions(), 0);
+        assert_eq!(global.len(), 1);
+        // Shard B misses locally but promotes from global — no compile
+        // (observable: global counts a hit, B counts a promotion).
+        shard_b.get_or_compile(&s).unwrap();
+        assert_eq!(shard_b.misses(), 1);
+        assert_eq!(shard_b.promotions(), 1);
+        assert_eq!(global.hits(), 1);
+        // Now resident locally: the next lookup never leaves shard B.
+        let global_ticks = global.hits() + global.misses();
+        shard_b.get_or_compile(&s).unwrap();
+        assert_eq!(shard_b.hits(), 1);
+        assert_eq!(global.hits() + global.misses(), global_ticks);
+    }
+
+    #[test]
+    fn tiered_design_survives_local_eviction_via_global() {
+        let global = Arc::new(DesignCache::with_capacity(64));
+        let local = DesignCache::tiered(2, Arc::clone(&global));
+        let keep = src("m_keep");
+        local.get_or_compile(&keep).unwrap();
+        // Flush the local tier with fresh sources.
+        for i in 0..4 {
+            local.get_or_compile(&src(&format!("m_f{i}"))).unwrap();
+        }
+        // Locally evicted, globally retained: promotion, not recompile.
+        let promos = local.promotions();
+        let d = local.get_or_compile(&keep).unwrap();
+        assert_eq!(d.top, "m_keep");
+        assert_eq!(local.promotions(), promos + 1);
+        assert_eq!(global.len(), 5);
+    }
+
+    #[test]
+    fn tiered_design_collision_in_global_falls_through() {
+        // A colliding global tier must never serve the wrong design —
+        // the local tier compiles fresh instead.
+        let global = Arc::new(DesignCache::with_capacity_and_hasher(8, collide_all));
+        let local = DesignCache::tiered(8, Arc::clone(&global));
+        let (a, b) = (src("m_a"), src("m_b"));
+        local.get_or_compile(&a).unwrap();
+        let db = local.get_or_compile(&b).expect("b elaborates");
+        assert_eq!(db.top, "m_b", "global collision must not cross-serve");
+        assert_eq!(local.promotions(), 0);
+        assert!(global.collisions() >= 1);
+    }
+
+    #[test]
+    fn tiered_scores_share_across_locals() {
+        let global = Arc::new(ScoreCache::with_capacity(64));
+        let shard_a = ScoreCache::tiered(8, Arc::clone(&global));
+        let shard_b = ScoreCache::tiered(8, Arc::clone(&global));
+        let runs = Counter::new(0);
+        let run = |_: &SimRequest| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            fake_outcome(0.6)
+        };
+        let req = score_req(GOOD, Some(bench("tb", 2)));
+        let a = shard_a.get_or_run(&req, run);
+        let b = shard_b.get_or_run(&req, run);
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "one simulation total");
+        assert_eq!(a.score, b.score);
+        assert_eq!(shard_b.promotions(), 1);
+        assert_eq!(global.hits(), 1);
+        // Compile-only probes stay out of every tier.
+        shard_a.get_or_run(&score_req(GOOD, None), run);
+        assert_eq!(global.len(), 1);
     }
 
     #[test]

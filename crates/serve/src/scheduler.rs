@@ -152,6 +152,27 @@ pub struct ServeStats {
     pub failovers: u64,
 }
 
+impl ServeStats {
+    /// Fold another engine's counters in — the fleet-level aggregation
+    /// over shards. Every field is a sum, including the resilience
+    /// counters, so an N-shard aggregate reads like one big engine.
+    pub fn absorb(&mut self, other: &ServeStats) {
+        self.rounds += other.rounds;
+        self.llm_requests += other.llm_requests;
+        self.llm_batch_calls += other.llm_batch_calls;
+        self.sim_requests += other.sim_requests;
+        self.sim_waves += other.sim_waves;
+        self.overlap_steps += other.overlap_steps;
+        self.jobs_done += other.jobs_done;
+        self.jobs_failed += other.jobs_failed;
+        self.total_usage += other.total_usage;
+        self.retries += other.retries;
+        self.hedges += other.hedges;
+        self.rate_limit_defers += other.rate_limit_defers;
+        self.failovers += other.failovers;
+    }
+}
+
 /// Aggregated results of an engine run (see [`ServeEngine::report`]).
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -534,6 +555,39 @@ impl<S: LlmService> ServeEngine<S> {
     /// Admission-to-retirement latency of a retired job.
     pub fn job_latency(&self, id: JobId) -> Option<Duration> {
         self.jobs.get(id)?.latency
+    }
+
+    /// Jobs still queued or running — an engine's load as a cluster
+    /// router sees it. Deterministic at any step boundary.
+    pub fn live_jobs(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `(id, advances, phase)` of every job currently in flight, in job
+    /// order — the step-boundary export a cluster rebalancer selects
+    /// migration victims from. Both the set and each advance count are
+    /// pure functions of the schedule, so victim selection driven by
+    /// this view is itself deterministic.
+    pub fn running_jobs(&self) -> Vec<(JobId, u64, &'static str)> {
+        self.live
+            .iter()
+            .filter_map(|&id| match &self.jobs[id].phase {
+                JobPhase::Running(job) => Some((id, job.advances(), job.phase_name())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `true` while a [`step`](Self::step) could still do work: live
+    /// unpaused jobs, undispatched queue entries, or an in-flight wave.
+    /// The cluster driver's idle test.
+    pub fn can_progress(&self) -> bool {
+        self.progress_possible()
+    }
+
+    /// The options this engine runs under.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
     }
 
     /// Pause a job: it keeps its slot and state but is not advanced (a

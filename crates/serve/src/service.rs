@@ -199,8 +199,11 @@ where
     }
 }
 
-/// The per-job service underlying [`synthetic_service`].
-pub type SyntheticPerJob = PerJobModels<SyntheticModel, Box<dyn Fn(JobId) -> SyntheticModel>>;
+/// The per-job service underlying [`synthetic_service`]. The factory
+/// box is `Send + Sync` so the whole service (and an engine holding it)
+/// can move onto a cluster shard thread.
+pub type SyntheticPerJob =
+    PerJobModels<SyntheticModel, Box<dyn Fn(JobId) -> SyntheticModel + Send + Sync>>;
 
 /// Backend routes the synthetic fault transport advertises (matches the
 /// `all-dead` plan preset, which scripts three dead backends).
