@@ -77,8 +77,8 @@ fn stream_specs() -> Vec<JobSpec> {
     specs
 }
 
-/// One serve pass; returns (seconds, stats, cache hit/miss).
-fn run_serve(sched: SchedMode, batch_llm: bool) -> (f64, ServeStats, usize, usize) {
+/// One serve pass; returns (seconds, full report).
+fn run_serve(sched: SchedMode, batch_llm: bool) -> (f64, mage_serve::ServeReport) {
     let specs = stream_specs();
     let service = synthetic_service(&specs);
     let mut engine = ServeEngine::new(
@@ -99,8 +99,7 @@ fn run_serve(sched: SchedMode, batch_llm: bool) -> (f64, ServeStats, usize, usiz
     let t = Instant::now();
     engine.run();
     let secs = t.elapsed().as_secs_f64();
-    let report = engine.report();
-    (secs, report.stats, report.cache_hits, report.cache_misses)
+    (secs, engine.report())
 }
 
 /// One wave pass under an explicit fault plan (ignores
@@ -189,34 +188,66 @@ fn main() {
     // BSP dispatch-call invariant is a property of the coalescing join
     // *on this stream*, so the gate must re-check exactly it.
     let samples = if smoke { 1 } else { SAMPLES };
+    // The harness owns the delta gate: the measured legs run with delta
+    // compilation on (the default), the off-oracle leg below toggles it
+    // explicitly. An inherited MAGE_SIM_DELTA=off would silently zero
+    // the unit-cache counters every leg asserts on.
+    std::env::remove_var("MAGE_SIM_DELTA");
     let jobs = stream_specs().len();
 
     // Interleave the four modes so load drift hits all equally.
     let (mut wave_s, mut bsp_s, mut scalar_s, mut solo_s) =
         (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
-    let mut wave_stats: Option<(ServeStats, usize, usize)> = None;
+    let mut wave_report: Option<mage_serve::ServeReport> = None;
     let mut bsp_stats: Option<ServeStats> = None;
     let mut scalar_stats: Option<ServeStats> = None;
     let mut fleet_s = f64::INFINITY;
     let mut fleet_report: Option<FleetReport> = None;
     for _ in 0..samples {
-        let (s, stats, hits, misses) = run_serve(SchedMode::Wave, true);
+        let (s, report) = run_serve(SchedMode::Wave, true);
         wave_s = wave_s.min(s);
-        wave_stats.get_or_insert((stats, hits, misses));
-        let (s, stats, _, _) = run_serve(SchedMode::Bsp, true);
+        wave_report.get_or_insert(report);
+        let (s, report) = run_serve(SchedMode::Bsp, true);
         bsp_s = bsp_s.min(s);
-        bsp_stats.get_or_insert(stats);
-        let (s, stats, _, _) = run_serve(SchedMode::Bsp, false);
+        bsp_stats.get_or_insert(report.stats);
+        let (s, report) = run_serve(SchedMode::Bsp, false);
         scalar_s = scalar_s.min(s);
-        scalar_stats.get_or_insert(stats);
+        scalar_stats.get_or_insert(report.stats);
         let (s, report) = run_fleet(None);
         fleet_s = fleet_s.min(s);
         fleet_report.get_or_insert(report);
         solo_s = solo_s.min(run_solo());
     }
-    let (wstats, hits, misses) = wave_stats.expect("ran");
+    let wreport = wave_report.expect("ran");
+    let (hits, misses) = (wreport.cache_hits, wreport.cache_misses);
+    let wstats = wreport.stats;
     let bstats = bsp_stats.expect("ran");
     let sstats = scalar_stats.expect("ran");
+
+    // Delta-compilation invariants: the wave pass compiles through the
+    // process-unit cache, so the debug loop's re-compiles of edited
+    // candidates must generate unit traffic — and with the delta gate
+    // off, the from-scratch oracle must leave the tier untouched.
+    assert!(
+        wreport.unit_hits + wreport.unit_misses > 0,
+        "wave pass generated no unit-cache traffic at all"
+    );
+    assert!(
+        wreport.unit_hits > 0,
+        "debug-loop re-compiles never reused a cached unit"
+    );
+    std::env::set_var("MAGE_SIM_DELTA", "off");
+    let (_, off_report) = run_serve(SchedMode::Wave, true);
+    std::env::remove_var("MAGE_SIM_DELTA");
+    assert_eq!(
+        (off_report.unit_hits, off_report.unit_misses),
+        (0, 0),
+        "MAGE_SIM_DELTA=off must never touch the unit cache"
+    );
+    // The gate must not change the work either (delta is store-exact).
+    assert_eq!(off_report.stats.llm_requests, wstats.llm_requests);
+    assert_eq!(off_report.stats.sim_requests, wstats.sim_requests);
+    assert_eq!(off_report.stats.jobs_done, wstats.jobs_done);
 
     // Scheduler invariants, asserted in-process on the registry stream.
     //
@@ -336,6 +367,15 @@ fn main() {
          0/{faulted_jobs} jobs failed",
         faulted.retries, faulted.hedges, faulted.rate_limit_defers, faulted.failovers,
     );
+    println!(
+        "delta units: {} hits / {} misses / {} collisions ({:.1}% debug-loop hit rate); \
+         MAGE_SIM_DELTA=off leg: {} hits (asserted zero)",
+        wreport.unit_hits,
+        wreport.unit_misses,
+        wreport.unit_collisions,
+        100.0 * wreport.unit_hits as f64 / (wreport.unit_hits + wreport.unit_misses).max(1) as f64,
+        off_report.unit_hits,
+    );
 
     let sched_mode = |stats: &ServeStats| {
         format!(
@@ -353,7 +393,9 @@ fn main() {
          \"requests\": {},\n    \"wave_calls\": {},\n    \"bsp_calls\": {},\n    \
          \"scalar_calls\": {},\n    \"avg_wave_batch_size\": {:.2}\n  }},\n  \
          \"scheduler\": {{\n    \
-         \"wave\": {},\n    \"bsp\": {}\n  }},\n  \
+         \"wave\": {},\n    \"bsp\": {},\n    \
+         \"delta\": {{ \"unit_hits\": {}, \"unit_misses\": {}, \"unit_collisions\": {}, \
+         \"hit_rate\": {:.4}, \"off_unit_hits\": {}, \"off_unit_misses\": {} }}\n  }},\n  \
          \"resilience\": {{\n    \
          \"plan\": \"canonical\",\n    \"retries\": {},\n    \"hedges\": {},\n    \
          \"rate_limit_defers\": {},\n    \"failovers\": {},\n    \"jobs_failed\": {}\n  }},\n  \
@@ -379,7 +421,13 @@ fn main() {
          trace is replayed pinned in-process — placement_deterministic means the replay \
          re-recorded the identical trace and produced bit-identical solve traces. Fabric hit \
          rates are telemetry (cross-shard publish timing makes them run-varying); the \
-         determinism gate is on traces, never counters. Stream = VerilogEval-Human x \
+         determinism gate is on traces, never counters. The scheduler.delta entry records \
+         the wave pass's process-unit cache counters: the debug loop re-compiles edited \
+         candidates against their parent design, so unchanged processes are served from \
+         the unit tier (hit_rate = hits / (hits + misses)); the harness asserts nonzero \
+         unit traffic with delta on and exactly zero unit-cache touches under \
+         MAGE_SIM_DELTA=off, with identical per-job work either way (delta compilation \
+         is store-exact). Stream = VerilogEval-Human x \
          {RUNS_PER_PROBLEM} runs, high-temperature MAGE config, seed 0xBE. Wall times are \
          interleaved best-of-{samples} minima; this container has a single CPU, so the \
          background sim wave shows no wall gain here — the scheduler section's deterministic \
@@ -396,6 +444,12 @@ fn main() {
         wstats.llm_requests as f64 / wstats.llm_batch_calls.max(1) as f64,
         sched_mode(&wstats),
         sched_mode(&bstats),
+        wreport.unit_hits,
+        wreport.unit_misses,
+        wreport.unit_collisions,
+        wreport.unit_hits as f64 / (wreport.unit_hits + wreport.unit_misses).max(1) as f64,
+        off_report.unit_hits,
+        off_report.unit_misses,
         faulted.retries,
         faulted.hedges,
         faulted.rate_limit_defers,

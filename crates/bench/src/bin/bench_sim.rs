@@ -42,7 +42,7 @@
 
 use mage_bench::{mini_suite_kernel, solve_one_kernel};
 use mage_logic::LogicVec;
-use mage_sim::{elaborate, Design, EvalCounts, ExecMode, Simulator};
+use mage_sim::{elaborate, elaborate_with, Design, DesignUnits, EvalCounts, ExecMode, Simulator};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -411,7 +411,7 @@ fn main() {
         "sim_handshake_sweep",
     ];
     let mut sched_json = String::from("  \"scheduler\": {\n");
-    for (i, kernel) in counted.iter().enumerate() {
+    for kernel in counted.iter() {
         let wheel = count_of(ExecMode::Compiled, kernel);
         let legacy = count_of(ExecMode::Legacy, kernel);
         // Acceptance invariants: the wheel never evaluates more than the
@@ -474,15 +474,98 @@ fn main() {
             legacy.counts.total_evals() as f64 / legacy.per.max(1) as f64,
             legacy.counts.edge_probes as f64 / legacy.per.max(1) as f64,
         );
+        // Always a trailing comma: the "delta" subsection follows.
         sched_json.push_str(&format!(
-            "    \"{}\": {{ \"steps\": {}, \"wheel\": {}, \"legacy\": {} }}{}\n",
+            "    \"{}\": {{ \"steps\": {}, \"wheel\": {}, \"legacy\": {} }},\n",
             kernel,
             wheel.per,
             json_counts(&wheel),
             json_counts(&legacy),
-            if i + 1 == counted.len() { "" } else { "," }
         ));
     }
+    // --- Delta-compilation counters: per-kernel unit-cache reuse. A
+    //     re-elaboration against the unchanged parent must reuse every
+    //     unit; a single-process edit must rebuild exactly that unit
+    //     (plus the fanout/trigger index rows that reference it); and
+    //     MAGE_SIM_DELTA=off must bypass the unit provider entirely —
+    //     all deterministic, asserted in-process on every run. ---
+    let delta_kernels: [(&str, &str, &str, &str); 3] = [
+        (
+            "alu_kernel",
+            ALU_SRC,
+            "assign zero = r == 4'd0;",
+            "assign zero = r != 4'd0;",
+        ),
+        (
+            "dualclk_kernel",
+            DUALCLK_SRC,
+            "assign mixa = qa ^ da;",
+            "assign mixa = qa & da;",
+        ),
+        (
+            "handshake_kernel",
+            HANDSHAKE_SRC,
+            "assign busy = reqa & ~ack;",
+            "assign busy = reqa | ~ack;",
+        ),
+    ];
+    sched_json.push_str("    \"delta\": {\n");
+    for (i, (name, src, from, to)) in delta_kernels.iter().enumerate() {
+        let parent = parse_design(src);
+        let units = parent.processes.len();
+        let provider = DesignUnits::new(Arc::clone(&parent));
+        // Unchanged source: full reuse.
+        let file = mage_verilog::parse(src).expect("kernel parses");
+        let (_, same) = elaborate_with(&file, "top_module", &provider).expect("re-elaborates");
+        assert_eq!(
+            (same.reused, same.rebuilt),
+            (units, 0),
+            "{name}: unchanged source must reuse every unit"
+        );
+        // One edited process: rebuild exactly the edited unit; every
+        // other unit is served from the parent.
+        let edited_src = src.replace(from, to);
+        assert_ne!(*src, edited_src, "{name}: edit must change the source");
+        let edited = mage_verilog::parse(&edited_src).expect("edited kernel parses");
+        let (design, edit) = elaborate_with(&edited, "top_module", &provider).expect("elaborates");
+        assert_eq!(
+            (edit.reused, edit.rebuilt),
+            (units - 1, 1),
+            "{name}: a single-process edit must rebuild exactly one unit"
+        );
+        // The rebuilt design is store-exact against a scratch build.
+        let scratch = elaborate(&edited, "top_module").expect("scratch elaborates");
+        assert_eq!(
+            design.processes, scratch.processes,
+            "{name}: delta build diverged from scratch"
+        );
+        // The off-oracle compiles from scratch: zero unit-cache hits.
+        std::env::set_var("MAGE_SIM_DELTA", "off");
+        let (_, off) =
+            mage_core::compile_with_units(&edited_src, Some(&parent)).expect("off-oracle compiles");
+        std::env::remove_var("MAGE_SIM_DELTA");
+        assert_eq!(
+            (off.reused, off.rebuilt),
+            (0, units),
+            "{name}: MAGE_SIM_DELTA=off must never hit the unit cache"
+        );
+        println!(
+            "{:24} delta: {} units, single edit reused {} rebuilt {} (fanout rows {}, trigger rows {})",
+            name, units, edit.reused, edit.rebuilt, edit.fanout_rows, edit.trigger_rows
+        );
+        sched_json.push_str(&format!(
+            "      \"{}\": {{ \"units\": {}, \"reused\": {}, \"rebuilt\": {}, \"fanout_rows\": {}, \"trigger_rows\": {}, \"off_reused\": {} }}{}\n",
+            name,
+            units,
+            edit.reused,
+            edit.rebuilt,
+            edit.fanout_rows,
+            edit.trigger_rows,
+            off.reused,
+            if i + 1 == delta_kernels.len() { "" } else { "," }
+        ));
+    }
+    sched_json.push_str("    }\n");
     sched_json.push_str("  },\n");
 
     // --- Report. ---
@@ -526,7 +609,14 @@ fn main() {
          asserts wheel <= legacy on evals and probes, exactly zero evals to re-settle \
          a settled design, two_state_evals > 0 with zero fallbacks on every driven \
          kernel (booted fully defined), and zero two-state counters under the legacy \
-         executor, which has no fast path. Regenerate with: \
+         executor, which has no fast path. The scheduler.delta subsection records \
+         per-kernel unit-cache counters for delta re-elaboration against an unchanged \
+         parent design: units = process count, reused/rebuilt = units served from the \
+         parent vs recompiled after a single-process edit (asserted to be exactly \
+         units-1 / 1), fanout_rows / trigger_rows = comb-fanout and per-edge trigger \
+         index rows rebuilt because they reference the edited process, off_reused = \
+         units served with MAGE_SIM_DELTA=off (asserted zero — the from-scratch \
+         oracle never touches the unit cache). Regenerate with: \
          cargo run --release -p mage-bench --bin bench_sim (add --smoke to cap \
          sampling for CI)\"\n}\n",
     );

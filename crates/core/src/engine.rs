@@ -21,7 +21,9 @@ use mage_llm::{
     Conversation, DebugRequest, JudgeTbRequest, ModelOutput, Role, RtlGenRequest, RtlLanguageModel,
     SyntaxFixRequest, TaskKind, TbGenRequest, TokenUsage,
 };
-use mage_sim::{elaborate, Design};
+use mage_sim::{
+    delta_enabled, elaborate, elaborate_with, DeltaStats, Design, DesignUnits, UnitSource,
+};
 use mage_tb::textlog::{render_checkpoint_window, render_summary};
 use mage_tb::{run_testbench, TbReport, Testbench};
 use mage_verilog::parse;
@@ -606,15 +608,63 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
 /// `top_module` (or the last module) as top. The error string is the
 /// diagnostic fed to the syntax-repair loop.
 pub fn compile(source: &str) -> Result<Arc<Design>, String> {
+    compile_with_units(source, None).map(|(design, _)| design)
+}
+
+/// [`compile`] with a parent-design hint: when delta compilation is
+/// enabled ([`mage_sim::delta_enabled`]) and a parent is given, each
+/// process unit unchanged from the parent is reused verbatim and only
+/// the edited units are rebuilt — the debug loop's common case, where a
+/// candidate differs from the design it was debugged from by one
+/// process body. Returns the per-unit reuse counters alongside the
+/// design; without a parent (or with `MAGE_SIM_DELTA=off`) the stats
+/// report every unit as rebuilt.
+pub fn compile_with_units(
+    source: &str,
+    parent: Option<&Arc<Design>>,
+) -> Result<(Arc<Design>, DeltaStats), String> {
+    match parent {
+        Some(parent) if delta_enabled() => {
+            let provider = DesignUnits::new(Arc::clone(parent));
+            compile_with_provider(source, &provider)
+        }
+        _ => {
+            let (file, top) = parse_top(source)?;
+            elaborate(&file, &top)
+                .map(|design| {
+                    let stats = DeltaStats {
+                        rebuilt: design.processes.len(),
+                        ..DeltaStats::default()
+                    };
+                    (Arc::new(design), stats)
+                })
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// [`compile_with_units`] against an arbitrary unit provider — the hook
+/// the serve layer uses to chain the parent design with its shared
+/// process-unit cache. The caller owns the [`delta_enabled`] gate: this
+/// function always probes `provider`.
+pub fn compile_with_provider(
+    source: &str,
+    provider: &dyn UnitSource,
+) -> Result<(Arc<Design>, DeltaStats), String> {
+    let (file, top) = parse_top(source)?;
+    elaborate_with(&file, &top, provider)
+        .map(|(design, stats)| (Arc::new(design), stats))
+        .map_err(|e| e.to_string())
+}
+
+fn parse_top(source: &str) -> Result<(mage_verilog::SourceFile, String), String> {
     let file = parse(source).map_err(|e| e.to_string())?;
     let top = file
         .module("top_module")
         .map(|m| m.name.clone())
         .or_else(|| file.modules.last().map(|m| m.name.clone()))
         .ok_or_else(|| "no module found".to_string())?;
-    elaborate(&file, &top)
-        .map(Arc::new)
-        .map_err(|e| e.to_string())
+    Ok((file, top))
 }
 
 pub(crate) fn bench_digest(tb: &Testbench) -> String {
@@ -623,9 +673,10 @@ pub(crate) fn bench_digest(tb: &Testbench) -> String {
         tb.name,
         tb.steps.len(),
         tb.total_checks(),
-        match &tb.clock {
-            Some(c) => format!(", clocked by `{c}`"),
-            None => ", combinational".to_string(),
+        match tb.all_clocks().as_slice() {
+            [] => ", combinational".to_string(),
+            [c] => format!(", clocked by `{c}`"),
+            many => format!(", clocked by `{}`", many.join("`, `")),
         }
     )
 }

@@ -45,7 +45,10 @@ pub mod solvejob;
 pub mod tables;
 
 pub use config::{MageConfig, SystemKind};
-pub use engine::{compile, Candidate, JobOutcome, Mage, SolveTrace, Task};
+pub use engine::{
+    compile, compile_with_provider, compile_with_units, Candidate, JobOutcome, Mage, SolveTrace,
+    Task,
+};
 pub use solvejob::{
     execute_sim, execute_sim_with, PendingWork, SimOutcome, SimRequest, SolveJob, SolveStep,
     StepInput,

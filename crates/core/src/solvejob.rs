@@ -117,6 +117,12 @@ pub struct SimRequest {
     /// Bench to score against; `None` requests a compile only (the
     /// syntax-repair loop's probe).
     pub bench: Option<Arc<Testbench>>,
+    /// Parent-design hint for delta compilation: the design this source
+    /// was derived from (a debug trial names the candidate it rewrote).
+    /// Executors may reuse the parent's unchanged compilation units
+    /// verbatim ([`crate::compile_with_units`]); the hint never changes
+    /// the result, only how much of it is rebuilt.
+    pub parent: Option<Arc<Design>>,
 }
 
 /// The executor's answer to a [`SimRequest`].
@@ -132,8 +138,16 @@ pub struct SimOutcome {
 }
 
 /// Execute one simulation request with the default (uncached) compiler.
+/// A [`SimRequest::parent`] hint routes through
+/// [`compile_with_units`](crate::compile_with_units), reusing the
+/// parent's unchanged compilation units.
 pub fn execute_sim(req: &SimRequest) -> SimOutcome {
-    execute_sim_with(req, compile)
+    execute_sim_with(req, |src| match &req.parent {
+        Some(parent) => {
+            crate::engine::compile_with_units(src, Some(parent)).map(|(design, _)| design)
+        }
+        None => compile(src),
+    })
 }
 
 /// Execute one simulation request, compiling through `compile_fn` —
@@ -572,6 +586,7 @@ impl SolveJob {
             source: self.gen_source.clone(),
             design: None,
             bench: None,
+            parent: None,
         };
         self.phase = Phase::GenCompile { purpose, fixes };
         SolveStep::NeedSim(req)
@@ -592,12 +607,20 @@ impl SolveJob {
             let scored = hit.clone();
             return self.after_score(scored, target);
         }
+        // A debug trial rewrites `selected[ix]`: that candidate's design
+        // is the delta-compilation parent — everything the rewrite left
+        // alone compiles by unit reuse.
+        let parent = match target {
+            ScoreTarget::Trial { ix, .. } => self.selected.get(ix).and_then(|c| c.design.clone()),
+            _ => None,
+        };
         let req = SimRequest {
             source: cand.source.clone(),
             design: cand.design.clone(),
             bench: Some(Arc::clone(
                 self.tb.as_ref().expect("bench exists when scoring"),
             )),
+            parent,
         };
         self.phase = Phase::Score { target, cand };
         SolveStep::NeedSim(req)
@@ -962,6 +985,7 @@ mod tests {
             source: "module top_module(input a, output y); assign y = a; endmodule".into(),
             design: None,
             bench: None,
+            parent: None,
         };
         let out = execute_sim(&req);
         assert!(out.design.is_ok());

@@ -306,6 +306,10 @@ fn run_single(args: &Args, specs: Vec<JobSpec>, opts: ServeOptions, policy: Disp
         report.score_hits, report.score_misses, report.score_collisions
     );
     println!(
+        "units       {:>8} delta hits / {} misses / {} collisions",
+        report.unit_hits, report.unit_misses, report.unit_collisions
+    );
+    println!(
         "tokens      {:>8} prompt + {} completion",
         report.stats.total_usage.prompt, report.stats.total_usage.completion
     );
@@ -424,6 +428,14 @@ fn run_fleet(args: &Args, specs: Vec<JobSpec>, opts: ServeOptions, policy: Dispa
         f.score_local.promotions,
         f.score_global.hits,
         f.score_global.misses
+    );
+    println!(
+        "            units  local {} hits / {} misses / {} promoted; global {} hits / {} misses",
+        f.unit_local.hits,
+        f.unit_local.misses,
+        f.unit_local.promotions,
+        f.unit_global.hits,
+        f.unit_global.misses
     );
     println!(
         "tokens      {:>8} prompt + {} completion",

@@ -72,12 +72,17 @@
 //!
 //! Each shard compiles through a private LRU tier backed by one shared
 //! global tier ([`mage_serve::DesignCache::tiered`] /
-//! [`mage_serve::ScoreCache::tiered`]): local misses consult the global
+//! [`mage_serve::ScoreCache::tiered`] /
+//! [`mage_serve::UnitCache::tiered`]): local misses consult the global
 //! tier and promote hits into the local tier; fresh results publish
 //! back. Affinity routing keeps a problem's designs in one local tier;
 //! the global tier catches cross-shard and post-migration reuse. The
-//! per-tier hit/miss/promotion counters aggregate into
-//! [`FleetReport::fabric`].
+//! unit tier works below whole designs — per-process compilation units
+//! keyed by `(fingerprint, binding)`, so a debug iteration that edits
+//! one process recompiles only that process even when the whole-design
+//! caches miss, and cross-shard edits of the same problem share
+//! unchanged units through the global tier. The per-tier
+//! hit/miss/promotion counters aggregate into [`FleetReport::fabric`].
 
 use crate::service::{synthetic_shard_service, synthetic_shard_service_with};
 use crate::shard::{
@@ -89,7 +94,7 @@ use mage_core::SolveTrace;
 use mage_llm::{DispatchPolicy, FaultPlan, HealthSnapshot};
 use mage_serve::{
     DesignCache, FaultyService, JobSpec, LlmService, ScoreCache, ServeEngine, ServeOptions,
-    ServeReport, ServeStats, SyntheticPerJob,
+    ServeReport, ServeStats, SyntheticPerJob, UnitCache,
 };
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -115,6 +120,9 @@ pub struct FleetOptions {
     pub local_design_capacity: usize,
     /// Capacity of each shard's local score-cache tier.
     pub local_score_capacity: usize,
+    /// Capacity of each shard's local process-unit tier (delta
+    /// compilation; see [`mage_serve::UnitCache`]).
+    pub local_unit_capacity: usize,
     /// Replay mode: apply this trace's decisions instead of routing.
     pub pinned: Option<PlacementTrace>,
 }
@@ -129,6 +137,7 @@ impl Default for FleetOptions {
             spread: 2,
             local_design_capacity: 1024,
             local_score_capacity: 512,
+            local_unit_capacity: 4096,
             pinned: None,
         }
     }
@@ -161,6 +170,13 @@ impl CacheTierStats {
         self.promotions += c.promotions();
         self.collisions += c.collisions();
     }
+
+    fn absorb_unit(&mut self, c: &UnitCache) {
+        self.hits += c.hits();
+        self.misses += c.misses();
+        self.promotions += c.promotions();
+        self.collisions += c.collisions();
+    }
 }
 
 /// The cache fabric's aggregate counters: local tiers summed over all
@@ -171,10 +187,14 @@ pub struct FabricStats {
     pub design_local: CacheTierStats,
     /// All local score tiers, summed.
     pub score_local: CacheTierStats,
+    /// All local process-unit tiers, summed.
+    pub unit_local: CacheTierStats,
     /// The shared global design tier.
     pub design_global: CacheTierStats,
     /// The shared global score tier.
     pub score_global: CacheTierStats,
+    /// The shared global process-unit tier.
+    pub unit_global: CacheTierStats,
 }
 
 /// Aggregate outcome of a fleet run.
@@ -228,6 +248,7 @@ pub struct FleetEngine<S: LlmService + Send + 'static> {
     shards: Vec<ShardHandle>,
     global_design: Arc<DesignCache>,
     global_scores: Arc<ScoreCache>,
+    global_units: Arc<UnitCache>,
     jobs: Vec<FleetJob>,
     /// Fleet ids pushed but not yet placed.
     pending: Vec<usize>,
@@ -280,6 +301,7 @@ impl<S: LlmService + Send + 'static> FleetEngine<S> {
         assert!(opts.shards >= 1, "a fleet needs at least one shard");
         let global_design = Arc::new(DesignCache::new());
         let global_scores = Arc::new(ScoreCache::new());
+        let global_units = Arc::new(UnitCache::new());
         let mut fleet = FleetEngine {
             shards: Vec::with_capacity(opts.shards),
             load: vec![0; opts.shards],
@@ -287,6 +309,7 @@ impl<S: LlmService + Send + 'static> FleetEngine<S> {
             factory: Box::new(factory),
             global_design,
             global_scores,
+            global_units,
             jobs: Vec::new(),
             pending: Vec::new(),
             round: 0,
@@ -314,11 +337,16 @@ impl<S: LlmService + Send + 'static> FleetEngine<S> {
             self.opts.local_score_capacity,
             Arc::clone(&self.global_scores),
         ));
-        let engine = ServeEngine::with_caches(
+        let units = Arc::new(UnitCache::tiered(
+            self.opts.local_unit_capacity,
+            Arc::clone(&self.global_units),
+        ));
+        let engine = ServeEngine::with_fabric(
             self.opts.serve.clone(),
             (self.factory)(ix, roster.clone()),
             Arc::clone(&design),
             Arc::clone(&scores),
+            Arc::clone(&units),
         );
         let (cmd_tx, cmd_rx) = mpsc::channel();
         let (reply_tx, reply_rx) = mpsc::channel();
@@ -333,6 +361,7 @@ impl<S: LlmService + Send + 'static> FleetEngine<S> {
             thread: Some(thread),
             design,
             scores,
+            units,
         }
     }
 
@@ -611,6 +640,9 @@ impl<S: LlmService + Send + 'static> FleetEngine<S> {
         self.retired_fabric
             .score_local
             .absorb_score(&self.shards[ix].scores);
+        self.retired_fabric
+            .unit_local
+            .absorb_unit(&self.shards[ix].units);
         self.shards[ix].join();
         let fresh = self.spawn_shard(ix);
         self.shards[ix] = fresh;
@@ -650,10 +682,12 @@ impl<S: LlmService + Send + 'static> FleetEngine<S> {
             }
             fabric.design_local.absorb_design(&shard.design);
             fabric.score_local.absorb_score(&shard.scores);
+            fabric.unit_local.absorb_unit(&shard.units);
             shard.join();
         }
         fabric.design_global.absorb_design(&self.global_design);
         fabric.score_global.absorb_score(&self.global_scores);
+        fabric.unit_global.absorb_unit(&self.global_units);
         self.wall += t0.elapsed();
 
         let mut stats = ServeStats::default();

@@ -12,6 +12,7 @@ use mage_core::SolveTrace;
 use mage_llm::HealthSnapshot;
 use mage_serve::{
     DesignCache, JobCheckpoint, JobSpec, LlmService, ScoreCache, ServeEngine, ServeReport,
+    UnitCache,
 };
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
@@ -132,6 +133,7 @@ pub(crate) struct ShardHandle {
     /// The shard's local cache tiers (controller-readable counters).
     pub design: Arc<DesignCache>,
     pub scores: Arc<ScoreCache>,
+    pub units: Arc<UnitCache>,
 }
 
 impl ShardHandle {

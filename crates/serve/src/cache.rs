@@ -1,5 +1,6 @@
-//! The shared result caches: elaborations ([`DesignCache`]) and scoring
-//! outcomes ([`ScoreCache`]).
+//! The shared result caches: elaborations ([`DesignCache`]), scoring
+//! outcomes ([`ScoreCache`]), and per-process compilation units
+//! ([`UnitCache`]).
 //!
 //! # Tiered fabric
 //!
@@ -16,9 +17,11 @@
 //! happen outside the local lock), so local/global tiers cannot
 //! deadlock however many shards share one parent.
 
-use mage_core::compile;
 use mage_core::solvejob::{SimOutcome, SimRequest};
-use mage_sim::Design;
+use mage_core::{compile, compile_with_provider};
+use mage_sim::{
+    delta_enabled, ChainedUnits, Design, DesignUnits, ProcessUnit, UnitKey, UnitSource, UnitTag,
+};
 use mage_tb::Testbench;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -157,6 +160,23 @@ impl DesignCache {
     /// and the first insert wins, so callers observe one canonical
     /// entry either way.
     pub fn get_or_compile(&self, source: &str) -> Result<Arc<Design>, String> {
+        self.get_or_compile_with(source, None, None)
+    }
+
+    /// [`get_or_compile`](Self::get_or_compile) with delta-compilation
+    /// hints: on a cache miss the compile probes `parent` (the design
+    /// the source was derived from) and `units` (the shared process-unit
+    /// tier) for unchanged compilation units, chained parent-first, and
+    /// rebuilds only what misses. Fresh units are published to `units`.
+    /// The hints never change the cached result — a delta-built design
+    /// is store-exact against a from-scratch compile — and are ignored
+    /// entirely under `MAGE_SIM_DELTA=off`.
+    pub fn get_or_compile_with(
+        &self,
+        source: &str,
+        parent: Option<&Arc<Design>>,
+        units: Option<&UnitCache>,
+    ) -> Result<Arc<Design>, String> {
         let key = (self.hasher)(source);
         let mut collided = false;
         {
@@ -186,7 +206,7 @@ impl DesignCache {
         }
         // Compile outside the lock: elaboration is the expensive part,
         // and serializing it would defeat the sim worker pool.
-        let result = compile(source);
+        let result = compile_delta(source, parent, units);
         if let Some(parent) = &self.parent {
             parent.insert(source, result.clone());
         }
@@ -308,6 +328,256 @@ impl DesignCache {
     /// The shared global tier, when this cache is tiered.
     pub fn parent(&self) -> Option<&Arc<DesignCache>> {
         self.parent.as_ref()
+    }
+}
+
+/// Compile `source`, reusing units from `parent` and/or `units` when
+/// delta compilation is enabled. With neither hint (or with
+/// `MAGE_SIM_DELTA=off`) this is exactly [`mage_core::compile`].
+fn compile_delta(
+    source: &str,
+    parent: Option<&Arc<Design>>,
+    units: Option<&UnitCache>,
+) -> Result<Arc<Design>, String> {
+    if !delta_enabled() || (parent.is_none() && units.is_none()) {
+        return compile(source);
+    }
+    let parent_units = parent.map(|p| DesignUnits::new(Arc::clone(p)));
+    let mut sources: Vec<&dyn UnitSource> = Vec::new();
+    if let Some(p) = &parent_units {
+        sources.push(p);
+    }
+    if let Some(u) = units {
+        sources.push(u);
+    }
+    let chain = ChainedUnits::new(sources);
+    compile_with_provider(source, &chain).map(|(design, _)| design)
+}
+
+/// Default [`UnitCache`] entry bound: units are per-process (a design
+/// holds several), so the bound sits well above the design cache's.
+pub const DEFAULT_UNIT_CAPACITY: usize = 32768;
+
+#[derive(Debug)]
+struct UnitEntry {
+    /// The full identity (canonical item text + environment string)
+    /// this unit was built under, verified on every hit — the 64-bit
+    /// key alone would let colliding processes serve each other's
+    /// bytecode.
+    tag: UnitTag,
+    unit: ProcessUnit,
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct UnitInner {
+    map: HashMap<UnitKey, UnitEntry>,
+    tick: u64,
+}
+
+impl UnitInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn evict_to(&mut self, capacity: usize) {
+        while self.map.len() >= capacity.max(1) && !self.map.is_empty() {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&k, _)| k)
+                .expect("non-empty map");
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// A bounded map from [`UnitKey`] to a compiled process unit, shared by
+/// every job (and every shard tier) holding the same `Arc<UnitCache>` —
+/// the process-grained sibling of [`DesignCache`].
+///
+/// The design cache shares whole elaborations between *textually
+/// identical* sources; this cache shares the pieces. A candidate that
+/// differs from anything seen before still reuses every process whose
+/// canonical text and resolved signal binding match a cached unit —
+/// the delta elaboration rebuilds only the edited processes (see
+/// [`mage_sim::elaborate_with`]).
+///
+/// Discipline matches the sibling caches exactly: FNV-keyed
+/// ([`UnitKey`] is a hash triple), the full identity witnesses
+/// ([`UnitTag::text`] / [`UnitTag::env`]) stored and verified on every
+/// hit so a collision falls through to a rebuild instead of serving the
+/// wrong bytecode, LRU eviction with promote-on-hit, and hit / miss /
+/// collision / promotion counters. [`DesignCache::tiered`]-style
+/// tiering applies too: a local miss consults the shared global tier,
+/// promoting hits locally and publishing fresh units upward.
+#[derive(Debug)]
+pub struct UnitCache {
+    inner: Mutex<UnitInner>,
+    capacity: usize,
+    /// Shared global tier consulted on local misses (see module docs).
+    parent: Option<Arc<UnitCache>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    collisions: AtomicUsize,
+    promotions: AtomicUsize,
+}
+
+impl Default for UnitCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_UNIT_CAPACITY)
+    }
+}
+
+impl UnitCache {
+    /// An empty cache with the [default capacity](DEFAULT_UNIT_CAPACITY).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache bounded to `capacity` entries (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        UnitCache {
+            inner: Mutex::new(UnitInner::default()),
+            capacity,
+            parent: None,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            collisions: AtomicUsize::new(0),
+            promotions: AtomicUsize::new(0),
+        }
+    }
+
+    /// A local tier bounded to `capacity` entries, backed by `parent`:
+    /// local misses consult the parent (promoting hits locally) and
+    /// fresh units are published to it — the unit side of the tiered
+    /// fabric.
+    pub fn tiered(capacity: usize, parent: Arc<UnitCache>) -> Self {
+        let mut cache = Self::with_capacity(capacity);
+        cache.parent = Some(parent);
+        cache
+    }
+
+    /// Probe this tier only (no parent consultation), counting a hit
+    /// (with LRU promotion), a collision, or a miss.
+    fn lookup_local(&self, tag: &UnitTag) -> Option<ProcessUnit> {
+        let mut inner = self.inner.lock().expect("unit cache poisoned");
+        let tick = inner.next_tick();
+        if let Some(entry) = inner.map.get_mut(&tag.key) {
+            // Full verification: identical canonical text AND identical
+            // resolved binding, or the hit is a collision and must
+            // rebuild — never serve the wrong unit.
+            if *entry.tag.text == *tag.text && *entry.tag.env == *tag.env {
+                entry.stamp = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.unit.clone());
+            }
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Store `unit` under its tag, honoring races (first insert wins),
+    /// collisions (most recent identity keeps the slot), and the LRU
+    /// bound.
+    fn store(&self, tag: &UnitTag, unit: ProcessUnit) {
+        let mut inner = self.inner.lock().expect("unit cache poisoned");
+        let tick = inner.next_tick();
+        match inner.map.get_mut(&tag.key) {
+            // Raced with another worker publishing the same unit.
+            Some(entry) if *entry.tag.text == *tag.text && *entry.tag.env == *tag.env => {
+                entry.stamp = tick;
+                return;
+            }
+            // Collision: the slot keeps the most recent identity warm.
+            Some(entry) => {
+                *entry = UnitEntry {
+                    tag: tag.clone(),
+                    unit,
+                    stamp: tick,
+                };
+                return;
+            }
+            None => {}
+        }
+        if self.capacity > 0 {
+            inner.evict_to(self.capacity);
+        }
+        inner.map.insert(
+            tag.key,
+            UnitEntry {
+                tag: tag.clone(),
+                unit,
+                stamp: tick,
+            },
+        );
+    }
+
+    /// Number of distinct unit keys cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("unit cache poisoned").map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entry bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups answered from the cache (this tier).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a rebuild (or to the parent tier).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups whose key matched a *different* cached identity (each
+    /// fell through to a rebuild instead of serving the wrong unit).
+    pub fn collisions(&self) -> usize {
+        self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Local misses answered by the global tier (a subset of
+    /// [`misses`](Self::misses)). Always 0 on an untiered cache.
+    pub fn promotions(&self) -> usize {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// The shared global tier, when this cache is tiered.
+    pub fn parent(&self) -> Option<&Arc<UnitCache>> {
+        self.parent.as_ref()
+    }
+}
+
+impl UnitSource for UnitCache {
+    fn lookup(&self, tag: &UnitTag) -> Option<ProcessUnit> {
+        if let Some(unit) = self.lookup_local(tag) {
+            return Some(unit);
+        }
+        // Local miss: a sibling shard may have published this unit to
+        // the global tier — promote it locally on a hit.
+        let parent = self.parent.as_ref()?;
+        let unit = parent.lookup_local(tag)?;
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        self.store(tag, unit.clone());
+        Some(unit)
+    }
+
+    fn publish(&self, tag: &UnitTag, unit: ProcessUnit) {
+        if let Some(parent) = &self.parent {
+            parent.store(tag, unit.clone());
+        }
+        self.store(tag, unit);
     }
 }
 
@@ -733,6 +1003,7 @@ mod tests {
             source: source.to_string(),
             design: None,
             bench,
+            parent: None,
         }
     }
 
@@ -904,6 +1175,158 @@ mod tests {
         // Compile-only probes stay out of every tier.
         shard_a.get_or_run(&score_req(GOOD, None), run);
         assert_eq!(global.len(), 1);
+    }
+
+    const DELTA_BASE: &str =
+        "module top_module(input clk, input a, input b, output reg q, output w);\n\
+         wire x;\n\
+         assign x = a & b;\n\
+         assign w = x | a;\n\
+         always @(posedge clk) q <= x;\n\
+         endmodule\n";
+
+    /// Run `f` with `MAGE_SIM_DELTA` forced to `value`, restoring the
+    /// ambient setting afterwards. Serialized on one lock: env vars are
+    /// process-global, so delta-on and delta-off tests must not race.
+    fn with_delta<R>(value: &str, f: impl FnOnce() -> R) -> R {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let prev = std::env::var("MAGE_SIM_DELTA").ok();
+        std::env::set_var("MAGE_SIM_DELTA", value);
+        let r = f();
+        match prev {
+            Some(v) => std::env::set_var("MAGE_SIM_DELTA", v),
+            None => std::env::remove_var("MAGE_SIM_DELTA"),
+        }
+        r
+    }
+
+    fn with_delta_on<R>(f: impl FnOnce() -> R) -> R {
+        with_delta("on", f)
+    }
+
+    #[test]
+    fn unit_cache_fills_on_miss_and_serves_sibling_compiles() {
+        with_delta_on(|| {
+            let units = UnitCache::new();
+            let cache = DesignCache::new();
+            let d1 = cache
+                .get_or_compile_with(DELTA_BASE, None, Some(&units))
+                .expect("elaborates");
+            // Every unit was rebuilt and published.
+            assert_eq!(units.len(), d1.processes.len());
+            assert_eq!(units.hits(), 0);
+            let before_misses = units.misses();
+            assert!(before_misses >= d1.processes.len());
+            // A one-process edit on a *distinct source*: the design
+            // cache misses, the unit cache serves everything unchanged.
+            let edited = DELTA_BASE.replace("x | a", "x ^ a");
+            let d2 = cache
+                .get_or_compile_with(&edited, None, Some(&units))
+                .expect("elaborates");
+            assert_eq!(units.hits(), d1.processes.len() - 1);
+            // The delta-built design is store-exact vs from-scratch.
+            let scratch = compile(&edited).unwrap();
+            assert_eq!(d2.processes, scratch.processes);
+            assert_eq!(
+                format!("{:?}", d2.compiled().procs),
+                format!("{:?}", scratch.compiled().procs),
+            );
+        });
+    }
+
+    #[test]
+    fn unit_cache_parent_hint_beats_cold_units() {
+        with_delta_on(|| {
+            let cache = DesignCache::new();
+            let parent = cache.get_or_compile(DELTA_BASE).expect("elaborates");
+            let units = UnitCache::new();
+            let edited = DELTA_BASE.replace("x | a", "x ^ a");
+            // Cold unit cache, but the parent hint serves everything
+            // unchanged; fresh units (the edit) publish to the cache.
+            let d = cache
+                .get_or_compile_with(&edited, Some(&parent), Some(&units))
+                .expect("elaborates");
+            let scratch = compile(&edited).unwrap();
+            assert_eq!(d.processes, scratch.processes);
+            assert!(!units.is_empty(), "fresh units published");
+        });
+    }
+
+    #[test]
+    fn tiered_units_promote_from_global() {
+        with_delta_on(|| {
+            let global = Arc::new(UnitCache::with_capacity(1024));
+            let shard_a = UnitCache::tiered(64, Arc::clone(&global));
+            let shard_b = UnitCache::tiered(64, Arc::clone(&global));
+            let cache_a = DesignCache::new();
+            let cache_b = DesignCache::new();
+            cache_a
+                .get_or_compile_with(DELTA_BASE, None, Some(&shard_a))
+                .unwrap();
+            assert!(!global.is_empty(), "fresh units published upward");
+            // Shard B never compiled this source: its local tier misses,
+            // the global tier serves, and each hit promotes locally.
+            let d = cache_b
+                .get_or_compile_with(DELTA_BASE, None, Some(&shard_b))
+                .unwrap();
+            assert_eq!(shard_b.promotions(), d.processes.len());
+            assert_eq!(shard_b.len(), d.processes.len());
+        });
+    }
+
+    #[test]
+    fn unit_cache_lru_promotes_on_hit() {
+        with_delta_on(|| {
+            let units = UnitCache::with_capacity(2);
+            let cache = DesignCache::with_capacity(1); // thrash designs
+            let small = "module top_module(input a, output y); assign y = a; endmodule";
+            cache
+                .get_or_compile_with(small, None, Some(&units))
+                .unwrap();
+            assert_eq!(units.len(), 1);
+            // Re-compiling a textually *edited* source hits the one unit
+            // left untouched... here the single process changed, so this
+            // exercises eviction instead: fill past capacity.
+            let other = "module top_module(input a, output y); assign y = ~a; endmodule";
+            let third = "module top_module(input a, output y); assign y = a & a; endmodule";
+            cache
+                .get_or_compile_with(other, None, Some(&units))
+                .unwrap();
+            assert_eq!(units.len(), 2);
+            // Touch the first unit (hit promotes it), then insert a third:
+            // the second (least recently used) is evicted, not the first.
+            cache
+                .get_or_compile_with(small, None, Some(&units))
+                .unwrap();
+            let hits = units.hits();
+            assert!(hits >= 1, "re-compile must hit the cached unit");
+            cache
+                .get_or_compile_with(third, None, Some(&units))
+                .unwrap();
+            assert_eq!(units.len(), 2);
+            cache
+                .get_or_compile_with(small, None, Some(&units))
+                .unwrap();
+            assert!(units.hits() > hits, "promoted unit must survive");
+        });
+    }
+
+    #[test]
+    fn delta_off_bypasses_unit_cache_entirely() {
+        with_delta("off", || {
+            let units = UnitCache::new();
+            let cache = DesignCache::new();
+            let parent = cache.get_or_compile(DELTA_BASE).unwrap();
+            let edited = DELTA_BASE.replace("x | a", "x ^ a");
+            let d = cache
+                .get_or_compile_with(&edited, Some(&parent), Some(&units))
+                .expect("elaborates");
+            assert!(units.is_empty(), "off-oracle must never touch the tier");
+            assert_eq!((units.hits(), units.misses()), (0, 0));
+            let scratch = compile(&edited).unwrap();
+            assert_eq!(d.processes, scratch.processes);
+        });
     }
 
     #[test]

@@ -132,7 +132,8 @@ mod service;
 mod wave;
 
 pub use cache::{
-    DesignCache, ScoreCache, SourceHasher, DEFAULT_CACHE_CAPACITY, DEFAULT_SCORE_CAPACITY,
+    DesignCache, ScoreCache, SourceHasher, UnitCache, DEFAULT_CACHE_CAPACITY,
+    DEFAULT_SCORE_CAPACITY, DEFAULT_UNIT_CAPACITY,
 };
 pub use scheduler::{
     JobCheckpoint, JobId, JobIntake, JobSpec, SchedMode, ServeEngine, ServeOptions, ServeReport,

@@ -2,7 +2,7 @@
 //! mode switch to the overlapped wave scheduler in [`crate::wave`]. See
 //! the crate docs for the protocol.
 
-use crate::cache::{DesignCache, ScoreCache};
+use crate::cache::{DesignCache, ScoreCache, UnitCache};
 use crate::service::{LlmCall, LlmOutcome, LlmService};
 use crate::wave::WaveState;
 use mage_core::solvejob::{
@@ -196,6 +196,14 @@ pub struct ServeReport {
     pub score_misses: usize,
     /// Score-cache key collisions at report time.
     pub score_collisions: usize,
+    /// Unit-cache hits at report time (process units served verbatim to
+    /// delta compiles).
+    pub unit_hits: usize,
+    /// Unit-cache misses at report time.
+    pub unit_misses: usize,
+    /// Unit-cache key collisions at report time (each forced a rebuild
+    /// instead of serving the wrong unit).
+    pub unit_collisions: usize,
     /// Wall-clock seconds spent inside [`ServeEngine::run`].
     pub wall_s: f64,
     /// Retired jobs per wall second (0 when nothing ran).
@@ -406,6 +414,7 @@ pub struct ServeEngine<S: LlmService> {
     pub(crate) service: S,
     pub(crate) cache: Arc<DesignCache>,
     pub(crate) scores: Arc<ScoreCache>,
+    pub(crate) units: Arc<UnitCache>,
     pub(crate) jobs: Vec<JobSlot>,
     /// Ids of jobs still queued or running — what a step iterates, so
     /// long streams do not rescan retired slots every step.
@@ -439,12 +448,25 @@ impl<S: LlmService> ServeEngine<S> {
         Self::with_caches(opts, service, cache, Arc::new(ScoreCache::new()))
     }
 
-    /// An engine sharing both the design and the score cache.
+    /// An engine sharing both the design and the score cache, with a
+    /// fresh private unit cache.
     pub fn with_caches(
         opts: ServeOptions,
         service: S,
         cache: Arc<DesignCache>,
         scores: Arc<ScoreCache>,
+    ) -> Self {
+        Self::with_fabric(opts, service, cache, scores, Arc::new(UnitCache::new()))
+    }
+
+    /// An engine sharing the full cache fabric: designs, scores, and
+    /// per-process compilation units.
+    pub fn with_fabric(
+        opts: ServeOptions,
+        service: S,
+        cache: Arc<DesignCache>,
+        scores: Arc<ScoreCache>,
+        units: Arc<UnitCache>,
     ) -> Self {
         assert!(opts.workers >= 1, "at least one sim worker");
         ServeEngine {
@@ -452,6 +474,7 @@ impl<S: LlmService> ServeEngine<S> {
             service,
             cache,
             scores,
+            units,
             jobs: Vec::new(),
             live: Vec::new(),
             running: 0,
@@ -501,6 +524,11 @@ impl<S: LlmService> ServeEngine<S> {
     /// The shared score cache.
     pub fn scores(&self) -> &Arc<ScoreCache> {
         &self.scores
+    }
+
+    /// The shared process-unit cache.
+    pub fn units(&self) -> &Arc<UnitCache> {
+        &self.units
     }
 
     /// Requests currently parked in the `(LLM, sim)` wave queues —
@@ -1029,7 +1057,13 @@ impl<S: LlmService> ServeEngine<S> {
         if !sim_needs.is_empty() {
             self.stats.sim_requests += sim_needs.len();
             self.stats.sim_waves += 1;
-            let outcomes = run_sim_batch(self.opts.workers, &self.cache, &self.scores, sim_needs);
+            let outcomes = run_sim_batch(
+                self.opts.workers,
+                &self.cache,
+                &self.scores,
+                &self.units,
+                sim_needs,
+            );
             for (id, outcome) in outcomes {
                 self.jobs[id].input = Some(StepInput::Sim(outcome));
             }
@@ -1082,6 +1116,9 @@ impl<S: LlmService> ServeEngine<S> {
             score_hits: self.scores.hits(),
             score_misses: self.scores.misses(),
             score_collisions: self.scores.collisions(),
+            unit_hits: self.units.hits(),
+            unit_misses: self.units.misses(),
+            unit_collisions: self.units.collisions(),
             wall_s,
             jobs_per_sec: if wall_s > 0.0 {
                 self.stats.jobs_done as f64 / wall_s
@@ -1127,13 +1164,17 @@ pub(crate) fn run_sim_batch(
     workers: usize,
     cache: &Arc<DesignCache>,
     scores: &Arc<ScoreCache>,
+    units: &Arc<UnitCache>,
     batch: Vec<(JobId, SimRequest)>,
 ) -> Vec<(JobId, SimOutcome)> {
     let cache = Arc::clone(cache);
     let scores = Arc::clone(scores);
+    let units = Arc::clone(units);
     rayon::scoped_map(workers, batch, move |(id, req)| {
         let outcome = scores.get_or_run(&req, |r| {
-            execute_sim_with(r, |src| cache.get_or_compile(src))
+            execute_sim_with(r, |src| {
+                cache.get_or_compile_with(src, r.parent.as_ref(), Some(&units))
+            })
         });
         (id, outcome)
     })

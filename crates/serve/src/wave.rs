@@ -114,8 +114,9 @@ impl<S: LlmService> ServeEngine<S> {
             let workers = self.opts.workers;
             let cache = std::sync::Arc::clone(&self.cache);
             let scores = std::sync::Arc::clone(&self.scores);
+            let units = std::sync::Arc::clone(&self.units);
             self.wave.inflight = Some(std::thread::spawn(move || {
-                run_sim_batch(workers, &cache, &scores, batch)
+                run_sim_batch(workers, &cache, &scores, &units, batch)
             }));
             did_work = true;
         }

@@ -422,10 +422,29 @@ impl CompiledDesign {
 
 /// Compile every process body of `design`.
 pub fn compile_design(design: &Design) -> CompiledDesign {
+    assemble_design(design, Vec::new())
+}
+
+/// Assemble a [`CompiledDesign`] from per-process units: `prebuilt[i]`,
+/// when present, is installed verbatim for process `i` (delta elaboration
+/// reuses the parent's bytecode there); every other process is lowered
+/// from scratch. The `comb_readers` fanout index is always rebuilt —
+/// it is a cheap O(total reads) pass, and rebuilding it wholesale keeps
+/// it exactly what a from-scratch compile would produce.
+pub fn assemble_design(
+    design: &Design,
+    mut prebuilt: Vec<Option<CompiledProcess>>,
+) -> CompiledDesign {
     let procs: Vec<CompiledProcess> = design
         .processes
         .iter()
-        .map(|p| {
+        .enumerate()
+        .map(|(i, p)| {
+            if let Some(slot) = prebuilt.get_mut(i) {
+                if let Some(c) = slot.take() {
+                    return c;
+                }
+            }
             let body = match p {
                 Process::Comb { body, .. } => body,
                 Process::Seq { body, .. } => body,

@@ -201,6 +201,10 @@ pub struct Design {
     /// through hundreds of testbench executions, and recompiling the
     /// process bodies per run was pure loss.
     compiled: OnceLock<Arc<CompiledDesign>>,
+    /// Per-process content-address tags, aligned with `processes`.
+    /// Populated by elaboration; empty on hand-assembled designs (which
+    /// then simply never serve as delta parents).
+    units: Vec<crate::unit::UnitTag>,
 }
 
 /// Minimal FNV-1a `BuildHasher` for the short-string name index.
@@ -276,7 +280,29 @@ impl Design {
             pos_triggers,
             neg_triggers,
             compiled: OnceLock::new(),
+            units: Vec::new(),
         }
+    }
+
+    /// Per-process [`crate::unit::UnitTag`]s, aligned with
+    /// [`Design::processes`]; empty if the design was assembled without
+    /// content addressing (hand-built designs).
+    pub fn units(&self) -> &[crate::unit::UnitTag] {
+        &self.units
+    }
+
+    /// Attach the content-address tags (elaboration only).
+    pub(crate) fn set_units(&mut self, units: Vec<crate::unit::UnitTag>) {
+        debug_assert!(units.is_empty() || units.len() == self.processes.len());
+        self.units = units;
+    }
+
+    /// Pre-seed the compiled bytecode (delta elaboration assembles it
+    /// eagerly from reused + rebuilt units). A lost race against a
+    /// concurrent [`Design::compiled`] is harmless — both sides compile
+    /// the same design — so the result is ignored.
+    pub(crate) fn preseed_compiled(&self, compiled: Arc<CompiledDesign>) {
+        let _ = self.compiled.set(compiled);
     }
 
     /// Sequential process indices triggered when `sig` makes an `edge`

@@ -1,14 +1,26 @@
-//! Elaboration: parsed AST → flattened [`Design`].
+//! Elaboration: parsed AST → flattened [`Design`], unit by unit.
 //!
 //! Elaboration resolves parameters to constants, unrolls `for` loops,
 //! flattens the instance hierarchy with dot-separated name prefixes, and
 //! compiles statements into the interpreter form in [`crate::design`].
+//!
+//! Every process is produced as a content-addressed *compilation unit*
+//! ([`crate::unit`]): signal declaration always runs in full (global
+//! [`SignalId`] numbering is dense over the whole design), but per-item
+//! process compilation first probes an optional [`UnitSource`] keyed by
+//! `(item fingerprint, binding hash, ordinal)` and reuses verified hits
+//! verbatim — [`elaborate_delta`] rebuilds only what an edit touched.
+//! [`elaborate`] is the same pipeline without a provider (everything
+//! rebuilt from scratch), retained as the delta oracle.
 
+use crate::compile::{assemble_design, CompiledProcess};
 use crate::design::{CExpr, CLValue, CStmt, Design, Process, SignalDecl, SignalId};
 use crate::error::ElabError;
+use crate::unit::{unit_hash, DeltaStats, ProcessUnit, UnitKey, UnitSource, UnitTag};
 use mage_logic::LogicVec;
 use mage_verilog::ast::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Maximum static iterations of a single `for` loop.
 const LOOP_LIMIT: usize = 4096;
@@ -36,6 +48,48 @@ const DEPTH_LIMIT: usize = 64;
 /// # Ok::<(), mage_sim::ElabError>(())
 /// ```
 pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, ElabError> {
+    elaborate_delta(file, top, None, unit_hash).map(|(design, _)| design)
+}
+
+/// Delta elaboration: like [`elaborate`], but probe `provider` for every
+/// process unit and reuse verified hits verbatim (interpreter form and
+/// bytecode), rebuilding only missed units plus the fanout/trigger index
+/// rows that reference them. The compiled bytecode is assembled eagerly
+/// and pre-seeded, and freshly built units are published back to the
+/// provider. Returns the design together with reuse counters.
+///
+/// The result is *store-exact* against [`elaborate`]: a provider hit is
+/// only served after the unit's canonical item text and full binding
+/// environment verify equal, so a delta-built design is structurally
+/// identical to a from-scratch build of the same source.
+///
+/// # Errors
+///
+/// Exactly the [`ElabError`] cases of [`elaborate`].
+pub fn elaborate_with(
+    file: &SourceFile,
+    top: &str,
+    provider: &dyn UnitSource,
+) -> Result<(Design, DeltaStats), ElabError> {
+    elaborate_delta(file, top, Some(provider), unit_hash)
+}
+
+/// [`elaborate_with`] with an injectable unit hasher — the hook the
+/// collision suite uses to force fingerprint collisions and prove the
+/// full-verify discipline rebuilds instead of serving the wrong unit.
+/// `hasher` replaces FNV-1a for both item fingerprints and binding
+/// hashes. With `provider = None` this is plain [`elaborate`] (every
+/// unit rebuilt), still tagging the design so it can serve as a parent.
+///
+/// # Errors
+///
+/// Exactly the [`ElabError`] cases of [`elaborate`].
+pub fn elaborate_delta(
+    file: &SourceFile,
+    top: &str,
+    provider: Option<&dyn UnitSource>,
+    hasher: fn(&str) -> u64,
+) -> Result<(Design, DeltaStats), ElabError> {
     let module = file
         .module(top)
         .ok_or_else(|| ElabError::UnknownModule(top.to_string()))?;
@@ -44,8 +98,14 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, ElabError> {
         signals: Vec::new(),
         by_name: HashMap::new(),
         processes: Vec::new(),
+        provider,
+        hasher,
+        tags: Vec::new(),
+        prebuilt: Vec::new(),
+        ordinals: HashMap::new(),
+        stats: DeltaStats::default(),
     };
-    let scope = e.instantiate(module, "", &HashMap::new(), &HashMap::new(), 0)?;
+    let (scope, _env) = e.instantiate(module, "", &HashMap::new(), &HashMap::new(), 0)?;
     let mut inputs = Vec::new();
     let mut outputs = Vec::new();
     for p in &module.ports {
@@ -55,13 +115,49 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, ElabError> {
             Direction::Output => outputs.push(id),
         }
     }
-    Ok(Design::new(
-        top.to_string(),
-        e.signals,
-        inputs,
-        outputs,
-        e.processes,
-    ))
+    let mut stats = e.stats;
+    let prebuilt = e.prebuilt;
+    let tags = e.tags;
+    let mut design = Design::new(top.to_string(), e.signals, inputs, outputs, e.processes);
+    design.set_units(tags);
+    if let Some(provider) = provider {
+        // Which processes were rebuilt (provider misses)?
+        let fresh: Vec<bool> = prebuilt.iter().map(Option::is_none).collect();
+        let compiled = Arc::new(assemble_design(&design, prebuilt));
+        // Index-rebuild accounting: fanout rows and per-edge trigger
+        // rows that reference a rebuilt process (the rows a surgical
+        // index patch would have had to touch).
+        stats.fanout_rows = compiled
+            .comb_readers
+            .iter()
+            .filter(|row| row.iter().any(|&i| fresh[i as usize]))
+            .count();
+        for s in 0..design.signals.len() {
+            let sig = SignalId(s as u32);
+            for edge in [Edge::Pos, Edge::Neg] {
+                if design
+                    .triggers(edge, sig)
+                    .iter()
+                    .any(|&i| fresh[i as usize])
+                {
+                    stats.trigger_rows += 1;
+                }
+            }
+        }
+        for (i, tag) in design.units().iter().enumerate() {
+            if fresh[i] {
+                provider.publish(
+                    tag,
+                    ProcessUnit {
+                        process: design.processes[i].clone(),
+                        compiled: compiled.procs[i].clone(),
+                    },
+                );
+            }
+        }
+        design.preseed_compiled(compiled);
+    }
+    Ok((design, stats))
 }
 
 type Scope = HashMap<String, SignalId>;
@@ -72,6 +168,20 @@ struct Elaborator<'a> {
     signals: Vec<SignalDecl>,
     by_name: HashMap<String, SignalId>,
     processes: Vec<Process>,
+    /// Unit provider to probe before compiling each item; `None` forces
+    /// a full rebuild (the oracle path).
+    provider: Option<&'a dyn UnitSource>,
+    /// Hasher for item fingerprints and binding hashes (injectable for
+    /// collision tests; [`unit_hash`] in production).
+    hasher: fn(&str) -> u64,
+    /// Per-process unit tags, aligned with `processes`.
+    tags: Vec<UnitTag>,
+    /// Per-process reused bytecode, aligned with `processes` (`None` =
+    /// compile from scratch during assembly).
+    prebuilt: Vec<Option<CompiledProcess>>,
+    /// Occurrence counters per `(fingerprint, binding)`.
+    ordinals: HashMap<(u64, u64), u32>,
+    stats: DeltaStats,
 }
 
 /// Per-module compile context.
@@ -83,7 +193,8 @@ struct ModuleCtx<'a> {
 
 impl<'a> Elaborator<'a> {
     /// Instantiate `module` under `prefix` with parameter overrides
-    /// already folded into `overrides`. Returns the local scope.
+    /// already folded into `overrides`. Returns the local scope and the
+    /// canonical binding-environment string (see [`crate::unit`]).
     fn instantiate(
         &mut self,
         module: &'a Module,
@@ -91,7 +202,7 @@ impl<'a> Elaborator<'a> {
         overrides: &Consts,
         aliases: &HashMap<String, SignalId>,
         depth: usize,
-    ) -> Result<Scope, ElabError> {
+    ) -> Result<(Scope, Arc<str>), ElabError> {
         if depth > DEPTH_LIMIT {
             return Err(ElabError::RecursionLimit(module.name.clone()));
         }
@@ -159,11 +270,50 @@ impl<'a> Elaborator<'a> {
             consts,
         };
 
-        // 3. Compile items.
+        // Canonical binding environment: everything item compilation can
+        // consult — the instantiation prefix, the module name, every
+        // in-scope signal with its *global* id and declaration, and
+        // every folded parameter. Two items with equal canonical text
+        // and equal environments compile to identical processes, which
+        // is exactly the reuse contract of `crate::unit`. (Captured here,
+        // before phase 3: child instances may still upgrade a signal's
+        // wire/reg kind, but that happens at the same pipeline point in
+        // every elaboration and process compilation never reads kinds.)
+        let env: Arc<str> = {
+            let mut sigs: Vec<String> = ctx
+                .scope
+                .iter()
+                .map(|(n, id)| {
+                    let d = &self.signals[id.index()];
+                    format!("{n}={}w{}l{}k{:?}", id.0, d.width, d.lsb_index, d.kind)
+                })
+                .collect();
+            sigs.sort_unstable();
+            let mut folded: Vec<String> = ctx
+                .consts
+                .iter()
+                .map(|(n, v)| format!("{n}={v:?}"))
+                .collect();
+            folded.sort_unstable();
+            format!(
+                "m={};p={prefix};s=[{}];c=[{}]",
+                ctx.module.name,
+                sigs.join(" "),
+                folded.join(" ")
+            )
+            .into()
+        };
+        let binding = (self.hasher)(&env);
+
+        // 3. Compile items, one content-addressed unit per process.
         for item in &module.items {
             match item {
                 Item::Net { .. } | Item::Param(_) => {}
                 Item::Assign { lhs, rhs } => {
+                    let tag = self.tag_for(item, &env, binding);
+                    if self.try_reuse(&tag) {
+                        continue;
+                    }
                     let lv = self.compile_lvalue(&ctx, lhs)?;
                     let rhs = self.compile_expr(&ctx, rhs)?;
                     let body = CStmt::Assign {
@@ -175,25 +325,32 @@ impl<'a> Elaborator<'a> {
                     collect_reads(&body, &mut reads);
                     let mut writes = Vec::new();
                     collect_writes(&body, &mut writes);
-                    self.processes.push(Process::Comb {
-                        reads,
-                        writes,
-                        body,
-                    });
+                    self.push_fresh(
+                        tag,
+                        Process::Comb {
+                            reads,
+                            writes,
+                            body,
+                        },
+                    );
                 }
                 Item::Always { sens, body } => {
+                    let tag = self.tag_for(item, &env, binding);
+                    if self.try_reuse(&tag) {
+                        continue;
+                    }
                     let cbody = self.compile_stmt(&ctx, body)?;
-                    match sens {
+                    let process = match sens {
                         Sensitivity::Comb => {
                             let mut reads = Vec::new();
                             collect_reads(&cbody, &mut reads);
                             let mut writes = Vec::new();
                             collect_writes(&cbody, &mut writes);
-                            self.processes.push(Process::Comb {
+                            Process::Comb {
                                 reads,
                                 writes,
                                 body: cbody,
-                            });
+                            }
                         }
                         Sensitivity::Edges(events) => {
                             // Dedup repeated events (`@(posedge clk or
@@ -208,9 +365,10 @@ impl<'a> Elaborator<'a> {
                                     edges.push((ev.edge, id));
                                 }
                             }
-                            self.processes.push(Process::Seq { edges, body: cbody });
+                            Process::Seq { edges, body: cbody }
                         }
-                    }
+                    };
+                    self.push_fresh(tag, process);
                 }
                 Item::Instance {
                     module: def_name,
@@ -218,11 +376,62 @@ impl<'a> Elaborator<'a> {
                     params,
                     conns,
                 } => {
-                    self.compile_instance(&ctx, prefix, def_name, name, params, conns, depth)?;
+                    let text: Arc<str> = mage_verilog::print_item(item).into();
+                    let fp = (self.hasher)(&text);
+                    self.compile_instance(
+                        &ctx, prefix, def_name, name, params, conns, depth, &text, fp, &env,
+                    )?;
                 }
             }
         }
-        Ok(ctx.scope)
+        Ok((ctx.scope, env))
+    }
+
+    /// Content-address one item under the current binding environment.
+    fn tag_for(&mut self, item: &Item, env: &Arc<str>, binding: u64) -> UnitTag {
+        let text: Arc<str> = mage_verilog::print_item(item).into();
+        let fingerprint = (self.hasher)(&text);
+        let key = self.next_key(fingerprint, binding);
+        UnitTag {
+            key,
+            text,
+            env: env.clone(),
+        }
+    }
+
+    fn next_key(&mut self, fingerprint: u64, binding: u64) -> UnitKey {
+        let c = self.ordinals.entry((fingerprint, binding)).or_insert(0);
+        let ordinal = *c;
+        *c += 1;
+        UnitKey {
+            fingerprint,
+            binding,
+            ordinal,
+        }
+    }
+
+    /// Probe the provider for `tag`; on a verified hit, install the unit
+    /// verbatim and report `true`.
+    fn try_reuse(&mut self, tag: &UnitTag) -> bool {
+        let Some(provider) = self.provider else {
+            return false;
+        };
+        let Some(unit) = provider.lookup(tag) else {
+            return false;
+        };
+        self.processes.push(unit.process);
+        self.tags.push(tag.clone());
+        self.prebuilt.push(Some(unit.compiled));
+        self.stats.reused += 1;
+        true
+    }
+
+    /// Record a freshly compiled process unit.
+    fn push_fresh(&mut self, tag: UnitTag, process: Process) {
+        self.processes.push(process);
+        self.tags.push(tag);
+        self.prebuilt.push(None);
+        self.stats.rebuilt += 1;
     }
 
     fn declare(
@@ -515,6 +724,9 @@ impl<'a> Elaborator<'a> {
         params: &[(String, Expr)],
         conns: &Connections,
         depth: usize,
+        item_text: &Arc<str>,
+        item_fp: u64,
+        env: &Arc<str>,
     ) -> Result<(), ElabError> {
         let def = self
             .file
@@ -565,9 +777,15 @@ impl<'a> Elaborator<'a> {
             }
         }
         let child_prefix = format!("{prefix}{inst_name}.");
-        let child_scope = self.instantiate(def, &child_prefix, &overrides, &aliases, depth + 1)?;
+        let (child_scope, child_env) =
+            self.instantiate(def, &child_prefix, &overrides, &aliases, depth + 1)?;
 
-        // Bind connections.
+        // Bind connections. Binding processes are keyed by the instance
+        // item's fingerprint under the *joint* environment: a port
+        // binding reads parent signals and writes child ports (or vice
+        // versa), so both sides must match for reuse to be sound.
+        let bind_env: Arc<str> = format!("{env}\u{1}{child_env}").into();
+        let bind_hash = (self.hasher)(&bind_env);
         for (port, conn) in conn_pairs {
             let Some(conn) = conn else { continue };
             let port_id = child_scope[&port.name];
@@ -576,6 +794,15 @@ impl<'a> Elaborator<'a> {
                 if proposed == port_id {
                     continue;
                 }
+            }
+            let key = self.next_key(item_fp, bind_hash);
+            let tag = UnitTag {
+                key,
+                text: item_text.clone(),
+                env: bind_env.clone(),
+            };
+            if self.try_reuse(&tag) {
+                continue;
             }
             match port.dir {
                 Direction::Input => {
@@ -589,11 +816,14 @@ impl<'a> Elaborator<'a> {
                     collect_reads(&body, &mut reads);
                     let mut writes = Vec::new();
                     collect_writes(&body, &mut writes);
-                    self.processes.push(Process::Comb {
-                        reads,
-                        writes,
-                        body,
-                    });
+                    self.push_fresh(
+                        tag,
+                        Process::Comb {
+                            reads,
+                            writes,
+                            body,
+                        },
+                    );
                 }
                 Direction::Output => {
                     let lval = expr_as_lvalue(conn).ok_or_else(|| {
@@ -612,11 +842,14 @@ impl<'a> Elaborator<'a> {
                     collect_reads(&body, &mut reads);
                     let mut writes = Vec::new();
                     collect_writes(&body, &mut writes);
-                    self.processes.push(Process::Comb {
-                        reads,
-                        writes,
-                        body,
-                    });
+                    self.push_fresh(
+                        tag,
+                        Process::Comb {
+                            reads,
+                            writes,
+                            body,
+                        },
+                    );
                 }
             }
         }

@@ -6,6 +6,19 @@
 //! combinational-fixpoint and non-blocking-assignment clock semantics,
 //! with full `X`/`Z` propagation.
 //!
+//! Elaboration is *unit-based*: every process is produced as a
+//! content-addressed compilation unit keyed by `(item fingerprint,
+//! binding hash, ordinal)` — see the [`unit`] module. [`elaborate_with`]
+//! probes a [`UnitSource`] (typically the candidate's parent design via
+//! [`DesignUnits`], optionally chained over a serve-layer cache) and
+//! reuses every verified hit verbatim, interpreter form and bytecode
+//! both, so a one-process edit rebuilds one unit instead of the whole
+//! design. [`elaborate`] is the same pipeline without a provider and
+//! stays live as the differential oracle (`MAGE_SIM_DELTA=off` makes
+//! every caller take it); delta-built designs are store-exact against
+//! it by construction (full text + environment verification on every
+//! unit hit).
+//!
 //! The intended cycle-level usage mirrors a Verilog testbench: drive
 //! inputs with [`Simulator::poke`] (or a whole step's drives at once
 //! with [`Simulator::poke_many`]), toggle the clock input, and read
@@ -71,12 +84,19 @@ mod error;
 mod eval;
 pub mod interp;
 mod sim;
+pub mod unit;
 mod vcd;
 
-pub use compile::{compile_design, compile_process, CompiledDesign, CompiledProcess};
+pub use compile::{
+    assemble_design, compile_design, compile_process, CompiledDesign, CompiledProcess,
+};
 pub use design::{CExpr, CLValue, CStmt, Design, Process, SignalDecl, SignalId};
-pub use elab::{elaborate, fold_const_expr};
+pub use elab::{elaborate, elaborate_delta, elaborate_with, fold_const_expr};
 pub use error::{ElabError, SimError};
 pub use eval::{eval, exec, PendingWrite, Store};
 pub use sim::{EvalCounts, ExecMode, Simulator};
+pub use unit::{
+    delta_enabled, unit_hash, ChainedUnits, DeltaStats, DesignUnits, ProcessUnit, UnitKey,
+    UnitSource, UnitTag,
+};
 pub use vcd::VcdRecorder;

@@ -28,6 +28,28 @@
 //! changed, so toggling one clock of a multi-clock design never touches
 //! the other domain.
 //!
+//! # Lazy combinational evaluation
+//!
+//! Pokes are *lazy*: a drive whose transition fires no edge-triggered
+//! process updates the store and enqueues its combinational fanout
+//! without draining — the active region flushes at the next observation
+//! point ([`Simulator::peek`]/[`Simulator::peek_by_name`], which take
+//! `&mut self` for exactly this reason, or [`Simulator::settle`]) or
+//! immediately before the next real clock edge (so flops always sample
+//! the same settled pre-edge state an eager scheduler would have
+//! produced). Poking a step's data drives one by one then reading an
+//! output therefore settles the shared fanout once instead of once per
+//! drive. Both schedulers implement the identical deferral rule, so the
+//! lockstep suites stay store-exact at every observation point.
+//!
+//! A flush that faults (combinational loop, edge cascade) *latches*:
+//! the error is reported by the call that discovered it (or swallowed
+//! and latched, when that call was a `peek` — peeks must return a
+//! value), and reads freeze at the fault-time store until the next
+//! poke or [`Simulator::settle`] clears the latch and re-attempts the
+//! pending work. A standing fault re-reports there; driving the input
+//! that broke the loop recovers, exactly as under eager evaluation.
+//!
 //! # The three-executor stack
 //!
 //! Process bodies execute on one of three executors:
@@ -183,6 +205,10 @@ pub struct Simulator {
     wheel: Wheel,
     /// Oracle scheduler state (`ExecMode::Legacy` only).
     legacy: Option<Box<LegacySched>>,
+    /// Latched propagation fault from a deferred flush (see the module
+    /// docs): peeks freeze the store under it; the next poke or
+    /// `settle` clears it and re-attempts the pending work.
+    fault: Option<SimError>,
     counts: EvalCounts,
 }
 
@@ -287,6 +313,9 @@ struct LegacySched {
     /// time-zero semantics, and what keeps the two schedulers
     /// store-exact when a caller pokes before the first `settle`.
     booted: bool,
+    /// Signals changed by deferred (edge-free) pokes, not yet settled —
+    /// the legacy mirror of the wheel's pending active region.
+    pending: Vec<SignalId>,
 }
 
 impl LegacySched {
@@ -322,6 +351,7 @@ impl LegacySched {
             edge_deps,
             wl: Worklist::default(),
             booted: false,
+            pending: Vec::new(),
         }
     }
 }
@@ -423,6 +453,7 @@ impl Simulator {
             two_state,
             wheel,
             legacy,
+            fault: None,
             counts: EvalCounts::default(),
         }
     }
@@ -510,14 +541,51 @@ impl Simulator {
         self.time += dt;
     }
 
-    /// Read the current value of a signal.
-    pub fn peek(&self, id: SignalId) -> &LogicVec {
+    /// Read the current value of a signal, flushing any deferred
+    /// combinational work first (the lazy-poke observation point — see
+    /// the module docs). A flush fault latches rather than surfacing
+    /// here; the fault-time store is returned, frozen, until a later
+    /// poke or [`Simulator::settle`] re-attempts and reports the error.
+    pub fn peek(&mut self, id: SignalId) -> &LogicVec {
+        self.flush_for_read();
         &self.store[id.index()]
     }
 
-    /// Read a signal by hierarchical name.
-    pub fn peek_by_name(&self, name: &str) -> Option<&LogicVec> {
-        self.design.signal(name).map(|id| self.peek(id))
+    /// Read a signal by hierarchical name (flushes like
+    /// [`Simulator::peek`]).
+    pub fn peek_by_name(&mut self, name: &str) -> Option<&LogicVec> {
+        let id = self.design.signal(name)?;
+        Some(self.peek(id))
+    }
+
+    /// Flush deferred combinational work before a read. Under a latched
+    /// fault the store stays frozen (re-draining a faulted region would
+    /// churn it per read); a fresh fault latches silently.
+    fn flush_for_read(&mut self) {
+        if self.fault.is_some() {
+            return;
+        }
+        if let Err(e) = self.flush_pending() {
+            self.fault = Some(e);
+        }
+    }
+
+    /// Drain whatever the lazy pokes deferred on the current scheduler.
+    fn flush_pending(&mut self) -> Result<(), SimError> {
+        match self.mode {
+            ExecMode::Compiled => self.drain(),
+            ExecMode::Legacy => {
+                let mut sched = self.take_legacy();
+                let pending = std::mem::take(&mut sched.pending);
+                let r = if pending.is_empty() && sched.booted {
+                    Ok(())
+                } else {
+                    self.settle_from(&mut sched, pending)
+                };
+                self.legacy = Some(sched);
+                r
+            }
+        }
     }
 
     /// Drive a top-level input by name and propagate the change (edges
@@ -556,6 +624,7 @@ impl Simulator {
         &mut self,
         drives: impl IntoIterator<Item = (&'d str, LogicVec)>,
     ) -> Result<(), SimError> {
+        self.fault = None;
         match self.mode {
             ExecMode::Compiled => self.poke_many_wheel(drives),
             ExecMode::Legacy => self.poke_many_legacy(drives),
@@ -568,6 +637,7 @@ impl Simulator {
     ///
     /// Propagation errors as in [`Simulator::settle`].
     pub fn poke_id(&mut self, id: SignalId, value: LogicVec) -> Result<(), SimError> {
+        self.fault = None;
         match self.mode {
             ExecMode::Compiled => self.poke_id_wheel(id, value),
             ExecMode::Legacy => self.poke_id_legacy(id, value),
@@ -587,17 +657,42 @@ impl Simulator {
     ///
     /// [`SimError::CombinationalLoop`] when no fixpoint is reached — a
     /// real failure mode for mutated candidates, which the judge agent
-    /// scores as zero.
+    /// scores as zero. `settle` also clears a latched fault and
+    /// re-attempts the pending work, so a standing fault re-reports and
+    /// a cleared one settles.
     pub fn settle(&mut self) -> Result<(), SimError> {
-        match self.mode {
+        self.fault = None;
+        let r = match self.mode {
             ExecMode::Compiled => self.drain(),
             ExecMode::Legacy => self.settle_legacy(),
+        };
+        self.latch(r)
+    }
+
+    /// Latch a propagation error so subsequent pokes fail fast and
+    /// peeks freeze the store until the next [`Simulator::settle`].
+    fn latch(&mut self, r: Result<(), SimError>) -> Result<(), SimError> {
+        if let Err(e) = &r {
+            self.fault = Some(e.clone());
         }
+        r
     }
 
     // ------------------------------------------------------------------
     // Event-wheel scheduler (ExecMode::Compiled)
     // ------------------------------------------------------------------
+
+    /// Does a `old_bit → new_bit` transition on `id` fire at least one
+    /// edge-triggered process? This is the lazy-poke deferral rule —
+    /// both schedulers use it, so they always agree on what defers.
+    fn transition_fires(
+        design: &Design,
+        id: SignalId,
+        old_bit: LogicBit,
+        new_bit: LogicBit,
+    ) -> bool {
+        edge_kind(old_bit, new_bit).is_some_and(|e| !design.triggers(e, id).is_empty())
+    }
 
     fn poke_id_wheel(&mut self, id: SignalId, value: LogicVec) -> Result<(), SimError> {
         let width = self.design.width(id);
@@ -608,6 +703,15 @@ impl Simulator {
         }
         let old_bit = old.get(0).unwrap_or(LogicBit::X);
         let new_bit = value.get(0).unwrap_or(LogicBit::X);
+        let fires = Self::transition_fires(&self.design, id, old_bit, new_bit);
+        if fires {
+            // Flops must sample the settled pre-edge state: flush the
+            // deferred combinational work before the edge dispatches.
+            let r = self.drain();
+            if r.is_err() {
+                return self.latch(r);
+            }
+        }
         self.store[id.index()] = value;
         let design = Arc::clone(&self.design);
         let compiled = self.compiled();
@@ -615,7 +719,37 @@ impl Simulator {
         wheel.comb_fanout(&compiled, id);
         wheel.edge_triggers(&design, &mut self.counts, id, old_bit, new_bit);
         self.wheel = wheel;
-        self.drain()
+        if !fires {
+            // No edge fired: leave the comb fanout pending for the next
+            // observation point (peek / settle / real edge).
+            return Ok(());
+        }
+        let r = self.drain();
+        self.latch(r)
+    }
+
+    /// Would applying `resolved` in order fire any edge-triggered
+    /// process? Sequential-application semantics: a later drive of the
+    /// same signal transitions from the earlier drive's value, so the
+    /// pre-pass tracks an overlay rather than diffing against the store.
+    fn batch_fires(&self, resolved: &[(SignalId, LogicVec)]) -> bool {
+        let mut overlay: std::collections::HashMap<usize, LogicVec> =
+            std::collections::HashMap::new();
+        for (id, value) in resolved {
+            let width = self.design.width(*id);
+            let value = value.resized(width);
+            let old = overlay.get(&id.index()).unwrap_or(&self.store[id.index()]);
+            if old.case_eq(&value) {
+                continue;
+            }
+            let old_bit = old.get(0).unwrap_or(LogicBit::X);
+            let new_bit = value.get(0).unwrap_or(LogicBit::X);
+            if Self::transition_fires(&self.design, *id, old_bit, new_bit) {
+                return true;
+            }
+            overlay.insert(id.index(), value);
+        }
+        false
     }
 
     fn poke_many_wheel<'d>(
@@ -625,6 +759,14 @@ impl Simulator {
         let design = Arc::clone(&self.design);
         let compiled = self.compiled();
         let resolved = Self::resolve_drives(&design, drives)?;
+        let fires = self.batch_fires(&resolved);
+        if fires {
+            // Pre-edge flush, as in `poke_id_wheel`.
+            let r = self.drain();
+            if r.is_err() {
+                return self.latch(r);
+            }
+        }
         let mut wheel = std::mem::take(&mut self.wheel);
         let mut any_changed = false;
         for (id, value) in resolved {
@@ -642,11 +784,13 @@ impl Simulator {
             any_changed = true;
         }
         self.wheel = wheel;
-        if !any_changed {
-            // Match the oracle: a no-op drive batch does not propagate.
+        if !any_changed || !fires {
+            // A no-op batch does not propagate; an edge-free one defers
+            // its comb fanout to the next observation point.
             return Ok(());
         }
-        self.drain()
+        let r = self.drain();
+        self.latch(r)
     }
 
     /// Validate and resolve a drive batch up front, so an unknown name
@@ -852,9 +996,10 @@ impl Simulator {
         if old.case_eq(&value) {
             return Ok(());
         }
-        self.store[id.index()] = value.clone();
 
-        // 1. Edge-triggered processes sampling the pre-NBA world.
+        // 1. Edge-triggered processes sampling the pre-NBA world. The
+        //    scan runs before the store write (and before the deferral
+        //    decision) so probe accounting matches the eager scheduler.
         let old_bit = old.get(0).unwrap_or(LogicBit::X);
         let new_bit = value.get(0).unwrap_or(LogicBit::X);
         let mut sched = self.take_legacy();
@@ -870,13 +1015,32 @@ impl Simulator {
                 }
             }
         }
-        let mut changed = vec![id];
-        let r = self
-            .run_seq_cascade(&mut sched, triggered, &mut changed)
-            // 2. Combinational settle from everything that moved.
-            .and_then(|()| self.settle_from(&mut sched, changed));
+        if triggered.is_empty() {
+            // Edge-free drive: defer the combinational settle to the
+            // next observation point (the wheel does the same).
+            self.store[id.index()] = value;
+            sched.pending.push(id);
+            self.legacy = Some(sched);
+            return Ok(());
+        }
+        // 2. Flops sample the settled pre-edge state: flush deferred
+        //    work before the clock value lands in the store.
+        let pending = std::mem::take(&mut sched.pending);
+        let mut r = if pending.is_empty() && sched.booted {
+            Ok(())
+        } else {
+            self.settle_from(&mut sched, pending)
+        };
+        if r.is_ok() {
+            self.store[id.index()] = value;
+            let mut changed = vec![id];
+            r = self
+                .run_seq_cascade(&mut sched, triggered, &mut changed)
+                // 3. Combinational settle from everything that moved.
+                .and_then(|()| self.settle_from(&mut sched, changed));
+        }
         self.legacy = Some(sched);
-        r
+        self.latch(r)
     }
 
     fn poke_many_legacy<'d>(
@@ -885,18 +1049,23 @@ impl Simulator {
     ) -> Result<(), SimError> {
         let resolved = Self::resolve_drives(&self.design, drives)?;
         let mut sched = self.take_legacy();
+        // Pass 1 — no store writes yet: collect the change set and the
+        // triggered processes with sequential-application semantics (an
+        // overlay tracks same-signal re-drives), counting edge probes
+        // exactly as the eager application loop did.
+        let mut overlay: std::collections::HashMap<usize, LogicVec> =
+            std::collections::HashMap::new();
         let mut changed: Vec<SignalId> = Vec::new();
         let mut triggered: Vec<usize> = Vec::new();
         for (id, value) in resolved {
             let width = self.design.width(id);
             let value = value.resized(width);
-            let old = &self.store[id.index()];
+            let old = overlay.get(&id.index()).unwrap_or(&self.store[id.index()]);
             if old.case_eq(&value) {
                 continue;
             }
             let old_bit = old.get(0).unwrap_or(LogicBit::X);
             let new_bit = value.get(0).unwrap_or(LogicBit::X);
-            self.store[id.index()] = value;
             for &pi in &sched.edge_deps[id.index()] {
                 self.counts.edge_probes += 1;
                 if let Process::Seq { edges, .. } = &self.design.processes[pi] {
@@ -910,15 +1079,39 @@ impl Simulator {
                 }
             }
             changed.push(id);
+            overlay.insert(id.index(), value);
         }
-        let result = if changed.is_empty() {
+        if changed.is_empty() {
+            self.legacy = Some(sched);
+            return Ok(());
+        }
+        if triggered.is_empty() {
+            // Edge-free batch: apply the stores and defer the settle.
+            for (idx, value) in overlay {
+                self.store[idx] = value;
+            }
+            sched.pending.extend(changed);
+            self.legacy = Some(sched);
+            return Ok(());
+        }
+        // Edge batch: flush deferred work pre-edge, then apply and
+        // propagate exactly as the eager scheduler did.
+        let pending = std::mem::take(&mut sched.pending);
+        let mut r = if pending.is_empty() && sched.booted {
             Ok(())
         } else {
-            self.run_seq_cascade(&mut sched, triggered, &mut changed)
-                .and_then(|()| self.settle_from(&mut sched, changed))
+            self.settle_from(&mut sched, pending)
         };
+        if r.is_ok() {
+            for (idx, value) in overlay {
+                self.store[idx] = value;
+            }
+            r = self
+                .run_seq_cascade(&mut sched, triggered, &mut changed)
+                .and_then(|()| self.settle_from(&mut sched, changed));
+        }
         self.legacy = Some(sched);
-        result
+        self.latch(r)
     }
 
     /// Run triggered sequential processes, commit their non-blocking
@@ -999,8 +1192,11 @@ impl Simulator {
     }
 
     /// Evaluate every combinational process (the legacy full settle).
+    /// The full re-evaluation subsumes any deferred poke fanout, so the
+    /// pending list clears here.
     fn settle_legacy(&mut self) -> Result<(), SimError> {
         let mut sched = self.take_legacy();
+        sched.pending.clear();
         let r = self.run_all_combs_legacy(&mut sched);
         self.legacy = Some(sched);
         r
@@ -1160,7 +1356,7 @@ mod tests {
 
     #[test]
     fn outputs_x_before_drive() {
-        let s = sim_of("module top(input a, output y); assign y = ~a; endmodule");
+        let mut s = sim_of("module top(input a, output y); assign y = ~a; endmodule");
         assert!(s.peek_by_name("y").unwrap().is_all_x());
     }
 
@@ -1358,9 +1554,22 @@ mod tests {
         s.settle().unwrap(); // all-X fixpoint settles fine
         s.poke("a", v(1, 0)).unwrap(); // y settles to a defined 0
         assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(0));
-        // Now y = ~y oscillates between defined values: must error, not hang.
-        let r = s.poke("a", v(1, 1));
+        // Now y = ~y oscillates between defined values: must error, not
+        // hang. The poke itself defers (`a` fires no edge), so the loop
+        // surfaces at the flush.
+        let r = s.poke("a", v(1, 1)).and_then(|()| s.settle());
         assert!(matches!(r, Err(SimError::CombinationalLoop { .. })));
+        // A peek under the latched fault freezes instead of churning…
+        let _ = s.peek_by_name("y");
+        // …a standing fault re-reports on the next settle…
+        assert!(matches!(
+            s.settle(),
+            Err(SimError::CombinationalLoop { .. })
+        ));
+        // …and driving the loop-breaking input recovers.
+        s.poke("a", v(1, 0)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(0));
     }
 
     #[test]
@@ -1495,6 +1704,7 @@ mod tests {
             s
         };
         s.poke("a", v(1, 1)).unwrap();
+        s.settle().unwrap(); // flush the deferred poke fanout
         s.reset_eval_counts();
         for _ in 0..10 {
             s.settle().unwrap();
@@ -1516,6 +1726,36 @@ mod tests {
         l.reset_eval_counts();
         l.settle().unwrap();
         assert!(l.eval_counts().comb_evals > 0);
+    }
+
+    #[test]
+    fn lazy_pokes_settle_once_at_observation() {
+        // Per-drive settles of a poke-heavy step collapse into one flush
+        // at the observation point — on both schedulers.
+        let src = "module top(input [7:0] a, input [7:0] b, input [7:0] c, output [7:0] y);
+                     assign y = a + b + c;
+                   endmodule";
+        for mode in [ExecMode::Compiled, ExecMode::Legacy] {
+            let file = mage_verilog::parse(src).unwrap();
+            let design = Arc::new(elaborate(&file, "top").unwrap());
+            let mut s = Simulator::with_mode(design, mode);
+            s.settle().unwrap();
+            s.reset_eval_counts();
+            s.poke("a", v(8, 1)).unwrap();
+            s.poke("b", v(8, 2)).unwrap();
+            s.poke("c", v(8, 3)).unwrap();
+            assert_eq!(
+                s.eval_counts().comb_evals,
+                0,
+                "edge-free pokes defer ({mode:?})"
+            );
+            assert_eq!(s.peek_by_name("y").unwrap().to_u64(), Some(6));
+            assert_eq!(
+                s.eval_counts().comb_evals,
+                1,
+                "one settle serves three drives ({mode:?})"
+            );
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn lockstep(design: &Arc<Design>, schedule: &[(&str, u64)]) -> Option<SimError> 
     let rf = fast.settle();
     let rs = slow.settle();
     assert_eq!(rf, rs, "settle outcome diverged");
-    compare_stores(design, &fast, &slow, "after boot settle");
+    compare_stores(design, &mut fast, &mut slow, "after boot settle");
     if rf.is_err() {
         return rf.err();
     }
@@ -41,9 +41,23 @@ fn lockstep(design: &Arc<Design>, schedule: &[(&str, u64)]) -> Option<SimError> 
         assert_eq!(rf, rs, "poke #{i} ({name}={value}) outcome diverged");
         compare_stores(
             design,
-            &fast,
-            &slow,
+            &mut fast,
+            &mut slow,
             &format!("after poke #{i} {name}={value}"),
+        );
+        if rf.is_err() {
+            return rf.err();
+        }
+        // Edge-free pokes defer their combinational flush: settle both
+        // so propagation faults surface (identically) at every step.
+        let rf = fast.settle();
+        let rs = slow.settle();
+        assert_eq!(rf, rs, "settle #{i} ({name}={value}) outcome diverged");
+        compare_stores(
+            design,
+            &mut fast,
+            &mut slow,
+            &format!("after settle #{i} {name}={value}"),
         );
         if rf.is_err() {
             return rf.err();
@@ -52,11 +66,11 @@ fn lockstep(design: &Arc<Design>, schedule: &[(&str, u64)]) -> Option<SimError> 
     None
 }
 
-fn compare_stores(design: &Design, fast: &Simulator, slow: &Simulator, at: &str) {
+fn compare_stores(design: &Design, fast: &mut Simulator, slow: &mut Simulator, at: &str) {
     for (ix, decl) in design.signals.iter().enumerate() {
         let id = design.signal(&decl.name).expect("name resolves");
         let _ = ix;
-        let (f, s) = (fast.peek(id), slow.peek(id));
+        let (f, s) = (fast.peek(id).clone(), slow.peek(id));
         assert!(
             f.case_eq(s),
             "{at}: signal `{}` diverged\n  compiled: {}\n  legacy:   {}",

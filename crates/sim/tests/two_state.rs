@@ -93,20 +93,22 @@ impl Trio {
     }
 
     /// Every signal, four-state exact, across all three stores.
-    fn compare(&self, at: &str) {
-        for decl in &self.fast.design().signals {
-            let id = self
-                .fast
-                .design()
-                .signal(&decl.name)
-                .expect("name resolves");
-            let f = self.fast.peek(id);
-            for (other, label) in [(&self.four, "four-state"), (&self.legacy, "legacy")] {
+    fn compare(&mut self, at: &str) {
+        let names: Vec<String> = self
+            .fast
+            .design()
+            .signals
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        for name in names {
+            let id = self.fast.design().signal(&name).expect("name resolves");
+            let f = self.fast.peek(id).clone();
+            for (other, label) in [(&mut self.four, "four-state"), (&mut self.legacy, "legacy")] {
                 let o = other.peek(id);
                 assert!(
                     f.case_eq(o),
-                    "at {at}: signal `{}` diverged\n  two-state: {}\n  {label}:   {}",
-                    decl.name,
+                    "at {at}: signal `{name}` diverged\n  two-state: {}\n  {label}:   {}",
                     f.to_binary_string(),
                     o.to_binary_string(),
                 );

@@ -79,6 +79,12 @@ pub fn synthesize_testbench(
         };
         let mut checks = Vec::new();
         if keep && !faulted {
+            // Clockless stimuli leave every poke deferred: settle so a
+            // propagation fault surfaces here instead of silently
+            // freezing the peeks below.
+            faulted = sim.settle().is_err();
+        }
+        if keep && !faulted {
             for (n, id) in &outputs {
                 let got = sim.peek(*id);
                 // A reference that outputs X (before reset, say) produces
@@ -94,6 +100,7 @@ pub fn synthesize_testbench(
         steps.push(TbStep {
             drives: drives.clone(),
             checks,
+            clocks: vec![],
         });
         if !faulted {
             if let Some(clk) = &stim.clock {
@@ -124,6 +131,7 @@ pub fn build_from_reference_report(
         .map(|drives| TbStep {
             drives: drives.clone(),
             checks: Vec::new(),
+            clocks: vec![],
         })
         .collect();
     for rec in reference_report.records() {

@@ -28,6 +28,12 @@ pub struct TbStep {
     pub drives: Vec<Drive>,
     /// Checks evaluated at the end of the step.
     pub checks: Vec<Check>,
+    /// Clocks cycled this step (rise together after the drives, fall
+    /// together after the checks). Empty means "use the bench-level
+    /// [`Testbench::clock`]" — the single-clock schedule format is the
+    /// degenerate case. Multi-clock designs list any subset per step,
+    /// so domains can tick at different rates or simultaneously.
+    pub clocks: Vec<String>,
 }
 
 /// A structured testbench: the essential content of the paper's
@@ -42,7 +48,8 @@ pub struct TbStep {
 pub struct Testbench {
     /// Descriptive name (usually the problem id).
     pub name: String,
-    /// Clock input toggled once per step, if sequential.
+    /// Default clock input toggled once per step, if sequential. Steps
+    /// with a non-empty [`TbStep::clocks`] override it.
     pub clock: Option<String>,
     /// Steps in order.
     pub steps: Vec<TbStep>,
@@ -60,6 +67,34 @@ impl Testbench {
             .iter()
             .enumerate()
             .flat_map(|(i, s)| s.checks.iter().map(move |c| (i, c)))
+    }
+
+    /// The clocks cycled by `step`: its own set, or the bench-level
+    /// default when the step declares none.
+    pub fn step_clocks<'a>(&'a self, step: &'a TbStep) -> Vec<&'a str> {
+        if !step.clocks.is_empty() {
+            step.clocks.iter().map(String::as_str).collect()
+        } else {
+            self.clock.as_deref().into_iter().collect()
+        }
+    }
+
+    /// Every clock the bench ever cycles (bench default plus per-step
+    /// sets), first-use order, deduplicated. These are driven low at
+    /// boot so the first rise of each is a real posedge.
+    pub fn all_clocks(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        if let Some(clk) = self.clock.as_deref() {
+            out.push(clk);
+        }
+        for step in &self.steps {
+            for clk in &step.clocks {
+                if !out.contains(&clk.as_str()) {
+                    out.push(clk);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -124,9 +159,9 @@ pub fn run_testbench_with_counts(
     let mut missing: Vec<String> = Vec::new();
     let input_names: Vec<String> = design.input_ports().into_iter().map(|(n, _)| n).collect();
     let output_names: Vec<String> = design.output_ports().into_iter().map(|(n, _)| n).collect();
-    if let Some(clk) = &tb.clock {
-        if !input_names.contains(clk) {
-            missing.push(clk.clone());
+    for clk in tb.all_clocks() {
+        if !input_names.iter().any(|n| n == clk) && !missing.iter().any(|m| m == clk) {
+            missing.push(clk.to_string());
         }
     }
     for step in &tb.steps {
@@ -151,9 +186,13 @@ pub fn run_testbench_with_counts(
 
     let mut boot = || -> Result<(), SimError> {
         sim.settle()?;
-        if let Some(clk) = &tb.clock {
-            sim.poke(clk, LogicVec::from_bool(false))?;
-        }
+        // Every clock the bench will ever cycle starts low, so each
+        // domain's first rise is a real posedge.
+        sim.poke_many(
+            tb.all_clocks()
+                .into_iter()
+                .map(|clk| (clk, LogicVec::from_bool(false))),
+        )?;
         Ok(())
     };
     if let Err(e) = boot() {
@@ -172,7 +211,7 @@ pub fn run_testbench_with_counts(
             // falling half-cycle completes after the checks, as a real
             // checkpoint testbench does). Sampling here — not after the
             // full cycle — is what makes wrong-edge bugs observable.
-            let r = exec_step_rise(&mut sim, tb.clock.as_deref(), &step.drives);
+            let r = exec_step_rise(&mut sim, &tb.step_clocks(step), &step.drives);
             match r {
                 Ok(()) => {
                     // Track the full input picture for the log snapshot.
@@ -209,12 +248,18 @@ pub fn run_testbench_with_counts(
                 inputs: Arc::clone(&inputs_snapshot),
             });
         }
-        // Complete the clock cycle after the checkpoints are sampled.
+        // Complete the clock cycle(s) after the checkpoints are sampled.
         // (Run even after the last step: a fault on the falling
         // half-cycle must still surface as `sim_fault`.)
         if sim_fault.is_none() {
-            if let Some(clk) = &tb.clock {
-                if let Err(e) = sim.poke(clk, LogicVec::from_bool(false)) {
+            let clocks = tb.step_clocks(step);
+            if !clocks.is_empty() {
+                let r = sim.poke_many(
+                    clocks
+                        .into_iter()
+                        .map(|clk| (clk, LogicVec::from_bool(false))),
+                );
+                if let Err(e) = r {
                     sim_fault = Some(e.to_string());
                 }
             }
@@ -227,23 +272,22 @@ pub fn run_testbench_with_counts(
     ))
 }
 
-fn exec_step_rise(
-    sim: &mut Simulator,
-    clock: Option<&str>,
-    drives: &[Drive],
-) -> Result<(), SimError> {
+fn exec_step_rise(sim: &mut Simulator, clocks: &[&str], drives: &[Drive]) -> Result<(), SimError> {
     // Batched: stores update first, edges fire once, fanout settles once
     // — instead of a full re-settle per driven input.
     sim.poke_many(drives.iter().map(|(n, v)| (n.as_str(), v.clone())))?;
-    match clock {
-        Some(clk) => {
-            sim.advance(TIME_PER_STEP / 2);
-            sim.poke(clk, LogicVec::from_bool(true))?;
-            sim.advance(TIME_PER_STEP / 2);
-        }
-        None => {
-            sim.advance(TIME_PER_STEP);
-        }
+    if clocks.is_empty() {
+        // Edge-free drives defer their combinational flush; settle so a
+        // propagation fault surfaces here as the step's error instead
+        // of silently freezing the checkpoint reads.
+        sim.settle()?;
+        sim.advance(TIME_PER_STEP);
+    } else {
+        // All of the step's clocks rise in one batch: simultaneous
+        // edges trigger every listed domain in a single wave.
+        sim.advance(TIME_PER_STEP / 2);
+        sim.poke_many(clocks.iter().map(|clk| (*clk, LogicVec::from_bool(true))))?;
+        sim.advance(TIME_PER_STEP / 2);
     }
     Ok(())
 }
@@ -278,6 +322,7 @@ mod tests {
                         signal: "y".into(),
                         expected: v(1, (p & 1) ^ (p >> 1)),
                     }],
+                    clocks: vec![],
                 })
                 .collect(),
         };
@@ -305,6 +350,7 @@ mod tests {
                         signal: "y".into(),
                         expected: v(1, (p & 1) | (p >> 1)),
                     }],
+                    clocks: vec![],
                 })
                 .collect(),
         };
@@ -331,6 +377,7 @@ mod tests {
                 signal: "q".into(),
                 expected: v(4, 0),
             }],
+            clocks: vec![],
         }];
         for i in 1..=5u64 {
             steps.push(TbStep {
@@ -339,6 +386,7 @@ mod tests {
                     signal: "q".into(),
                     expected: v(4, i),
                 }],
+                clocks: vec![],
             });
         }
         let tb = Testbench {
@@ -362,6 +410,7 @@ mod tests {
             steps: vec![TbStep {
                 drives: vec![("nonexistent".into(), v(1, 0))],
                 checks: vec![],
+                clocks: vec![],
             }],
         };
         let err = run_testbench(&tb, &d).unwrap_err();
@@ -385,6 +434,7 @@ mod tests {
                         signal: "y".into(),
                         expected: v(1, 0),
                     }],
+                    clocks: vec![],
                 },
                 TbStep {
                     drives: vec![("a".into(), v(1, 1))],
@@ -392,6 +442,7 @@ mod tests {
                         signal: "y".into(),
                         expected: v(1, 0),
                     }],
+                    clocks: vec![],
                 },
             ],
         };
@@ -400,6 +451,151 @@ mod tests {
         assert_eq!(report.mismatches(), 1);
         assert_eq!(report.total_checks(), 2);
         assert!(!report.passed());
+    }
+
+    #[test]
+    fn multi_clock_bench_independent_domains() {
+        // Two clock domains at different rates against the dual-clock
+        // bench kernel: clka ticks every step, clkb every other step.
+        let src = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../bench/benches/dualclk_kernel.v"
+        ))
+        .unwrap();
+        let d = design(&src, "top_module");
+        let step = |clocks: &[&str], drives: Vec<Drive>, checks: Vec<(&str, usize, u64)>| TbStep {
+            drives,
+            checks: checks
+                .into_iter()
+                .map(|(s, w, x)| Check {
+                    signal: s.into(),
+                    expected: v(w, x),
+                })
+                .collect(),
+            clocks: clocks.iter().map(|c| c.to_string()).collect(),
+        };
+        let tb = Testbench {
+            name: "dualclk".into(),
+            clock: None,
+            steps: vec![
+                // Reset both domains (simultaneous edges in one step).
+                step(
+                    &["clka", "clkb"],
+                    vec![("rst".into(), v(1, 1))],
+                    vec![("qa", 8, 0), ("qb", 16, 0)],
+                ),
+                // clka only: qa accumulates da, qb holds.
+                step(
+                    &["clka"],
+                    vec![
+                        ("rst".into(), v(1, 0)),
+                        ("da".into(), v(8, 5)),
+                        ("db".into(), v(8, 9)),
+                    ],
+                    vec![("qa", 8, 5), ("qb", 16, 0), ("mixa", 8, 0)],
+                ),
+                // Both clocks: qa += da again, qb += db for the first time.
+                step(
+                    &["clka", "clkb"],
+                    vec![],
+                    vec![("qa", 8, 10), ("qb", 16, 9), ("mixa", 8, 15)],
+                ),
+                // clkb only: qa holds, qb advances.
+                step(&["clkb"], vec![], vec![("qa", 8, 10), ("qb", 16, 18)]),
+            ],
+        };
+        let report = run_testbench(&tb, &d).unwrap();
+        assert!(report.passed(), "{:?}", report.first_mismatch());
+        assert!(report.sim_fault().is_none());
+    }
+
+    #[test]
+    fn multi_clock_bench_mixes_default_and_per_step_sets() {
+        // Handshake kernel: per-step clock sets override the bench-level
+        // default (clka); steps with an empty set fall back to it.
+        let src = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../bench/benches/handshake_kernel.v"
+        ))
+        .unwrap();
+        let d = design(&src, "top_module");
+        let tb = Testbench {
+            name: "handshake".into(),
+            clock: Some("clka".into()),
+            steps: vec![
+                TbStep {
+                    drives: vec![
+                        ("rst".into(), v(1, 1)),
+                        ("req".into(), v(1, 0)),
+                        ("data".into(), v(8, 0)),
+                    ],
+                    checks: vec![Check {
+                        signal: "ack".into(),
+                        expected: v(1, 0),
+                    }],
+                    clocks: vec!["clka".into(), "clkb".into()],
+                },
+                // Default clock (clka) syncs the request into domain A.
+                TbStep {
+                    drives: vec![
+                        ("rst".into(), v(1, 0)),
+                        ("req".into(), v(1, 1)),
+                        ("data".into(), v(8, 0xA5)),
+                    ],
+                    checks: vec![Check {
+                        signal: "busy".into(),
+                        expected: v(1, 1),
+                    }],
+                    clocks: vec![],
+                },
+                // Domain B acknowledges and captures on its own edge.
+                TbStep {
+                    drives: vec![],
+                    checks: vec![
+                        Check {
+                            signal: "ack".into(),
+                            expected: v(1, 1),
+                        },
+                        Check {
+                            signal: "captured".into(),
+                            expected: v(8, 0xA5),
+                        },
+                        Check {
+                            signal: "busy".into(),
+                            expected: v(1, 0),
+                        },
+                    ],
+                    clocks: vec!["clkb".into()],
+                },
+            ],
+        };
+        assert_eq!(tb.all_clocks(), vec!["clka", "clkb"]);
+        assert_eq!(tb.step_clocks(&tb.steps[1]), vec!["clka"]);
+        let report = run_testbench(&tb, &d).unwrap();
+        assert!(report.passed(), "{:?}", report.first_mismatch());
+    }
+
+    #[test]
+    fn multi_clock_missing_clock_is_interface_mismatch() {
+        let d = design(
+            "module top(input clk, output reg q); always @(posedge clk) q <= ~q; endmodule",
+            "top",
+        );
+        let tb = Testbench {
+            name: "badclk".into(),
+            clock: Some("clk".into()),
+            steps: vec![TbStep {
+                drives: vec![],
+                checks: vec![],
+                clocks: vec!["clk".into(), "clk_phantom".into()],
+            }],
+        };
+        let err = run_testbench(&tb, &d).unwrap_err();
+        match err {
+            TbError::InterfaceMismatch { missing } => {
+                assert_eq!(missing, vec!["clk_phantom".to_string()]);
+            }
+        }
     }
 
     #[test]
@@ -418,6 +614,7 @@ mod tests {
                         signal: "y".into(),
                         expected: v(1, 0),
                     }],
+                    clocks: vec![],
                 },
                 TbStep {
                     // only b changes; a must persist in the snapshot
@@ -426,6 +623,7 @@ mod tests {
                         signal: "y".into(),
                         expected: v(1, 1),
                     }],
+                    clocks: vec![],
                 },
             ],
         };

@@ -1,0 +1,126 @@
+//! Content-addressed fingerprints for module items.
+//!
+//! A fingerprint is the FNV-1a hash of an item's *canonical printed form*
+//! ([`crate::print_item`]). The parser strips whitespace and comments and
+//! the printer emits one fixed layout, so two items that differ only in
+//! formatting fingerprint identically, while any structural edit — an
+//! operator, a width, an identifier — changes the hash. The delta-aware
+//! elaboration pipeline in `mage-sim` keys per-process compilation units
+//! on these hashes (plus the resolved signal binding, which the hash
+//! deliberately does *not* cover: the same source item instantiated twice
+//! binds different signals).
+//!
+//! Hashes are advisory: consumers must verify the canonical text on every
+//! hit (64-bit FNV collides under adversarial input), which is why
+//! [`ItemPrint`] carries the printed text alongside the hash.
+
+use crate::ast::{Item, Module};
+use crate::printer::print_item;
+use crate::visit::for_each_item;
+
+/// An item's canonical text together with its fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPrint {
+    /// Canonical printed form of the item ([`print_item`]).
+    pub text: String,
+    /// FNV-1a hash of `text`.
+    pub fingerprint: u64,
+}
+
+/// Fingerprint one item: FNV-1a over its canonical printed form.
+pub fn item_fingerprint(item: &Item) -> u64 {
+    mage_logic::fnv1a(print_item(item).as_bytes())
+}
+
+/// Canonical text + fingerprint for one item.
+pub fn item_print(item: &Item) -> ItemPrint {
+    let text = print_item(item);
+    let fingerprint = mage_logic::fnv1a(text.as_bytes());
+    ItemPrint { text, fingerprint }
+}
+
+/// Fingerprints for every item of a module, in [`Module::items`] order.
+pub fn module_fingerprints(m: &Module) -> Vec<ItemPrint> {
+    let mut out = Vec::with_capacity(m.items.len());
+    for_each_item(m, |_, item| out.push(item_print(item)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn items_of(src: &str) -> Vec<ItemPrint> {
+        let file = parse(src).expect("parse");
+        module_fingerprints(&file.modules[0])
+    }
+
+    #[test]
+    fn whitespace_and_comments_do_not_change_fingerprints() {
+        let tidy = items_of(
+            "module m(input a, input b, output reg r);\n\
+             wire w;\n\
+             assign w = a & b;\n\
+             always @(*) r = w | a;\n\
+             endmodule\n",
+        );
+        let messy = items_of(
+            "module m(input a, input b, output reg r);\n\
+             wire   w ; // net\n\
+             /* continuous */ assign w=a&b;\n\
+             always@( * )\n   r = w  |a;\n\
+             endmodule\n",
+        );
+        assert_eq!(tidy.len(), messy.len());
+        for (t, m) in tidy.iter().zip(&messy) {
+            assert_eq!(t.text, m.text);
+            assert_eq!(t.fingerprint, m.fingerprint);
+        }
+    }
+
+    #[test]
+    fn structural_edit_changes_only_the_edited_item() {
+        let base = items_of(
+            "module m(input a, input b, output reg r);\n\
+             wire w;\n\
+             assign w = a & b;\n\
+             always @(*) r = w;\n\
+             endmodule\n",
+        );
+        let edited = items_of(
+            "module m(input a, input b, output reg r);\n\
+             wire w;\n\
+             assign w = a | b;\n\
+             always @(*) r = w;\n\
+             endmodule\n",
+        );
+        assert_eq!(base.len(), edited.len());
+        assert_eq!(base[0], edited[0]);
+        assert_ne!(base[1].fingerprint, edited[1].fingerprint);
+        assert_eq!(base[2], edited[2]);
+    }
+
+    #[test]
+    fn identical_items_share_a_fingerprint() {
+        let fps = items_of(
+            "module m(input a, output x, output y);\n\
+             assign x = ~a;\n\
+             assign y = ~a;\n\
+             endmodule\n",
+        );
+        // Two textually identical assigns to different nets would differ,
+        // but these differ in the lvalue, so check the true-duplicate case
+        // via a reprint instead.
+        assert_ne!(fps[0].fingerprint, fps[1].fingerprint);
+        let file = crate::parse(
+            "module m(input a, output x);\nassign x = ~a;\nendmodule\n\
+             module n(input a, output x);\nassign x = ~a;\nendmodule\n",
+        )
+        .unwrap();
+        assert_eq!(
+            item_fingerprint(&file.modules[0].items[0]),
+            item_fingerprint(&file.modules[1].items[0]),
+        );
+    }
+}

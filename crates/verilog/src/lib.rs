@@ -41,6 +41,7 @@
 pub mod analysis;
 pub mod ast;
 mod error;
+pub mod fingerprint;
 mod lexer;
 mod parser;
 mod printer;
@@ -49,7 +50,8 @@ pub mod visit;
 
 pub use ast::*;
 pub use error::ParseError;
+pub use fingerprint::{item_fingerprint, item_print, module_fingerprints, ItemPrint};
 pub use lexer::lex;
 pub use parser::{parse, parse_module};
-pub use printer::{print_expr, print_file, print_lvalue, print_module, print_stmt};
+pub use printer::{print_expr, print_file, print_item, print_lvalue, print_module, print_stmt};
 pub use visit::{AssignRef, ExprPath, StmtPath, StmtStep};

@@ -48,6 +48,17 @@ pub fn print_lvalue(l: &LValue) -> String {
     p.out
 }
 
+/// Render a single module item at indent level zero.
+///
+/// This is the canonical form [`crate::fingerprint`] hashes: the parser
+/// already strips whitespace and comments, so two items that differ only
+/// in formatting print — and therefore fingerprint — identically.
+pub fn print_item(item: &Item) -> String {
+    let mut p = Printer::new();
+    p.item(item);
+    p.out
+}
+
 struct Printer {
     out: String,
     indent: usize,

@@ -163,6 +163,26 @@ fn step_into_mut(s: &mut Stmt, step: StmtStep) -> Option<&mut Stmt> {
 }
 
 // ----------------------------------------------------------------------
+// Item enumeration
+// ----------------------------------------------------------------------
+
+/// Visit every module item with its [`Module::items`] index, in order.
+///
+/// The index doubles as the item's structural address (the same numbering
+/// [`StmtPath::item`] and [`AssignRef::Item`] use), so callers can pair
+/// per-item facts — e.g. [`crate::fingerprint`] hashes — with positions.
+pub fn for_each_item<'a>(m: &'a Module, mut f: impl FnMut(usize, &'a Item)) {
+    for (i, item) in m.items.iter().enumerate() {
+        f(i, item);
+    }
+}
+
+/// The item at [`Module::items`] index `ix`, or `None` out of range.
+pub fn item_at(m: &Module, ix: usize) -> Option<&Item> {
+    m.items.get(ix)
+}
+
+// ----------------------------------------------------------------------
 // Assignment enumeration
 // ----------------------------------------------------------------------
 

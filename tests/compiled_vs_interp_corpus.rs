@@ -26,7 +26,7 @@ fn lockstep(design: &Arc<Design>, stim: &Stimulus, label: &str) {
     let rf = fast.settle();
     let rs = slow.settle();
     assert_eq!(rf, rs, "{label}: settle diverged");
-    compare_stores(design, &fast, &slow, label, "boot");
+    compare_stores(design, &mut fast, &mut slow, label, "boot");
     if rf.is_err() {
         return;
     }
@@ -81,17 +81,29 @@ fn lockstep(design: &Arc<Design>, stim: &Stimulus, label: &str) {
         let rf = fast.settle();
         let rs = slow.settle();
         assert_eq!(rf, rs, "{label}: settle at step {i} diverged");
-        compare_stores(design, &fast, &slow, label, &format!("step {i} settle"));
+        compare_stores(
+            design,
+            &mut fast,
+            &mut slow,
+            label,
+            &format!("step {i} settle"),
+        );
         if rf.is_err() {
             return;
         }
     }
 }
 
-fn compare_stores(design: &Design, fast: &Simulator, slow: &Simulator, label: &str, at: &str) {
+fn compare_stores(
+    design: &Design,
+    fast: &mut Simulator,
+    slow: &mut Simulator,
+    label: &str,
+    at: &str,
+) {
     for decl in &design.signals {
         let id = design.signal(&decl.name).expect("name resolves");
-        let (f, s) = (fast.peek(id), slow.peek(id));
+        let (f, s) = (fast.peek(id).clone(), slow.peek(id));
         assert!(
             f.case_eq(s),
             "{label} at {at}: signal `{}` diverged\n  compiled: {}\n  legacy:   {}",
