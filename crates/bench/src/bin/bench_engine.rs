@@ -191,8 +191,11 @@ fn main() {
     // The harness owns the delta gate: the measured legs run with delta
     // compilation on (the default), the off-oracle leg below toggles it
     // explicitly. An inherited MAGE_SIM_DELTA=off would silently zero
-    // the unit-cache counters every leg asserts on.
+    // the unit-cache counters every leg asserts on, and an inherited
+    // MAGE_SIM_FUSE=off would strip the fused-plan dispatch tier out of
+    // every measured leg.
     std::env::remove_var("MAGE_SIM_DELTA");
+    std::env::remove_var("MAGE_SIM_FUSE");
     let jobs = stream_specs().len();
 
     // Interleave the four modes so load drift hits all equally.

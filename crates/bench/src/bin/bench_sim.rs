@@ -25,12 +25,18 @@
 //! hits/fallbacks per step/edge, from `Simulator::eval_counts`) into a
 //! `scheduler` section, and asserts the acceptance invariants
 //! in-process: zero evaluations to re-settle a settled design, no more
-//! process evaluations than the legacy scheduler anywhere, strictly
-//! fewer edge probes on mixed-edge clocks, two-state evaluations > 0
-//! on every defined (driven) kernel with zero fallbacks in the
-//! fully-defined steady state, and zero two-state counters on the
-//! legacy executor. Deterministic counts — unlike wall time on this
-//! noisy single-CPU box, a scheduling regression here is unambiguous.
+//! process evaluations than the legacy scheduler on the demand-driven
+//! (unfused) wheel, strictly fewer edge probes on mixed-edge clocks,
+//! two-state evaluations > 0 on every defined (driven) kernel with
+//! zero fallbacks in the fully-defined steady state, and zero
+//! two-state counters on the legacy executor. Each driven kernel also
+//! runs a third leg under `MAGE_SIM_FUSE=off` and asserts the
+//! fused-plan dispatch economics: fused evaluations > 0 with strictly
+//! fewer plan opcodes retired than the unfused interpreter dispatches
+//! on the same paths, an identical sequential/edge schedule either
+//! way, zero fused counters on the off leg, and zero on the legacy
+//! executor. Deterministic counts — unlike wall time on this noisy
+//! single-CPU box, a scheduling regression here is unambiguous.
 //!
 //! Usage:
 //! `cargo run --release -p mage-bench --bin bench_sim [--smoke] [out.json]`
@@ -169,11 +175,14 @@ struct WorkCounts {
 fn json_counts(w: &WorkCounts) -> String {
     let per = w.per.max(1) as f64;
     format!(
-        "{{ \"evals\": {}, \"edge_probes\": {}, \"two_state_evals\": {}, \"two_state_fallbacks\": {}, \"evals_per_step\": {:.4}, \"probes_per_step\": {:.4} }}",
+        "{{ \"evals\": {}, \"edge_probes\": {}, \"two_state_evals\": {}, \"two_state_fallbacks\": {}, \"fused_evals\": {}, \"plan_steps\": {}, \"plan_unfused_steps\": {}, \"evals_per_step\": {:.4}, \"probes_per_step\": {:.4} }}",
         w.counts.total_evals(),
         w.counts.edge_probes,
         w.counts.two_state_evals,
         w.counts.two_state_fallbacks,
+        w.counts.fused_evals,
+        w.counts.plan_steps,
+        w.counts.plan_unfused_steps,
         w.counts.total_evals() as f64 / per,
         w.counts.edge_probes as f64 / per,
     )
@@ -183,8 +192,11 @@ fn main() {
     // The harness owns the executor env hooks (it already toggles
     // MAGE_SIM_EXEC per leg): an inherited MAGE_SIM_TWO_STATE=off
     // would disable the fast path every compiled leg measures and
-    // asserts on, so clear it up front.
+    // asserts on, and an inherited MAGE_SIM_FUSE=off would disable the
+    // fused evaluation plans the same legs count — clear both up front
+    // (the unfused leg below sets MAGE_SIM_FUSE itself).
     std::env::remove_var("MAGE_SIM_TWO_STATE");
+    std::env::remove_var("MAGE_SIM_FUSE");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
@@ -414,13 +426,23 @@ fn main() {
     for kernel in counted.iter() {
         let wheel = count_of(ExecMode::Compiled, kernel);
         let legacy = count_of(ExecMode::Legacy, kernel);
-        // Acceptance invariants: the wheel never evaluates more than the
-        // legacy scheduler, probes no more processes, and re-settles a
-        // settled design for free.
+        // Third leg: the same compiled kernel with fused-plan dispatch
+        // disabled (the per-instruction oracle the plans are store-exact
+        // against). The gate is snapshotted at Simulator construction,
+        // and count_of constructs its simulators inside this window.
+        std::env::set_var("MAGE_SIM_FUSE", "off");
+        let unfused = count_of(ExecMode::Compiled, kernel);
+        std::env::remove_var("MAGE_SIM_FUSE");
+        // Acceptance invariants: the demand-driven wheel (the unfused
+        // leg — fused cascades deliberately straight-line every member,
+        // trading a few redundant evals for eliminating per-instruction
+        // dispatch, so the eval bound belongs to the unfused leg) never
+        // evaluates more than the legacy scheduler, probes no more
+        // processes, and re-settles a settled design for free.
         assert!(
-            wheel.counts.total_evals() <= legacy.counts.total_evals(),
+            unfused.counts.total_evals() <= legacy.counts.total_evals(),
             "{kernel}: wheel evals {} > legacy {}",
-            wheel.counts.total_evals(),
+            unfused.counts.total_evals(),
             legacy.counts.total_evals()
         );
         assert!(
@@ -428,6 +450,14 @@ fn main() {
             "{kernel}: wheel probes {} > legacy {}",
             wheel.counts.edge_probes,
             legacy.counts.edge_probes
+        );
+        // Fusion only changes combinational dispatch: the sequential
+        // schedule and per-edge trigger economics are identical across
+        // the fused and unfused legs.
+        assert_eq!(
+            (wheel.counts.seq_evals, wheel.counts.edge_probes),
+            (unfused.counts.seq_evals, unfused.counts.edge_probes),
+            "{kernel}: fusion disturbed the sequential/edge schedule"
         );
         if matches!(*kernel, "sim_dualclk_sweep" | "sim_handshake_sweep") {
             // Clocked kernels: per-edge lists must probe *strictly*
@@ -466,21 +496,64 @@ fn main() {
         // The legacy tree-walker has no two-state path at all.
         assert_eq!(legacy.counts.two_state_evals, 0);
         assert_eq!(legacy.counts.two_state_fallbacks, 0);
+        // Fused-plan dispatch economics. Every driven kernel boots
+        // fully defined, so its hazard-free processes must be serviced
+        // by fused evaluation plans, and the plan opcodes retired must
+        // be *strictly* fewer than the bytecode instructions the
+        // unfused interpreter would have dispatched on the same paths —
+        // the fusion win, independent of wall clock. (A settled wheel
+        // executes nothing, so sim_settle has nothing to fuse.)
+        if *kernel != "sim_settle" {
+            assert!(
+                wheel.counts.fused_evals > 0,
+                "{kernel}: hazard-free processes never took the fused plan path"
+            );
+            assert!(
+                wheel.counts.plan_steps < wheel.counts.plan_unfused_steps,
+                "{kernel}: fusion retired no fewer dispatches ({} plan steps vs {} unfused)",
+                wheel.counts.plan_steps,
+                wheel.counts.plan_unfused_steps
+            );
+        }
+        // The off leg runs the identical kernel with identical work —
+        // only the dispatch tier differs — and must never touch a plan.
+        assert_eq!(
+            unfused.counts.fused_evals, 0,
+            "{kernel}: MAGE_SIM_FUSE=off must disable fused dispatch"
+        );
+        assert_eq!(
+            (unfused.counts.plan_steps, unfused.counts.plan_unfused_steps),
+            (0, 0),
+            "{kernel}: the off leg must retire zero plan opcodes"
+        );
+        // Straight-line cascades may add member evals the demand queue
+        // would have skipped (pure re-evaluation, never less work than
+        // the fixpoint needs) — but never the other way around.
+        assert!(
+            wheel.counts.total_evals() >= unfused.counts.total_evals(),
+            "{kernel}: the fused leg skipped work the demand queue ran"
+        );
+        // The legacy tree-walker predates plans entirely.
+        assert_eq!(legacy.counts.fused_evals, 0);
+        assert_eq!(legacy.counts.plan_steps, 0);
         println!(
-            "{:24} wheel {:>7.3} evals/step {:>7.3} probes/step   legacy {:>7.3} evals/step {:>7.3} probes/step",
+            "{:24} wheel {:>7.3} evals/step {:>7.3} probes/step   legacy {:>7.3} evals/step {:>7.3} probes/step   fused {:>6}/{:<6} plan/unfused steps",
             kernel,
             wheel.counts.total_evals() as f64 / wheel.per.max(1) as f64,
             wheel.counts.edge_probes as f64 / wheel.per.max(1) as f64,
             legacy.counts.total_evals() as f64 / legacy.per.max(1) as f64,
             legacy.counts.edge_probes as f64 / legacy.per.max(1) as f64,
+            wheel.counts.plan_steps,
+            wheel.counts.plan_unfused_steps,
         );
         // Always a trailing comma: the "delta" subsection follows.
         sched_json.push_str(&format!(
-            "    \"{}\": {{ \"steps\": {}, \"wheel\": {}, \"legacy\": {} }},\n",
+            "    \"{}\": {{ \"steps\": {}, \"wheel\": {}, \"legacy\": {}, \"unfused\": {} }},\n",
             kernel,
             wheel.per,
             json_counts(&wheel),
             json_counts(&legacy),
+            json_counts(&unfused),
         ));
     }
     // --- Delta-compilation counters: per-kernel unit-cache reuse. A
@@ -605,11 +678,24 @@ fn main() {
          or driven edge): evals = process body executions, edge_probes = processes \
          examined for edge sensitivity, two_state_evals / two_state_fallbacks = \
          executions serviced by the aval-plane-only fast path vs four-state runs of \
-         eligible processes (X in the read set, or a mid-run bailout). The harness \
-         asserts wheel <= legacy on evals and probes, exactly zero evals to re-settle \
-         a settled design, two_state_evals > 0 with zero fallbacks on every driven \
-         kernel (booted fully defined), and zero two-state counters under the legacy \
-         executor, which has no fast path. The scheduler.delta subsection records \
+         eligible processes (X in the read set, or a mid-run bailout), fused_evals = \
+         executions serviced by a fused evaluation plan (superinstruction dispatch, a \
+         subset of two_state_evals), plan_steps / plan_unfused_steps = fused plan \
+         opcodes retired vs the bytecode instructions the unfused interpreter would \
+         have dispatched on the same control paths. Each driven kernel also records \
+         an `unfused` leg (the identical kernel under MAGE_SIM_FUSE=off). The harness \
+         asserts unfused-wheel <= legacy on evals and wheel <= legacy on probes \
+         (fused cascades straight-line every member in static topo order, trading a \
+         few redundant member evals — never fewer than the demand queue — for \
+         eliminating per-instruction dispatch, so the eval bound belongs to the \
+         demand-driven unfused leg), exactly zero evals to re-settle a settled \
+         design, two_state_evals > 0 with zero fallbacks on every driven kernel \
+         (booted fully defined), zero two-state counters under the legacy executor, \
+         which has no fast path, and the fusion economics: fused_evals > 0 with \
+         plan_steps strictly below plan_unfused_steps on every driven kernel, an \
+         identical sequential/edge schedule on the fused and unfused legs, zero \
+         fused counters on the unfused leg, and zero under the legacy executor, \
+         which predates plans. The scheduler.delta subsection records \
          per-kernel unit-cache counters for delta re-elaboration against an unchanged \
          parent design: units = process count, reused/rebuilt = units served from the \
          parent vs recompiled after a single-process edit (asserted to be exactly \

@@ -17,12 +17,14 @@
 //! and in the feedback format their debugger receives.
 
 use crate::config::{MageConfig, SystemKind};
+use crate::units::SolveUnits;
 use mage_llm::{
     Conversation, DebugRequest, JudgeTbRequest, ModelOutput, Role, RtlGenRequest, RtlLanguageModel,
     SyntaxFixRequest, TaskKind, TbGenRequest, TokenUsage,
 };
 use mage_sim::{
-    delta_enabled, elaborate, elaborate_with, DeltaStats, Design, DesignUnits, UnitSource,
+    delta_enabled, elaborate, elaborate_with, ChainedUnits, DeltaStats, Design, DesignUnits,
+    UnitSource,
 };
 use mage_tb::textlog::{render_checkpoint_window, render_summary};
 use mage_tb::{run_testbench, TbReport, Testbench};
@@ -247,6 +249,9 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
     /// produce bit-identical traces (see `tests/solvejob_differential.rs`).
     pub fn solve(&mut self, task: &Task<'_>) -> SolveTrace {
         let mut job = crate::solvejob::SolveJob::new(task.id, task.spec, self.config.clone());
+        // Solve-lifetime unit pool: sibling candidates of this solve
+        // share unchanged process units (see [`SolveUnits`]).
+        let units = SolveUnits::new();
         let mut step = job.advance(crate::solvejob::StepInput::Start);
         loop {
             step = match step {
@@ -260,7 +265,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
                     job.advance(crate::solvejob::StepInput::Llm(resp))
                 }
                 crate::solvejob::SolveStep::NeedSim(req) => {
-                    let outcome = crate::solvejob::execute_sim(&req);
+                    let outcome = crate::solvejob::execute_sim_pooled(&req, &units);
                     job.advance(crate::solvejob::StepInput::Sim(outcome))
                 }
                 crate::solvejob::SolveStep::Done(trace) => return *trace,
@@ -317,10 +322,19 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
         let mut digest = bench_digest(&tb);
 
         // --- Step 2: initial candidate (with syntax repair). ---
+        // Solve-lifetime unit pool: sibling candidates of this solve
+        // share unchanged process units (see [`SolveUnits`]).
+        let units = SolveUnits::new();
         let mut score_cache: HashMap<u64, Candidate> = HashMap::new();
-        let initial =
-            self.generate_candidate(task, Some(&digest), &mut ctx, &mut usage, &mut trace);
-        let initial = self.score_candidate(initial, &tb, &mut score_cache);
+        let initial = self.generate_candidate(
+            task,
+            Some(&digest),
+            &mut ctx,
+            &mut usage,
+            &mut trace,
+            &units,
+        );
+        let initial = self.score_candidate(initial, &tb, &mut score_cache, &units);
         trace.initial_score = initial.design.is_some().then_some(initial.score);
 
         let mut best = initial.clone();
@@ -364,7 +378,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
             tb = self.generate_testbench(task, regen + 1, &mut ctx, &mut usage);
             digest = bench_digest(&tb);
             score_cache.clear();
-            best = self.score_candidate(strip_scoring(best), &tb, &mut score_cache);
+            best = self.score_candidate(strip_scoring(best), &tb, &mut score_cache, &units);
             if best.score >= 1.0 {
                 trace.solved_pre_sampling = true;
                 trace.initial_score = Some(best.score);
@@ -375,9 +389,15 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
         // --- Step 4: sampling & ranking. ---
         let mut pool: Vec<Candidate> = vec![best.clone()];
         for _ in 0..self.config.candidates {
-            let cand =
-                self.generate_candidate(task, Some(&digest), &mut ctx, &mut usage, &mut trace);
-            let cand = self.score_candidate(cand, &tb, &mut score_cache);
+            let cand = self.generate_candidate(
+                task,
+                Some(&digest),
+                &mut ctx,
+                &mut usage,
+                &mut trace,
+                &units,
+            );
+            let cand = self.score_candidate(cand, &tb, &mut score_cache, &units);
             trace.sampled_scores.push(cand.score);
             pool.push(cand);
         }
@@ -440,6 +460,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
                     },
                     &tb,
                     &mut score_cache,
+                    &units,
                 );
                 // Accept-or-rollback (Eq. 4): keep the better of the two.
                 if trial.score > cand.score {
@@ -511,6 +532,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
         ctx: &mut Contexts,
         usage: &mut TokenUsage,
         trace: &mut SolveTrace,
+        units: &SolveUnits,
     ) -> Candidate {
         let req = RtlGenRequest {
             problem_id: task.id,
@@ -526,7 +548,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
         let mut source = out.value;
 
         for _attempt in 0..self.config.syntax_retries {
-            match compile(&source) {
+            match compile_pooled(&source, None, units).map(|(d, _)| d) {
                 Ok(design) => {
                     return Candidate {
                         source,
@@ -551,7 +573,7 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
                 }
             }
         }
-        match compile(&source) {
+        match compile_pooled(&source, None, units).map(|(d, _)| d) {
             Ok(design) => Candidate {
                 source,
                 design: Some(design),
@@ -576,13 +598,16 @@ impl<'m, M: RtlLanguageModel> Mage<'m, M> {
         mut cand: Candidate,
         tb: &Testbench,
         cache: &mut HashMap<u64, Candidate>,
+        units: &SolveUnits,
     ) -> Candidate {
         let key = mage_logic::fnv1a(cand.source.as_bytes());
         if let Some(hit) = cache.get(&key) {
             return hit.clone();
         }
         if cand.design.is_none() {
-            cand.design = compile(&cand.source).ok();
+            cand.design = compile_pooled(&cand.source, None, units)
+                .ok()
+                .map(|(d, _)| d);
         }
         let scored = match &cand.design {
             None => cand,
@@ -640,6 +665,33 @@ pub fn compile_with_units(
                 })
                 .map_err(|e| e.to_string())
         }
+    }
+}
+
+/// [`compile_with_units`] through a per-solve unit pool: when delta
+/// compilation is enabled, unchanged units are served from the parent
+/// design (chained first, when given) and from `units` — the pool every
+/// sibling candidate of one solve publishes to — so identical processes
+/// across siblings skip the elaboration walk, not just the lowering.
+/// Fresh units are published back to the pool. Pooling never changes
+/// the result (every hit is verified against the unit's canonical text
+/// and binding environment); under `MAGE_SIM_DELTA=off` the pool is
+/// never consulted and this is exactly [`compile_with_units`].
+pub fn compile_pooled(
+    source: &str,
+    parent: Option<&Arc<Design>>,
+    units: &SolveUnits,
+) -> Result<(Arc<Design>, DeltaStats), String> {
+    if !delta_enabled() {
+        return compile_with_units(source, parent);
+    }
+    match parent {
+        Some(parent) => {
+            let provider = DesignUnits::new(Arc::clone(parent));
+            let sources: Vec<&dyn UnitSource> = vec![&provider, units];
+            compile_with_provider(source, &ChainedUnits::new(sources))
+        }
+        None => compile_with_provider(source, units),
     }
 }
 

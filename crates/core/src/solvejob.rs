@@ -150,6 +150,17 @@ pub fn execute_sim(req: &SimRequest) -> SimOutcome {
     })
 }
 
+/// [`execute_sim`] through a per-solve unit pool: compiles route
+/// through [`compile_pooled`](crate::engine::compile_pooled), so
+/// sibling candidates of one solve reuse each other's unchanged
+/// process units (and the parent hint still chains first). Results are
+/// bit-identical to [`execute_sim`]; only the elaboration work moves.
+pub fn execute_sim_pooled(req: &SimRequest, units: &crate::units::SolveUnits) -> SimOutcome {
+    execute_sim_with(req, |src| {
+        crate::engine::compile_pooled(src, req.parent.as_ref(), units).map(|(design, _)| design)
+    })
+}
+
 /// Execute one simulation request, compiling through `compile_fn` —
 /// the hook `mage-serve` uses to route compiles through its shared
 /// `DesignCache`. `compile_fn` must behave exactly like [`compile`] (a

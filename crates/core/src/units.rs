@@ -1,0 +1,198 @@
+//! A per-solve process-unit pool for the solo engine.
+//!
+//! `mage-serve` shares compilation units across jobs through its
+//! `UnitCache` fabric, but the solo [`crate::Mage`] engine compiled
+//! every sibling candidate from scratch: the high-temperature samples
+//! of one solve routinely share most of their processes (the model
+//! rewrites one `always` block and keeps the rest), yet each candidate
+//! re-walked every module item through elaboration and lowering.
+//!
+//! [`SolveUnits`] closes that gap: a solve-lifetime [`UnitSource`]
+//! pool, probed by item fingerprint *before* a module item's body is
+//! elaborated (see `crates/sim/src/elab.rs`), so a process identical to
+//! one seen in any earlier sibling skips the elaboration walk and the
+//! lowering both. The pool is advisory by construction — delta
+//! elaboration verifies the canonical item text and full binding
+//! environment on every hit, and a verified unit is bit-identical to a
+//! rebuild — so pooling changes *where* work happens, never what any
+//! compile returns. The `MAGE_SIM_DELTA` oracle discipline applies:
+//! callers gate on [`mage_sim::delta_enabled`] (see
+//! [`crate::compile_pooled`]), and under `MAGE_SIM_DELTA=off` the pool
+//! is never consulted.
+
+use mage_sim::{ProcessUnit, UnitKey, UnitSource, UnitTag};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A solve-lifetime unit pool: every process elaborated for any
+/// candidate of one solve is published here and served, fully verified,
+/// to later sibling compiles. Unbounded — the working set is one
+/// solve's distinct processes, released with the solve.
+#[derive(Debug, Default)]
+pub struct SolveUnits {
+    pool: Mutex<HashMap<UnitKey, (UnitTag, ProcessUnit)>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SolveUnits {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct unit keys pooled.
+    pub fn len(&self) -> usize {
+        self.pool.lock().expect("solve pool poisoned").len()
+    }
+
+    /// `true` when nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the pool (elaboration walks skipped).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a fresh elaboration.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl UnitSource for SolveUnits {
+    fn lookup(&self, tag: &UnitTag) -> Option<ProcessUnit> {
+        let pool = self.pool.lock().expect("solve pool poisoned");
+        if let Some((stored, unit)) = pool.get(&tag.key) {
+            // Full verification, as every UnitSource must: identical
+            // canonical text AND identical binding environment, or the
+            // hit is a collision and the item rebuilds.
+            if *stored.text == *tag.text && *stored.env == *tag.env {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(unit.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn publish(&self, tag: &UnitTag, unit: ProcessUnit) {
+        // First insert wins; an identical racer would store an
+        // identical unit anyway (units are pure in their tag).
+        self.pool
+            .lock()
+            .expect("solve pool poisoned")
+            .entry(tag.key)
+            .or_insert_with(|| (tag.clone(), unit));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{compile, compile_pooled};
+    use std::sync::Arc;
+
+    const BASE: &str = "module top_module(input clk, input a, input b, \
+                        output reg q, output w);\n\
+                        wire x;\n\
+                        assign x = a & b;\n\
+                        assign w = x | a;\n\
+                        always @(posedge clk) q <= x;\n\
+                        endmodule\n";
+
+    /// Force `MAGE_SIM_DELTA` for the duration of `f` (env vars are
+    /// process-global; serialized on one lock).
+    fn with_delta<R>(value: &str, f: impl FnOnce() -> R) -> R {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let prev = std::env::var("MAGE_SIM_DELTA").ok();
+        std::env::set_var("MAGE_SIM_DELTA", value);
+        let r = f();
+        match prev {
+            Some(v) => std::env::set_var("MAGE_SIM_DELTA", v),
+            None => std::env::remove_var("MAGE_SIM_DELTA"),
+        }
+        r
+    }
+
+    #[test]
+    fn sibling_candidates_reuse_pooled_units() {
+        with_delta("on", || {
+            let units = SolveUnits::new();
+            let (d1, s1) = compile_pooled(BASE, None, &units).expect("elaborates");
+            assert_eq!(s1.rebuilt, d1.processes.len(), "cold pool builds all");
+            assert_eq!(units.len(), d1.processes.len(), "fresh units pooled");
+            // A sibling differing in one process: every other unit is
+            // served from the pool, elaboration walk skipped.
+            let sibling = BASE.replace("x | a", "x ^ a");
+            let (d2, s2) = compile_pooled(&sibling, None, &units).expect("elaborates");
+            assert_eq!(s2.reused, d1.processes.len() - 1);
+            assert_eq!(s2.rebuilt, 1);
+            assert_eq!(units.hits(), d1.processes.len() - 1);
+            // Pooled compiles are store-exact against from-scratch.
+            let scratch = compile(&sibling).expect("elaborates");
+            assert_eq!(d2.processes, scratch.processes);
+            assert_eq!(
+                format!("{:?}", d2.compiled()),
+                format!("{:?}", scratch.compiled()),
+            );
+        });
+    }
+
+    #[test]
+    fn parent_hint_chains_ahead_of_the_pool() {
+        with_delta("on", || {
+            let units = SolveUnits::new();
+            let (parent, _) = compile_pooled(BASE, None, &units).expect("elaborates");
+            let edited = BASE.replace("x | a", "x ^ a");
+            // Parent-first chaining: unchanged units come from the
+            // parent design, the edit rebuilds and publishes.
+            let before = units.len();
+            let (d, stats) =
+                compile_pooled(&edited, Some(&Arc::clone(&parent)), &units).expect("elaborates");
+            assert_eq!(stats.rebuilt, 1);
+            assert!(units.len() > before, "fresh unit published to the pool");
+            let scratch = compile(&edited).expect("elaborates");
+            assert_eq!(d.processes, scratch.processes);
+        });
+    }
+
+    #[test]
+    fn delta_off_bypasses_the_pool_entirely() {
+        with_delta("off", || {
+            let units = SolveUnits::new();
+            let (d1, _) = compile_pooled(BASE, None, &units).expect("elaborates");
+            let sibling = BASE.replace("x | a", "x ^ a");
+            let (d2, stats) = compile_pooled(&sibling, None, &units).expect("elaborates");
+            assert!(units.is_empty(), "off-oracle must never touch the pool");
+            assert_eq!((units.hits(), units.misses()), (0, 0));
+            assert_eq!(stats.rebuilt, d2.processes.len());
+            assert_eq!(d1.processes.len(), d2.processes.len());
+        });
+    }
+
+    #[test]
+    fn colliding_key_with_different_identity_misses() {
+        // Hand-rolled collision: publish under a tag, then look up with
+        // the same key but a different environment witness.
+        let units = SolveUnits::new();
+        with_delta("on", || {
+            let (d, _) = compile_pooled(BASE, None, &units).expect("elaborates");
+            assert!(!units.is_empty());
+            let _ = d;
+        });
+        let pool = units.pool.lock().unwrap();
+        let (tag, _) = pool.values().next().expect("pooled unit").clone();
+        drop(pool);
+        let mut wrong = tag.clone();
+        wrong.env = "m=other;p=;s=[];c=[]".into();
+        assert!(
+            units.lookup(&wrong).is_none(),
+            "unverified identity must miss"
+        );
+    }
+}

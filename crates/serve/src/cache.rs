@@ -17,7 +17,7 @@
 //! happen outside the local lock), so local/global tiers cannot
 //! deadlock however many shards share one parent.
 
-use mage_core::solvejob::{SimOutcome, SimRequest};
+use mage_core::solvejob::{execute_sim_with, SimOutcome, SimRequest};
 use mage_core::{compile, compile_with_provider};
 use mage_sim::{
     delta_enabled, ChainedUnits, Design, DesignUnits, ProcessUnit, UnitKey, UnitSource, UnitTag,
@@ -638,6 +638,25 @@ fn score_identity(source: &str, tb: &Testbench) -> String {
     s
 }
 
+/// The structural identity a *delta short-circuit* is keyed under: the
+/// full elaborated shape of the design (top name, every signal with its
+/// declaration, port orders, every process body) plus the bench text.
+/// [`mage_tb::run_testbench`] is a pure function of exactly these — two
+/// candidates with equal structural identity (e.g. whitespace or
+/// comment edits, where the delta elaboration reports 0 rebuilt units)
+/// must observe the same report and score, whatever their source text.
+fn design_identity(design: &Design, tb: &Testbench) -> String {
+    format!(
+        "{}\0{:?}\0{:?}\0{:?}\0{:?}\0{}",
+        design.top,
+        design.signals,
+        design.inputs,
+        design.outputs,
+        design.processes,
+        bench_text(tb)
+    )
+}
+
 /// A bounded map from `(candidate source, bench content)` to the full
 /// scoring outcome, shared across jobs exactly like [`DesignCache`].
 ///
@@ -658,6 +677,16 @@ fn score_identity(source: &str, tb: &Testbench) -> String {
 #[derive(Debug)]
 pub struct ScoreCache {
     inner: Mutex<ScoreInner>,
+    /// Delta-aware secondary index: *structural* design identity (plus
+    /// bench text) → outcome. Populated and probed only by
+    /// [`ScoreCache::get_or_run_delta`], under `MAGE_SIM_DELTA`; a hit
+    /// here means the probing candidate elaborated to a structurally
+    /// identical design (0 rebuilt units — e.g. a whitespace or comment
+    /// edit) under an unchanged bench, so its score is served without
+    /// running a sim. Local to this tier (never consulted by the
+    /// fabric's parent path): the primary text map still publishes
+    /// upward, so siblings share exact-text outcomes as before.
+    by_design: Mutex<ScoreInner>,
     capacity: usize,
     hasher: SourceHasher,
     /// Shared global tier consulted on local misses (see module docs).
@@ -666,6 +695,7 @@ pub struct ScoreCache {
     misses: AtomicUsize,
     collisions: AtomicUsize,
     promotions: AtomicUsize,
+    shortcircuits: AtomicUsize,
 }
 
 impl Default for ScoreCache {
@@ -691,6 +721,7 @@ impl ScoreCache {
     pub fn with_capacity_and_hasher(capacity: usize, hasher: SourceHasher) -> Self {
         ScoreCache {
             inner: Mutex::new(ScoreInner::default()),
+            by_design: Mutex::new(ScoreInner::default()),
             capacity,
             hasher,
             parent: None,
@@ -698,6 +729,7 @@ impl ScoreCache {
             misses: AtomicUsize::new(0),
             collisions: AtomicUsize::new(0),
             promotions: AtomicUsize::new(0),
+            shortcircuits: AtomicUsize::new(0),
         }
     }
 
@@ -756,6 +788,95 @@ impl ScoreCache {
             parent.insert_identity(&identity, outcome.clone());
         }
         self.store(key, identity, outcome, collided)
+    }
+
+    /// [`get_or_run`](Self::get_or_run) with delta-aware scoring: on a
+    /// text-identity miss the request is compiled first (through
+    /// `compile`, so the design cache and delta elaboration absorb the
+    /// cost), and if the elaborated design is *structurally identical*
+    /// to one already scored under the same bench — the case where
+    /// `DeltaStats` reports 0 rebuilt units, e.g. a whitespace or
+    /// comment edit — the cached report and score are served with the
+    /// candidate's own design, without running a sim. Counted by
+    /// [`shortcircuits`](Self::shortcircuits). Scores are pure in
+    /// `(design structure, bench)`, so a short-circuit is bit-identical
+    /// to a fresh run; under `MAGE_SIM_DELTA=off` the structural index
+    /// is never touched and every miss simulates, exactly as
+    /// [`get_or_run`](Self::get_or_run) would.
+    pub fn get_or_run_delta(
+        &self,
+        req: &SimRequest,
+        compile: impl FnOnce(&str) -> Result<Arc<Design>, String>,
+    ) -> SimOutcome {
+        self.get_or_run(req, |r| self.execute_shortcircuit(r, compile))
+    }
+
+    /// The miss-path executor behind [`get_or_run_delta`]: compile,
+    /// probe the structural index, simulate only when it misses too.
+    fn execute_shortcircuit(
+        &self,
+        req: &SimRequest,
+        compile: impl FnOnce(&str) -> Result<Arc<Design>, String>,
+    ) -> SimOutcome {
+        let Some(bench) = &req.bench else {
+            // Compile-only probe: the design cache's territory.
+            return execute_sim_with(req, compile);
+        };
+        let design = match &req.design {
+            Some(d) => Ok(Arc::clone(d)),
+            None => compile(&req.source),
+        };
+        let Ok(design) = design else {
+            // Failed compiles score 0 with no report, exactly as
+            // `execute_sim_with` reports them.
+            return SimOutcome {
+                design,
+                report: None,
+                score: 0.0,
+            };
+        };
+        if !delta_enabled() {
+            return execute_sim_with(req, |_| Ok(design));
+        }
+        let identity = design_identity(&design, bench);
+        let key = (self.hasher)(&identity);
+        {
+            let mut by_design = self.by_design.lock().expect("score cache poisoned");
+            let tick = by_design.next_tick();
+            if let Some(entry) = by_design.map.get_mut(&key) {
+                // Full verification, as everywhere in this module: a
+                // colliding structural key falls through to a real sim.
+                if entry.identity == identity {
+                    entry.stamp = tick;
+                    self.shortcircuits.fetch_add(1, Ordering::Relaxed);
+                    // Serve the cached report and score with the
+                    // *probing* candidate's own design (the cached
+                    // outcome holds its sibling's).
+                    return SimOutcome {
+                        design: Ok(design),
+                        report: entry.outcome.report.clone(),
+                        score: entry.outcome.score,
+                    };
+                }
+            }
+        }
+        let outcome = execute_sim_with(req, |_| Ok(design));
+        let mut by_design = self.by_design.lock().expect("score cache poisoned");
+        let tick = by_design.next_tick();
+        if self.capacity > 0 {
+            by_design.evict_to(self.capacity);
+        }
+        // Most recent identity keeps a colliding slot, matching the
+        // primary map's discipline.
+        by_design.map.insert(
+            key,
+            ScoreEntry {
+                identity,
+                outcome: outcome.clone(),
+                stamp: tick,
+            },
+        );
+        outcome
     }
 
     /// Probe for a scored outcome without simulating: the tiered
@@ -870,6 +991,16 @@ impl ScoreCache {
     /// [`misses`](Self::misses)). Always 0 on an untiered cache.
     pub fn promotions(&self) -> usize {
         self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Scoring misses served from the structural index without running
+    /// a sim (a subset of [`misses`](Self::misses)): the candidate
+    /// elaborated to a design structurally identical to one already
+    /// scored under the same bench. Only
+    /// [`get_or_run_delta`](Self::get_or_run_delta) moves this, and
+    /// only under `MAGE_SIM_DELTA`.
+    pub fn shortcircuits(&self) -> usize {
+        self.shortcircuits.load(Ordering::Relaxed)
     }
 
     /// The shared global tier, when this cache is tiered.
@@ -1326,6 +1457,94 @@ mod tests {
             assert_eq!((units.hits(), units.misses()), (0, 0));
             let scratch = compile(&edited).unwrap();
             assert_eq!(d.processes, scratch.processes);
+        });
+    }
+
+    /// A real scoring bench over `GOOD` (`assign y = a`): drives `a`
+    /// and checks `y` follows, so outcomes carry genuine reports.
+    fn real_bench(steps: u64) -> Arc<Testbench> {
+        use mage_logic::LogicVec;
+        use mage_tb::{Check, TbStep};
+        Arc::new(Testbench {
+            name: "follow".into(),
+            clock: None,
+            steps: (0..steps)
+                .map(|p| TbStep {
+                    drives: vec![("a".into(), LogicVec::from_u64(1, p & 1))],
+                    checks: vec![Check {
+                        signal: "y".into(),
+                        expected: LogicVec::from_u64(1, p & 1),
+                    }],
+                    clocks: vec![],
+                })
+                .collect(),
+        })
+    }
+
+    /// `GOOD` with whitespace and comment edits only: parses and
+    /// elaborates to a structurally identical design (0 rebuilt units
+    /// under delta compilation).
+    const GOOD_WS: &str = "module top_module(input a, output y);\n  \
+                           // identity buffer\n  assign  y = a ;\nendmodule\n";
+
+    #[test]
+    fn whitespace_equivalent_candidate_short_circuits_scoring() {
+        with_delta_on(|| {
+            let cache = ScoreCache::new();
+            let tb = real_bench(4);
+            let a = cache.get_or_run_delta(&score_req(GOOD, Some(Arc::clone(&tb))), compile);
+            assert_eq!(cache.shortcircuits(), 0, "first candidate must simulate");
+            assert_eq!(a.score, 1.0);
+            // The whitespace/comment variant misses on text identity but
+            // elaborates to the same structure: served without a sim.
+            let b = cache.get_or_run_delta(&score_req(GOOD_WS, Some(Arc::clone(&tb))), compile);
+            assert_eq!(
+                cache.shortcircuits(),
+                1,
+                "structural twin must short-circuit"
+            );
+            assert_eq!(b.score, a.score);
+            assert_eq!(b.report, a.report, "served report is the cached one");
+            // The served design is the probing candidate's own compile.
+            assert_eq!(b.design.as_ref().unwrap().top, "top_module");
+            // Re-probing the variant now hits the primary text map —
+            // the short-circuit count does not move again.
+            let hits = cache.hits();
+            cache.get_or_run_delta(&score_req(GOOD_WS, Some(Arc::clone(&tb))), compile);
+            assert_eq!(cache.hits(), hits + 1);
+            assert_eq!(cache.shortcircuits(), 1);
+        });
+    }
+
+    #[test]
+    fn structural_or_bench_changes_do_not_short_circuit() {
+        with_delta_on(|| {
+            let cache = ScoreCache::new();
+            let tb = real_bench(4);
+            cache.get_or_run_delta(&score_req(GOOD, Some(Arc::clone(&tb))), compile);
+            // A real logic edit is a different structure: full sim.
+            let inverted = "module top_module(input a, output y); assign y = ~a; endmodule";
+            let inv = cache.get_or_run_delta(&score_req(inverted, Some(Arc::clone(&tb))), compile);
+            assert_eq!(cache.shortcircuits(), 0);
+            assert_eq!(inv.score, 0.0, "inverter fails the follow bench");
+            // The same structure under a *different* bench: full sim.
+            let other = real_bench(5);
+            cache.get_or_run_delta(&score_req(GOOD_WS, Some(other)), compile);
+            assert_eq!(cache.shortcircuits(), 0, "changed bench must rescore");
+        });
+    }
+
+    #[test]
+    fn delta_off_never_touches_the_structural_index() {
+        with_delta("off", || {
+            let cache = ScoreCache::new();
+            let tb = real_bench(4);
+            let a = cache.get_or_run_delta(&score_req(GOOD, Some(Arc::clone(&tb))), compile);
+            let b = cache.get_or_run_delta(&score_req(GOOD_WS, Some(Arc::clone(&tb))), compile);
+            assert_eq!(cache.shortcircuits(), 0, "off-oracle must always simulate");
+            assert_eq!(cache.misses(), 2);
+            // Scores agree anyway — the short-circuit only skips work.
+            assert_eq!(a.score, b.score);
         });
     }
 

@@ -5,9 +5,7 @@
 use crate::cache::{DesignCache, ScoreCache, UnitCache};
 use crate::service::{LlmCall, LlmOutcome, LlmService};
 use crate::wave::WaveState;
-use mage_core::solvejob::{
-    execute_sim_with, PendingWork, SimOutcome, SimRequest, SolveJob, SolveStep, StepInput,
-};
+use mage_core::solvejob::{PendingWork, SimOutcome, SimRequest, SolveJob, SolveStep, StepInput};
 use mage_core::{MageConfig, SolveTrace};
 use mage_llm::{DispatchError, LlmRequest, TokenUsage};
 use std::collections::VecDeque;
@@ -196,6 +194,11 @@ pub struct ServeReport {
     pub score_misses: usize,
     /// Score-cache key collisions at report time.
     pub score_collisions: usize,
+    /// Scoring misses served without a sim because the candidate
+    /// elaborated to a design structurally identical to one already
+    /// scored under the same bench (delta-aware short-circuits; a
+    /// subset of `score_misses`).
+    pub score_shortcircuits: usize,
     /// Unit-cache hits at report time (process units served verbatim to
     /// delta compiles).
     pub unit_hits: usize,
@@ -1116,6 +1119,7 @@ impl<S: LlmService> ServeEngine<S> {
             score_hits: self.scores.hits(),
             score_misses: self.scores.misses(),
             score_collisions: self.scores.collisions(),
+            score_shortcircuits: self.scores.shortcircuits(),
             unit_hits: self.units.hits(),
             unit_misses: self.units.misses(),
             unit_collisions: self.units.collisions(),
@@ -1171,10 +1175,8 @@ pub(crate) fn run_sim_batch(
     let scores = Arc::clone(scores);
     let units = Arc::clone(units);
     rayon::scoped_map(workers, batch, move |(id, req)| {
-        let outcome = scores.get_or_run(&req, |r| {
-            execute_sim_with(r, |src| {
-                cache.get_or_compile_with(src, r.parent.as_ref(), Some(&units))
-            })
+        let outcome = scores.get_or_run_delta(&req, |src| {
+            cache.get_or_compile_with(src, req.parent.as_ref(), Some(&units))
         });
         (id, outcome)
     })

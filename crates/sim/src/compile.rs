@@ -42,9 +42,11 @@
 //! never duplicating branch code.
 
 use crate::design::{CExpr, CLValue, CStmt, Design, Process, SignalId};
+use crate::plan::{build_cascades, build_plan, CascadePlan, EvalPlan};
 use mage_logic::LogicVec;
 use mage_verilog::ast::{BinaryOp, CaseKind, UnaryOp};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Register-file slot index.
 pub type Slot = u16;
@@ -362,6 +364,13 @@ pub struct CompiledProcess {
     pub slot_masks: Vec<u64>,
     /// Constant pool as plane-word pairs (`narrow` path only).
     pub narrow_consts: Vec<(u64, u64)>,
+    /// The fused straight-line evaluation plan (`hazard_free` streams
+    /// only, else `None`). Built unconditionally at compile time —
+    /// dispatch, not construction, is gated by
+    /// [`crate::plan::fuse_enabled`], so fused and unfused runs execute
+    /// structurally identical designs and delta-reused units carry
+    /// their plans verbatim.
+    pub plan: Option<EvalPlan>,
 }
 
 impl CompiledProcess {
@@ -400,7 +409,7 @@ impl CompiledProcess {
 }
 
 /// Every process of a design, compiled.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CompiledDesign {
     /// Per-process bytecode, indexed like `design.processes`.
     pub procs: Vec<CompiledProcess>,
@@ -410,6 +419,21 @@ pub struct CompiledDesign {
     /// event enqueues exactly these processes on the wheel's active
     /// region.
     pub comb_readers: Vec<Vec<u32>>,
+    /// Fused combinational cascades ([`crate::plan::build_cascades`]):
+    /// one per eligible hazard-free comb root, in topological order.
+    pub cascades: Vec<CascadePlan>,
+    /// Per-process cascade root index into `cascades` (`None` for
+    /// processes without a fused cascade). The wheel's active region
+    /// runs `cascades[cascade_of[p]]` straight through instead of
+    /// evaluating `p` and enqueueing its fanout.
+    pub cascade_of: Vec<Option<u32>>,
+    /// How many cascade plans a delta rebuild dropped: cascades whose
+    /// closure contains at least one rebuilt (non-reused) unit. A
+    /// rebuilt unit invalidates every plan whose cascade contains it —
+    /// cascades are rebuilt wholesale from the fresh unit set, so the
+    /// resulting plans are exactly a from-scratch build's. Always 0 for
+    /// scratch compiles.
+    pub invalidated_plans: u32,
 }
 
 impl CompiledDesign {
@@ -417,6 +441,22 @@ impl CompiledDesign {
     #[inline]
     pub fn comb_readers(&self, sig: SignalId) -> &[u32] {
         &self.comb_readers[sig.index()]
+    }
+}
+
+// Manual impl excluding `invalidated_plans`: the corpus suites assert a
+// delta build *structurally* equal to its scratch twin by comparing
+// `Debug` output, and the invalidation counter is build provenance, not
+// structure (a delta rebuild legitimately reports > 0 where the scratch
+// build reports 0 — the artifacts are still identical).
+impl fmt::Debug for CompiledDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledDesign")
+            .field("procs", &self.procs)
+            .field("comb_readers", &self.comb_readers)
+            .field("cascades", &self.cascades)
+            .field("cascade_of", &self.cascade_of)
+            .finish()
     }
 }
 
@@ -435,6 +475,9 @@ pub fn assemble_design(
     design: &Design,
     mut prebuilt: Vec<Option<CompiledProcess>>,
 ) -> CompiledDesign {
+    // Which processes are NOT reused (delta builds only; empty for
+    // scratch compiles) — the cascade-invalidation witness below.
+    let fresh: Vec<bool> = prebuilt.iter().map(Option::is_none).collect();
     let procs: Vec<CompiledProcess> = design
         .processes
         .iter()
@@ -460,9 +503,27 @@ pub fn assemble_design(
             }
         }
     }
+    // Cascade plans are always rebuilt wholesale from the assembled
+    // process set (like `comb_readers`), so a delta build's cascades are
+    // exactly a scratch build's. The invalidation counter records how
+    // many of them a delta rebuild *dropped*: every cascade whose
+    // closure contains a fresh (rebuilt) unit is a plan the parent's
+    // compile had that this rebuild could not carry over.
+    let (cascades, cascade_of) = build_cascades(design, &procs, &comb_readers);
+    let invalidated_plans = cascades
+        .iter()
+        .filter(|c| {
+            c.procs
+                .iter()
+                .any(|&p| fresh.get(p as usize).copied().unwrap_or(false))
+        })
+        .count() as u32;
     CompiledDesign {
         procs,
         comb_readers,
+        cascades,
+        cascade_of,
+        invalidated_plans,
     }
 }
 
@@ -517,7 +578,7 @@ pub fn compile_process(design: &Design, body: &CStmt) -> CompiledProcess {
             }
             _ => true,
         });
-    CompiledProcess {
+    let mut cp = CompiledProcess {
         code: c.code,
         slot_widths: c.slot_widths,
         consts: c.consts,
@@ -528,7 +589,10 @@ pub fn compile_process(design: &Design, body: &CStmt) -> CompiledProcess {
         hazard_free,
         slot_masks,
         narrow_consts,
-    }
+        plan: None,
+    };
+    cp.plan = build_plan(design, &cp);
+    cp
 }
 
 /// Decide two-state eligibility of a narrow instruction stream.

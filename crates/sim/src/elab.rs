@@ -124,6 +124,7 @@ pub fn elaborate_delta(
         // Which processes were rebuilt (provider misses)?
         let fresh: Vec<bool> = prebuilt.iter().map(Option::is_none).collect();
         let compiled = Arc::new(assemble_design(&design, prebuilt));
+        stats.plan_invalidations = compiled.invalidated_plans as usize;
         // Index-rebuild accounting: fanout rows and per-edge trigger
         // rows that reference a rebuilt process (the rows a surgical
         // index patch would have had to touch).

@@ -120,6 +120,17 @@ impl RegFile {
 pub enum ExecOutcome {
     /// The two-state (aval-plane-only) interpreter ran to completion.
     TwoState,
+    /// A fused [`crate::plan::EvalPlan`] serviced the evaluation (a
+    /// two-state run with superinstruction dispatch): `ops` plan
+    /// opcodes retired, covering `src` source instructions — what the
+    /// unfused interpreter would have dispatched on the same control
+    /// path. Feeds `fused_evals`/`plan_steps`/`plan_unfused_steps`.
+    Fused {
+        /// Plan opcodes retired.
+        ops: u32,
+        /// Source instructions those opcodes covered.
+        src: u32,
+    },
     /// The process is two-state eligible but ran four-state this time:
     /// an `X`/`Z` in its read set at dispatch, or a mid-run bailout
     /// (division by zero, out-of-range read, an unknown appearing on a
@@ -154,15 +165,26 @@ pub fn execute(
     nba: &mut Vec<PendingWrite>,
     changed: &mut Vec<SignalId>,
     two_state: bool,
+    fuse: bool,
 ) -> ExecOutcome {
     match regfile {
         RegFile::Narrow { regs, aregs, snap } => {
             if two_state && proc.two_state {
                 if proc.reads_fully_defined(store) {
                     if proc.hazard_free {
-                        // No bail site exists in the stream: run the
-                        // pure aval-plane interpreter — no snapshot, no
-                        // bval storage, no rewind path.
+                        // No bail site exists in the stream. With fusion
+                        // enabled, dispatch the superinstruction plan
+                        // (store-exact against the pure interpreter by
+                        // construction); otherwise run the unfused pure
+                        // aval-plane interpreter — no snapshot, no bval
+                        // storage, no rewind path either way.
+                        if fuse {
+                            if let Some(plan) = &proc.plan {
+                                let (ops, src) =
+                                    crate::plan::execute_plan(plan, aregs, store, nba, changed);
+                                return ExecOutcome::Fused { ops, src };
+                            }
+                        }
                         execute_two_state_pure(proc, aregs, store, nba, changed);
                         return ExecOutcome::TwoState;
                     }

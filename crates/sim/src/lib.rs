@@ -83,6 +83,7 @@ mod elab;
 mod error;
 mod eval;
 pub mod interp;
+pub mod plan;
 mod sim;
 pub mod unit;
 mod vcd;
@@ -94,6 +95,7 @@ pub use design::{CExpr, CLValue, CStmt, Design, Process, SignalDecl, SignalId};
 pub use elab::{elaborate, elaborate_delta, elaborate_with, fold_const_expr};
 pub use error::{ElabError, SimError};
 pub use eval::{eval, exec, PendingWrite, Store};
+pub use plan::{fuse_enabled, CascadePlan, EvalPlan, PlanOp};
 pub use sim::{EvalCounts, ExecMode, Simulator};
 pub use unit::{
     delta_enabled, unit_hash, ChainedUnits, DeltaStats, DesignUnits, ProcessUnit, UnitKey,

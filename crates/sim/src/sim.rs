@@ -148,6 +148,24 @@ pub struct EvalCounts {
     /// flat is the defined-steady-state signature; the proptest suite
     /// uses the pair to assert fallback *and* recovery.
     pub two_state_fallbacks: u64,
+    /// Process body executions serviced by a fused
+    /// [`crate::plan::EvalPlan`] (superinstruction dispatch) — a subset
+    /// of `two_state_evals`. Zero in legacy mode, with
+    /// `MAGE_SIM_TWO_STATE=off`, and under `MAGE_SIM_FUSE=off`.
+    pub fused_evals: u64,
+    /// Fused plan opcodes retired across all `fused_evals`.
+    pub plan_steps: u64,
+    /// Source bytecode instructions those plan opcodes covered — what
+    /// the unfused interpreter would have dispatched on the same
+    /// control paths. `plan_steps < plan_unfused_steps` is the fusion
+    /// win in dispatch economics, independent of wall clock.
+    pub plan_unfused_steps: u64,
+    /// Cascade plans this simulator's design dropped in its delta
+    /// rebuild ([`crate::CompiledDesign::invalidated_plans`], seeded at
+    /// construction; 0 for scratch-compiled designs and in legacy
+    /// mode). [`Simulator::reset_eval_counts`] clears the seed along
+    /// with the runtime counters.
+    pub plan_invalidations: u64,
 }
 
 impl EvalCounts {
@@ -201,6 +219,13 @@ pub struct Simulator {
     /// [`Simulator::set_two_state`] — the hook the differential suites
     /// use to hold the pure four-state path against the fast path).
     two_state: bool,
+    /// Fused-plan dispatch enable (compiled mode; defaults to the
+    /// `MAGE_SIM_FUSE` environment gate ([`crate::plan::fuse_enabled`])
+    /// snapshotted at construction — `env::var` takes a process lock,
+    /// too hot for the per-drain path — and overridden per simulator
+    /// with [`Simulator::set_fuse`], the hook the differential suites
+    /// use).
+    fuse: bool,
     /// Wheel scheduler state (the default path).
     wheel: Wheel,
     /// Oracle scheduler state (`ExecMode::Legacy` only).
@@ -443,6 +468,14 @@ impl Simulator {
                 std::env::var("MAGE_SIM_TWO_STATE"),
                 Ok(v) if v == "0" || v.eq_ignore_ascii_case("off")
             );
+        let fuse = mode == ExecMode::Compiled && crate::fuse_enabled();
+        let mut counts = EvalCounts::default();
+        if let Some(compiled) = &compiled {
+            // Surface the design's delta-rebuild plan drops: 0 for
+            // scratch compiles, the cascade-invalidation count for
+            // delta-assembled designs.
+            counts.plan_invalidations = compiled.invalidated_plans as u64;
+        }
         Simulator {
             design,
             compiled,
@@ -451,10 +484,11 @@ impl Simulator {
             time: 0,
             mode,
             two_state,
+            fuse,
             wheel,
             legacy,
             fault: None,
-            counts: EvalCounts::default(),
+            counts,
         }
     }
 
@@ -470,6 +504,24 @@ impl Simulator {
     /// four-state execution on the same executor.
     pub fn set_two_state(&mut self, on: bool) {
         self.two_state = on && self.mode == ExecMode::Compiled;
+    }
+
+    /// Force fused-plan dispatch on or off for this simulator,
+    /// overriding the `MAGE_SIM_FUSE` environment gate snapshotted at
+    /// construction (compiled mode only; legacy never fuses). The
+    /// differential suites use this to lockstep fused execution against
+    /// the unfused two-state interpreter without touching process
+    /// environment.
+    pub fn set_fuse(&mut self, on: bool) {
+        self.fuse = on && self.mode == ExecMode::Compiled;
+    }
+
+    /// Whether fused-plan dispatch is active: the
+    /// [`Simulator::set_fuse`] override if called, else the
+    /// `MAGE_SIM_FUSE` environment gate as read at construction, and
+    /// never in legacy mode.
+    pub fn fuse_active(&self) -> bool {
+        self.fuse
     }
 
     /// The design being simulated.
@@ -502,8 +554,16 @@ impl Simulator {
         self.counts = EvalCounts::default();
     }
 
-    /// Run process `pi`'s body with the configured executor.
-    fn run_body(&mut self, pi: usize, nba: &mut Vec<PendingWrite>, changed: &mut Vec<SignalId>) {
+    /// Run process `pi`'s body with the configured executor. `fuse` is
+    /// the drain's per-call fused-dispatch decision (always `false` on
+    /// the legacy scheduler's call sites — the oracle never fuses).
+    fn run_body(
+        &mut self,
+        pi: usize,
+        nba: &mut Vec<PendingWrite>,
+        changed: &mut Vec<SignalId>,
+        fuse: bool,
+    ) {
         match self.mode {
             ExecMode::Compiled => {
                 let compiled = self.compiled.as_ref().expect("wheel mode has bytecode");
@@ -514,8 +574,15 @@ impl Simulator {
                     nba,
                     changed,
                     self.two_state,
+                    fuse,
                 ) {
                     interp::ExecOutcome::TwoState => self.counts.two_state_evals += 1,
+                    interp::ExecOutcome::Fused { ops, src } => {
+                        self.counts.two_state_evals += 1;
+                        self.counts.fused_evals += 1;
+                        self.counts.plan_steps += ops as u64;
+                        self.counts.plan_unfused_steps += src as u64;
+                    }
                     interp::ExecOutcome::Fallback => self.counts.two_state_fallbacks += 1,
                     interp::ExecOutcome::FourState => {}
                 }
@@ -821,10 +888,14 @@ impl Simulator {
     /// outside the differential contract, and the pipeline abandons
     /// faulted candidates at the first error).
     fn drain(&mut self) -> Result<(), SimError> {
+        // One fused-dispatch decision per drain, from the
+        // construction-time snapshot (or its `set_fuse` override) — the
+        // drain path is too hot for an `env::var` read.
+        let fuse = self.fuse_active();
         let mut wheel = std::mem::take(&mut self.wheel);
         let result = self
-            .nba_region(&mut wheel)
-            .and_then(|()| self.active_region(&mut wheel));
+            .nba_region(&mut wheel, fuse)
+            .and_then(|()| self.active_region(&mut wheel, fuse));
         self.wheel = wheel;
         result
     }
@@ -834,7 +905,7 @@ impl Simulator {
     /// those commits produce (clock dividers), up to [`CASCADE_LIMIT`]
     /// waves. Blocking writes and commits enqueue comb fanout on the
     /// active region as they land.
-    fn nba_region(&mut self, wheel: &mut Wheel) -> Result<(), SimError> {
+    fn nba_region(&mut self, wheel: &mut Wheel, fuse: bool) -> Result<(), SimError> {
         if wheel.triggered.is_empty() {
             return Ok(());
         }
@@ -861,7 +932,7 @@ impl Simulator {
                 // Blocking writes inside sequential bodies write
                 // through (standard Verilog); their fanout becomes
                 // active events immediately.
-                self.run_body(pi, &mut nba, &mut changed);
+                self.run_body(pi, &mut nba, &mut changed, fuse);
                 for &sig in &changed {
                     wheel.comb_fanout(&compiled, sig);
                 }
@@ -918,7 +989,7 @@ impl Simulator {
 
     /// Drain the active region: evaluate pending combinational processes
     /// to a fixpoint, enqueueing the fanout of *net* output changes.
-    fn active_region(&mut self, wheel: &mut Wheel) -> Result<(), SimError> {
+    fn active_region(&mut self, wheel: &mut Wheel, fuse: bool) -> Result<(), SimError> {
         if wheel.active.is_empty() {
             return Ok(());
         }
@@ -936,6 +1007,68 @@ impl Simulator {
                 wheel.active.push_front(pi);
                 return Err(SimError::CombinationalLoop { iterations });
             }
+            // Cascade fusion: when this event's process roots a fused
+            // combinational cascade and the cascade's whole read set is
+            // defined, run every member's plan straight through in
+            // static topological order — one pass instead of N wheel
+            // enqueues. No write snapshots and no fanout: the cascade
+            // closure contains *every* combinational reader of every
+            // member write by construction (else the cascade would not
+            // have been built), members already run in dependency
+            // order, and comb writes never edge-trigger in this model.
+            // Stale queued members simply re-run as no-ops when popped
+            // (pure functions at a fixpoint). A gate failure (an `X`/`Z`
+            // anywhere in the read closure) falls through to the
+            // ordinary per-process path, which dispatches four-state —
+            // and the cascade resumes as soon as the unknown clears.
+            if fuse && self.two_state {
+                if let Some(ci) = compiled.cascade_of[pi] {
+                    let cascade = &compiled.cascades[ci as usize];
+                    if cascade
+                        .reads
+                        .iter()
+                        .all(|s| self.store[s.index()].is_fully_defined())
+                    {
+                        let mut nba = std::mem::take(&mut wheel.nba);
+                        let mut scratch = std::mem::take(&mut wheel.scratch);
+                        nba.clear();
+                        for &m in &cascade.procs {
+                            let m = m as usize;
+                            self.counts.comb_evals += 1;
+                            self.counts.two_state_evals += 1;
+                            self.counts.fused_evals += 1;
+                            let plan = compiled.procs[m]
+                                .plan
+                                .as_ref()
+                                .expect("cascade members have plans");
+                            let aregs = match &mut self.regs[m] {
+                                interp::RegFile::Narrow { aregs, .. } => aregs,
+                                interp::RegFile::Wide(_) => {
+                                    unreachable!("cascade members are narrow")
+                                }
+                            };
+                            scratch.clear();
+                            let (ops, src) = crate::plan::execute_plan(
+                                plan,
+                                aregs,
+                                &mut self.store,
+                                &mut nba,
+                                &mut scratch,
+                            );
+                            self.counts.plan_steps += ops as u64;
+                            self.counts.plan_unfused_steps += src as u64;
+                            // Cascade members are NBA-free by
+                            // construction (`EvalPlan::has_nba` gates
+                            // membership).
+                            debug_assert!(nba.is_empty());
+                        }
+                        scratch.clear();
+                        wheel.nba = nba;
+                        wheel.scratch = scratch;
+                        continue;
+                    }
+                }
+            }
             self.counts.comb_evals += 1;
             let writes = &compiled.procs[pi].writes;
             // Snapshot the write set so a process that reads what it
@@ -949,7 +1082,7 @@ impl Simulator {
             let mut scratch = std::mem::take(&mut wheel.scratch);
             nba.clear();
             scratch.clear();
-            self.run_body(pi, &mut nba, &mut scratch);
+            self.run_body(pi, &mut nba, &mut scratch, fuse);
             // NBAs inside comb always blocks commit immediately at the
             // end of the process (simplified @* semantics).
             for w in &nba {
@@ -1142,7 +1275,7 @@ impl Simulator {
                 // Blocking writes inside sequential bodies write
                 // through (standard Verilog), tracked in `changed`.
                 self.counts.seq_evals += 1;
-                self.run_body(pi, &mut nba, changed);
+                self.run_body(pi, &mut nba, changed, false);
             }
             // Commit NBAs, detecting new edges.
             let mut nba_changed: Vec<SignalId> = Vec::new();
@@ -1285,7 +1418,7 @@ impl Simulator {
             let mut scratch = std::mem::take(&mut sched.wl.scratch);
             nba.clear();
             scratch.clear();
-            self.run_body(pi, &mut nba, &mut scratch);
+            self.run_body(pi, &mut nba, &mut scratch, false);
             // NBAs inside comb always blocks commit immediately at the end
             // of the process (simplified @* semantics).
             for w in &nba {

@@ -75,6 +75,12 @@ pub struct DeltaStats {
     pub fanout_rows: usize,
     /// Per-edge trigger rows that reference a rebuilt process.
     pub trigger_rows: usize,
+    /// Fused cascade plans dropped because their closure contains a
+    /// rebuilt unit ([`crate::CompiledDesign::invalidated_plans`]): a
+    /// rebuilt unit invalidates every evaluation plan whose cascade
+    /// contains it, and this delta rebuild rebuilt those plans from the
+    /// fresh unit set.
+    pub plan_invalidations: usize,
 }
 
 impl DeltaStats {
