@@ -1,0 +1,135 @@
+//! Corpus persistence and deterministic replay.
+//!
+//! Each corpus entry is a plain `.v` file under `fuzz/corpus/` whose
+//! leading comment header records the generator seed and drive-plan
+//! length:
+//!
+//! ```verilog
+//! // mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+//! // seed: 0x00000000deadbeef
+//! // steps: 10
+//! module top(...);
+//! ```
+//!
+//! Replay parses the (possibly shrunk) source *text* and re-derives the
+//! drive plan from the seed against the module's actual input ports
+//! ([`crate::gen::drives_for`]), so entries replay bit-identically
+//! regardless of how much the shrinker removed. File names are
+//! `s<seed:016x>.v`, which both dedupes per seed and sorts
+//! deterministically.
+
+use crate::oracle::{run_source, CaseOutcome, Failure};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One persisted (or to-be-persisted) corpus entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Generator seed: regenerates the drive plan (and, pre-shrink, the
+    /// whole case).
+    pub seed: u64,
+    /// Drive-plan length the entry was found with.
+    pub steps: usize,
+    /// Verilog source (shrunk, headerless).
+    pub source: String,
+}
+
+impl CorpusEntry {
+    /// Serialize with the replay header.
+    pub fn to_file_contents(&self) -> String {
+        format!(
+            "// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus\n\
+             // seed: {:#018x}\n\
+             // steps: {}\n{}",
+            self.seed, self.steps, self.source
+        )
+    }
+
+    /// Parse a corpus file back into an entry.
+    pub fn from_file_contents(text: &str) -> Result<CorpusEntry, String> {
+        let mut seed = None;
+        let mut steps = None;
+        for line in text.lines().take_while(|l| l.starts_with("//")) {
+            if let Some(rest) = line.strip_prefix("// seed:") {
+                let rest = rest.trim().trim_start_matches("0x");
+                seed = Some(
+                    u64::from_str_radix(rest, 16).map_err(|e| format!("bad seed `{rest}`: {e}"))?,
+                );
+            } else if let Some(rest) = line.strip_prefix("// steps:") {
+                steps = Some(
+                    rest.trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad steps `{}`: {e}", rest.trim()))?,
+                );
+            }
+        }
+        let source: String = text
+            .lines()
+            .skip_while(|l| l.starts_with("//"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        Ok(CorpusEntry {
+            seed: seed.ok_or("missing `// seed:` header")?,
+            steps: steps.ok_or("missing `// steps:` header")?,
+            source,
+        })
+    }
+
+    /// The entry's canonical file name.
+    pub fn file_name(&self) -> String {
+        format!("s{:016x}.v", self.seed)
+    }
+
+    /// Run every oracle on this entry.
+    pub fn replay(&self) -> Result<CaseOutcome, Failure> {
+        run_source(&self.source, self.seed, self.steps)
+    }
+}
+
+/// Write an entry under `dir` (creating it), returning the path.
+pub fn save(dir: &Path, entry: &CorpusEntry) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(entry.file_name());
+    std::fs::write(&path, entry.to_file_contents())?;
+    Ok(path)
+}
+
+/// Load every `.v` entry under `dir`, sorted by file name (= by seed).
+/// A missing directory is an empty corpus, not an error.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(PathBuf, CorpusEntry)>> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        r => r?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "v"))
+            .collect(),
+    };
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let entry = CorpusEntry::from_file_contents(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+        out.push((path, entry));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let entry = CorpusEntry {
+            seed: 0xDEAD_BEEF,
+            steps: 12,
+            source: "module top(input a, output b);\nassign b = a;\nendmodule\n".to_string(),
+        };
+        let parsed = CorpusEntry::from_file_contents(&entry.to_file_contents()).expect("parses");
+        assert_eq!(parsed.seed, entry.seed);
+        assert_eq!(parsed.steps, entry.steps);
+        assert_eq!(parsed.source.trim(), entry.source.trim());
+        assert_eq!(entry.file_name(), "s00000000deadbeef.v");
+    }
+}

@@ -1,0 +1,328 @@
+//! Deterministic structural shrinking for corpus minimization.
+//!
+//! The vendored proptest shim deliberately has no shrinking, so the
+//! fuzzer carries its own: a greedy fixpoint loop over single-step
+//! structural reductions of a [`Module`], keeping a candidate exactly
+//! when the caller's predicate still holds on it. Reductions can break
+//! validity (e.g. deleting the driver of a signal another process
+//! reads) — that is fine, because the predicate re-elaborates the
+//! candidate and simply rejects it.
+//!
+//! Reduction steps, in deterministic order:
+//!
+//! * drop a module item (process or net declaration);
+//! * drop an output port (demoting nothing — the predicate decides);
+//! * replace an `if` by one of its branches, a `case` by one arm's
+//!   body or its default, a `begin…end` block by a shorter block;
+//! * replace a compound expression by one of its operands.
+//!
+//! The loop restarts from the first reduction after every accepted
+//! step and stops at a fixpoint (or a step budget, as a runaway guard).
+
+use mage_verilog::ast::{Expr, Item, Module, Stmt};
+
+/// Upper bound on accepted reduction steps: generated modules are
+/// small, so a well-behaved shrink terminates far below this.
+const MAX_ACCEPTED_STEPS: usize = 500;
+
+/// Greedily shrink `module` while `keep` holds. `keep` must hold on
+/// the input; the result is a local minimum under the reduction steps.
+pub fn shrink_module(module: &Module, keep: &dyn Fn(&Module) -> bool) -> Module {
+    let mut current = module.clone();
+    debug_assert!(keep(&current), "shrink precondition: keep(input)");
+    for _ in 0..MAX_ACCEPTED_STEPS {
+        let mut accepted = false;
+        for candidate in reductions(&current) {
+            if keep(&candidate) {
+                current = candidate;
+                accepted = true;
+                break;
+            }
+        }
+        if !accepted {
+            break;
+        }
+    }
+    current
+}
+
+/// All single-step reductions of `module`, in deterministic order:
+/// coarse (item/port removal) before fine (statement/expression
+/// simplification), so the shrinker discards whole processes before
+/// polishing what remains.
+fn reductions(module: &Module) -> Vec<Module> {
+    let mut out = Vec::new();
+    for i in 0..module.items.len() {
+        let mut m = module.clone();
+        m.items.remove(i);
+        out.push(m);
+    }
+    for i in 0..module.ports.len() {
+        if module.ports[i].dir == mage_verilog::ast::Direction::Output && module.ports.len() > 1 {
+            let mut m = module.clone();
+            m.ports.remove(i);
+            out.push(m);
+        }
+    }
+    for (i, item) in module.items.iter().enumerate() {
+        for reduced in item_reductions(item) {
+            let mut m = module.clone();
+            m.items[i] = reduced;
+            out.push(m);
+        }
+    }
+    out
+}
+
+fn item_reductions(item: &Item) -> Vec<Item> {
+    match item {
+        Item::Assign { lhs, rhs } => expr_reductions(rhs)
+            .into_iter()
+            .map(|rhs| Item::Assign {
+                lhs: lhs.clone(),
+                rhs,
+            })
+            .collect(),
+        Item::Always { sens, body } => stmt_reductions(body)
+            .into_iter()
+            .map(|body| Item::Always {
+                sens: sens.clone(),
+                body,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Single-step reductions of a statement subtree, shallowest first.
+fn stmt_reductions(s: &Stmt) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    match s {
+        Stmt::Block(stmts) => {
+            if stmts.len() == 1 {
+                out.push(stmts[0].clone());
+            }
+            for i in 0..stmts.len() {
+                if stmts.len() > 1 {
+                    let mut v = stmts.clone();
+                    v.remove(i);
+                    out.push(Stmt::Block(v));
+                }
+            }
+            for (i, inner) in stmts.iter().enumerate() {
+                for r in stmt_reductions(inner) {
+                    let mut v = stmts.clone();
+                    v[i] = r;
+                    out.push(Stmt::Block(v));
+                }
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            out.push((**then_branch).clone());
+            if let Some(e) = else_branch {
+                out.push((**e).clone());
+                out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_branch: then_branch.clone(),
+                    else_branch: None,
+                });
+            }
+            for r in stmt_reductions(then_branch) {
+                out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_branch: Box::new(r),
+                    else_branch: else_branch.clone(),
+                });
+            }
+            if let Some(e) = else_branch {
+                for r in stmt_reductions(e) {
+                    out.push(Stmt::If {
+                        cond: cond.clone(),
+                        then_branch: then_branch.clone(),
+                        else_branch: Some(Box::new(r)),
+                    });
+                }
+            }
+            for c in expr_reductions(cond) {
+                out.push(Stmt::If {
+                    cond: c,
+                    then_branch: then_branch.clone(),
+                    else_branch: else_branch.clone(),
+                });
+            }
+        }
+        Stmt::Case {
+            kind,
+            expr,
+            arms,
+            default,
+        } => {
+            for arm in arms {
+                out.push(arm.body.clone());
+            }
+            if let Some(d) = default {
+                out.push((**d).clone());
+            }
+            if arms.len() > 1 {
+                for i in 0..arms.len() {
+                    let mut a = arms.clone();
+                    a.remove(i);
+                    out.push(Stmt::Case {
+                        kind: *kind,
+                        expr: expr.clone(),
+                        arms: a,
+                        default: default.clone(),
+                    });
+                }
+            }
+            for e in expr_reductions(expr) {
+                out.push(Stmt::Case {
+                    kind: *kind,
+                    expr: e,
+                    arms: arms.clone(),
+                    default: default.clone(),
+                });
+            }
+        }
+        Stmt::Blocking { lhs, rhs } => {
+            for r in expr_reductions(rhs) {
+                out.push(Stmt::Blocking {
+                    lhs: lhs.clone(),
+                    rhs: r,
+                });
+            }
+        }
+        Stmt::NonBlocking { lhs, rhs } => {
+            for r in expr_reductions(rhs) {
+                out.push(Stmt::NonBlocking {
+                    lhs: lhs.clone(),
+                    rhs: r,
+                });
+            }
+        }
+        Stmt::For { .. } | Stmt::Empty => {}
+    }
+    out
+}
+
+/// Single-step reductions of an expression subtree: replace a node by
+/// one of its operands, then recurse.
+fn expr_reductions(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Literal { .. } | Expr::Ident(_) => {}
+        Expr::Unary { op, operand } => {
+            out.push((**operand).clone());
+            for r in expr_reductions(operand) {
+                out.push(Expr::Unary {
+                    op: *op,
+                    operand: Box::new(r),
+                });
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            out.push((**lhs).clone());
+            out.push((**rhs).clone());
+            for r in expr_reductions(lhs) {
+                out.push(Expr::Binary {
+                    op: *op,
+                    lhs: Box::new(r),
+                    rhs: rhs.clone(),
+                });
+            }
+            for r in expr_reductions(rhs) {
+                out.push(Expr::Binary {
+                    op: *op,
+                    lhs: lhs.clone(),
+                    rhs: Box::new(r),
+                });
+            }
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            out.push((**then_expr).clone());
+            out.push((**else_expr).clone());
+            for r in expr_reductions(cond) {
+                out.push(Expr::Ternary {
+                    cond: Box::new(r),
+                    then_expr: then_expr.clone(),
+                    else_expr: else_expr.clone(),
+                });
+            }
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                out.push(p.clone());
+            }
+            if parts.len() > 1 {
+                for i in 0..parts.len() {
+                    let mut v = parts.clone();
+                    v.remove(i);
+                    out.push(Expr::Concat(v));
+                }
+            }
+        }
+        Expr::Repl { value, .. } => {
+            out.push((**value).clone());
+        }
+        Expr::Bit { base, index } => {
+            out.push(Expr::Ident(base.clone()));
+            for r in expr_reductions(index) {
+                out.push(Expr::Bit {
+                    base: base.clone(),
+                    index: Box::new(r),
+                });
+            }
+        }
+        Expr::Part { base, .. } => {
+            out.push(Expr::Ident(base.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mage_verilog::parse;
+
+    #[test]
+    fn shrinks_to_minimum_preserving_predicate() {
+        // Predicate: the module still contains a division. The shrinker
+        // must strip everything else and keep some `/`.
+        let src = "module t(input [3:0] a, input [3:0] b, output [3:0] q, output [3:0] r);\n\
+                   assign q = (a + b) / (b ^ 4'd3);\n\
+                   assign r = a & b;\n\
+                   endmodule\n";
+        let file = parse(src).expect("parses");
+        let has_div = |m: &Module| mage_verilog::print_module(m).contains('/');
+        assert!(has_div(&file.modules[0]));
+        let shrunk = shrink_module(&file.modules[0], &has_div);
+        assert!(has_div(&shrunk), "failure class must survive shrinking");
+        assert!(
+            mage_verilog::print_module(&shrunk).len() < src.len(),
+            "shrinker must make progress"
+        );
+        // The unrelated assign must be gone.
+        assert!(!mage_verilog::print_module(&shrunk).contains('&'));
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let src = "module t(input a, input b, output q);\n\
+                   assign q = (a & b) | (a ^ b);\n\
+                   endmodule\n";
+        let file = parse(src).expect("parses");
+        let keep = |m: &Module| mage_verilog::print_module(m).contains('^');
+        let a = shrink_module(&file.modules[0], &keep);
+        let b = shrink_module(&file.modules[0], &keep);
+        assert_eq!(a, b);
+    }
+}

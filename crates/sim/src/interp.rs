@@ -134,11 +134,30 @@ pub enum ExecOutcome {
     /// The process is two-state eligible but ran four-state this time:
     /// an `X`/`Z` in its read set at dispatch, or a mid-run bailout
     /// (division by zero, out-of-range read, an unknown appearing on a
-    /// re-read of the process's own store writes).
-    Fallback,
+    /// re-read of the process's own store writes). `reason` says which
+    /// flavor — the fuzz coverage map treats the two as distinct
+    /// behaviors to keep exercising.
+    Fallback {
+        /// Why the two-state attempt did not complete.
+        reason: BailReason,
+    },
     /// The four-state path by construction (wide process, two-state
     /// disabled, or compile-time ineligible).
     FourState,
+}
+
+/// Why a two-state-eligible process ran four-state
+/// ([`ExecOutcome::Fallback`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BailReason {
+    /// An `X`/`Z` in the read set at dispatch (including the all-`X`
+    /// boot state): the two-state run was never attempted.
+    DispatchUndef,
+    /// The run started two-state and bailed mid-stream (division by
+    /// zero, out-of-range dynamic read, an unknown re-read of the
+    /// process's own store writes); every observable effect was
+    /// rewound before the four-state re-run.
+    MidRun,
 }
 
 /// Execute one compiled process body.
@@ -214,9 +233,15 @@ pub fn execute(
                         }
                     }
                     snap.clear();
+                    execute_narrow(proc, regs, store, nba, changed);
+                    return ExecOutcome::Fallback {
+                        reason: BailReason::MidRun,
+                    };
                 }
                 execute_narrow(proc, regs, store, nba, changed);
-                return ExecOutcome::Fallback;
+                return ExecOutcome::Fallback {
+                    reason: BailReason::DispatchUndef,
+                };
             }
             execute_narrow(proc, regs, store, nba, changed);
             ExecOutcome::FourState

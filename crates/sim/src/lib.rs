@@ -78,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod coverage;
 mod design;
 mod elab;
 mod error;
@@ -91,6 +92,7 @@ mod vcd;
 pub use compile::{
     assemble_design, compile_design, compile_process, CompiledDesign, CompiledProcess,
 };
+pub use coverage::FuzzCoverage;
 pub use design::{CExpr, CLValue, CStmt, Design, Process, SignalDecl, SignalId};
 pub use elab::{elaborate, elaborate_delta, elaborate_with, fold_const_expr};
 pub use error::{ElabError, SimError};

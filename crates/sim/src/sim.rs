@@ -235,6 +235,11 @@ pub struct Simulator {
     /// `settle` clears it and re-attempts the pending work.
     fault: Option<SimError>,
     counts: EvalCounts,
+    /// Fuzz-coverage sink ([`crate::coverage`]): `None` (the default)
+    /// costs one branch per body execution; the `mage-fuzz` lockstep
+    /// oracles enable it to record dynamic behavior features (execution
+    /// outcomes, bail reasons, cascade dispatches).
+    coverage: Option<Box<crate::FuzzCoverage>>,
 }
 
 /// The two-region event wheel. `active`/`triggered` carry pending
@@ -489,7 +494,27 @@ impl Simulator {
             legacy,
             fault: None,
             counts,
+            coverage: None,
         }
+    }
+
+    /// Start recording dynamic coverage features ([`crate::coverage`])
+    /// into an owned [`crate::FuzzCoverage`] map. Idempotent; the map
+    /// accumulates until [`Simulator::take_coverage`].
+    pub fn enable_coverage(&mut self) {
+        if self.coverage.is_none() {
+            self.coverage = Some(Box::default());
+        }
+    }
+
+    /// The coverage map recorded so far, if enabled.
+    pub fn coverage(&self) -> Option<&crate::FuzzCoverage> {
+        self.coverage.as_deref()
+    }
+
+    /// Detach and return the recorded coverage map (recording stops).
+    pub fn take_coverage(&mut self) -> Option<crate::FuzzCoverage> {
+        self.coverage.take().map(|b| *b)
     }
 
     /// Whether two-state fast-path dispatch is enabled.
@@ -567,7 +592,7 @@ impl Simulator {
         match self.mode {
             ExecMode::Compiled => {
                 let compiled = self.compiled.as_ref().expect("wheel mode has bytecode");
-                match interp::execute(
+                let outcome = interp::execute(
                     &compiled.procs[pi],
                     &mut self.regs[pi],
                     &mut self.store,
@@ -575,7 +600,8 @@ impl Simulator {
                     changed,
                     self.two_state,
                     fuse,
-                ) {
+                );
+                match outcome {
                     interp::ExecOutcome::TwoState => self.counts.two_state_evals += 1,
                     interp::ExecOutcome::Fused { ops, src } => {
                         self.counts.two_state_evals += 1;
@@ -583,8 +609,14 @@ impl Simulator {
                         self.counts.plan_steps += ops as u64;
                         self.counts.plan_unfused_steps += src as u64;
                     }
-                    interp::ExecOutcome::Fallback => self.counts.two_state_fallbacks += 1,
+                    interp::ExecOutcome::Fallback { .. } => self.counts.two_state_fallbacks += 1,
                     interp::ExecOutcome::FourState => {}
+                }
+                if self.coverage.is_some() {
+                    let comb = matches!(self.design.processes[pi], Process::Comb { .. });
+                    if let Some(cov) = self.coverage.as_deref_mut() {
+                        cov.record(crate::coverage::outcome_feature(outcome, comb));
+                    }
                 }
             }
             ExecMode::Legacy => {
@@ -1065,6 +1097,9 @@ impl Simulator {
                         scratch.clear();
                         wheel.nba = nba;
                         wheel.scratch = scratch;
+                        if let Some(cov) = self.coverage.as_deref_mut() {
+                            cov.record(crate::coverage::cascade_fire_feature(cascade.procs.len()));
+                        }
                         continue;
                     }
                 }

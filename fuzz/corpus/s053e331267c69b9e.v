@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x053e331267c69b9e
+// steps: 10
+module top (
+    input wire clk0,
+    input wire clk1,
+    input wire [3:0] in0,
+    input wire [50:0] in1,
+    input wire [84:0] in2,
+    input wire [30:0] in3,
+    output reg [61:0] s2
+);
+    always @(*) s2 = 595 <= (in3 <= 6'b000010);
+endmodule

@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x079f67de2dc389c9
+// steps: 10
+module top (
+    input wire clk0,
+    input wire clk1,
+    input wire [6:0] in0,
+    input wire [43:0] in1,
+    input wire [4:0] in2,
+    input wire [37:0] in3,
+    output reg [4:0] s6
+);
+    always @(negedge clk1 or posedge clk0) s6 <= 3'bxxx <= 9'b001100000;
+endmodule

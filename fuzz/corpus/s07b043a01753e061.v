@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x07b043a01753e061
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [1:0] in0,
+    input wire [4:0] in1,
+    input wire [33:0] in2,
+    input wire in3,
+    input wire [7:0] in4,
+    output reg [4:0] s2
+);
+    always @(*) s2 = 14'b00010011100001 === 15'b000000100110000 > clk0;
+endmodule

@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x089599266265fad8
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [70:0] in0,
+    input wire [41:0] in1,
+    input wire [24:0] in2,
+    input wire [16:0] in3,
+    output wire [8:0] s5
+);
+    reg [29:0] s2;
+    assign s5 = in3 | (9'b010x11011 | s2);
+endmodule

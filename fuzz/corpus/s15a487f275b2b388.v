@@ -1,0 +1,12 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x15a487f275b2b388
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [10:0] in0,
+    input wire [8:0] in1,
+    output reg [6:0] s1,
+    output wire [18:0] s7
+);
+    assign s7 = s1;
+endmodule

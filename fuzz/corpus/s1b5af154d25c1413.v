@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x1b5af154d25c1413
+// steps: 10
+module top (
+    input wire clk0,
+    input wire clk1,
+    input wire [31:0] in0,
+    input wire [5:0] in1,
+    input wire [10:0] in2,
+    output reg [33:0] s0,
+    output reg [1:0] s2
+);
+    always @(posedge clk0) s2[0] <= {3{9'b101111101 - s0 | in1}};
+endmodule

@@ -1,0 +1,15 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x1be23e538fc977bf
+// steps: 10
+module top (
+    input wire clk0,
+    input wire clk1,
+    input wire [5:0] in0,
+    input wire [7:0] in1,
+    input wire [53:0] in2,
+    output reg [30:0] s2,
+    output wire [2:0] s4
+);
+    reg [94:0] s3;
+    assign s4 = clk0[s2[s3]];
+endmodule

@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x24114fa987680a05
+// steps: 10
+module top (
+    input wire clk0,
+    input wire in0,
+    input wire [5:0] in1,
+    input wire [4:0] in2,
+    input wire [20:0] in3,
+    input wire [20:0] in4,
+    output reg [21:0] s4
+);
+    always @(*) s4 = 1'bx === 12'b111011zz0000 << in0;
+endmodule

@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x43bd66cc5fde192d
+// steps: 10
+module top (
+    input wire clk0,
+    input wire clk1,
+    input wire [23:0] in0,
+    input wire [93:0] in1,
+    input wire [6:0] in2,
+    output reg [22:0] s1,
+    output wire [6:0] s2
+);
+    assign s2 = ~^s1[5:3];
+endmodule

@@ -1,0 +1,15 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x5a0eea428c943718
+// steps: 10
+module top (
+    input wire clk0,
+    input wire clk1,
+    input wire [26:0] in0,
+    input wire [7:0] in1,
+    input wire [9:0] in2,
+    input wire [1:0] in3,
+    output wire s1,
+    output reg [94:0] s5
+);
+    always @(*) s5[49:44] = s1 > in0;
+endmodule

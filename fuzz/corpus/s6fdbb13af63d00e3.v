@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x6fdbb13af63d00e3
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [5:0] in0,
+    input wire [7:0] in1,
+    input wire [3:0] in2,
+    input wire [49:0] in3,
+    output reg [10:0] s1
+);
+    reg [2:0] s5;
+    always @(*) s5 = ~s1;
+endmodule

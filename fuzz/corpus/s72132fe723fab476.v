@@ -1,0 +1,13 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x72132fe723fab476
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [6:0] in0,
+    input wire [10:0] in1,
+    input wire [27:0] in2,
+    output reg [37:0] s5,
+    output reg [48:0] s7
+);
+    always @(*) s7 = 10'b1110101111 & in0 ? s5 : 8'b10011110;
+endmodule

@@ -1,0 +1,13 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x8a271be3ce168583
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [11:0] in0,
+    input wire [3:0] in1,
+    input wire [28:0] in2,
+    input wire in3,
+    output reg [59:0] s3
+);
+    always @(negedge clk0) s3[15:4] <= 435 ~^ in1 << 7'b1001101;
+endmodule

@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x8bb85a69854c5e62
+// steps: 10
+module top (
+    input wire clk0,
+    input wire clk1,
+    input wire [56:0] in0,
+    input wire [7:0] in1,
+    input wire [5:0] in2,
+    output reg [18:0] s2,
+    output reg [4:0] s6
+);
+    always @(posedge clk0) s6 <= s2 ^ 9'b111100010;
+endmodule

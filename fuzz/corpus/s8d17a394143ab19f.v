@@ -1,0 +1,13 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x8d17a394143ab19f
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [5:0] in0,
+    input wire [11:0] in1,
+    input wire [57:0] in2,
+    input wire in3,
+    output reg [59:0] s7
+);
+    always @(*) s7 = 14'b00101001010010;
+endmodule

@@ -1,0 +1,13 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x91a69e9754f573b5
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [6:0] in0,
+    input wire in1,
+    input wire [1:0] in2,
+    output reg [2:0] s3
+);
+    wire [1:0] s1;
+    always @(posedge clk0) s3 <= s1 / (in0 << s1);
+endmodule

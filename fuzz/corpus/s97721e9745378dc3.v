@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x97721e9745378dc3
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [7:0] in0,
+    input wire [22:0] in1,
+    input wire [6:0] in2,
+    input wire [15:0] in3,
+    output reg [4:0] s1
+);
+    wire [23:0] s3;
+    assign s3 = clk0 / (s1 < clk0);
+endmodule

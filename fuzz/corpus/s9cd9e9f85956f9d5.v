@@ -1,0 +1,12 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0x9cd9e9f85956f9d5
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [41:0] in0,
+    input wire [1:0] in1,
+    output wire [1:0] s7
+);
+    reg [4:0] s0;
+    assign s7 = s0;
+endmodule

@@ -1,0 +1,13 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0xafb888fa9ce6e9c1
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [15:0] in0,
+    input wire in1,
+    input wire [41:0] in2,
+    input wire [14:0] in3,
+    output reg [53:0] s6
+);
+    always @(posedge clk0) s6[27] <= clk0 ~^ -16'b1010100100100010;
+endmodule

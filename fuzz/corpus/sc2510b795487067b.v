@@ -1,0 +1,14 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0xc2510b795487067b
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [21:0] in0,
+    input wire [94:0] in1,
+    input wire [6:0] in2,
+    input wire [88:0] in3,
+    input wire [26:0] in4,
+    output reg [13:0] s4
+);
+    always @(posedge clk0) s4 <= in1 / in3[42:24];
+endmodule

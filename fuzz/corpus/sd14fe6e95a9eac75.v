@@ -1,0 +1,13 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0xd14fe6e95a9eac75
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [70:0] in0,
+    input wire [7:0] in1,
+    input wire [34:0] in2,
+    output reg [2:0] s2
+);
+    wire [4:0] s0;
+    always @(negedge clk0) s2 <= {s0 > in1};
+endmodule

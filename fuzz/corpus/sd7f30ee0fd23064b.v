@@ -1,0 +1,15 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0xd7f30ee0fd23064b
+// steps: 10
+module top (
+    input wire clk0,
+    input wire clk1,
+    input wire [2:0] in0,
+    input wire [42:0] in1,
+    input wire [1:0] in2,
+    input wire [12:0] in3,
+    input wire [3:0] in4,
+    output reg [56:0] s3
+);
+    always @(negedge clk0) s3[39] <= s3[19:0];
+endmodule

@@ -1,0 +1,13 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0xdfc3177e45adf767
+// steps: 10
+module top (
+    input wire clk0,
+    input wire [2:0] in0,
+    input wire [40:0] in1,
+    input wire [25:0] in2,
+    output reg [1:0] s1,
+    output wire [5:0] s2
+);
+    always @(negedge clk0) s1 <= s2 / s2[0];
+endmodule

@@ -1,0 +1,15 @@
+// mage-fuzz corpus entry — replay: mage-fuzz --replay fuzz/corpus
+// seed: 0xecec6005c05f5f7f
+// steps: 10
+module top (
+    input wire clk0,
+    input wire clk1,
+    input wire [4:0] in0,
+    input wire [17:0] in1,
+    input wire [22:0] in2,
+    input wire [5:0] in3,
+    input wire in4
+);
+    reg [26:0] s5;
+    always @(*) s5 = 16'b0110100100010001 <= clk0;
+endmodule
